@@ -1,0 +1,67 @@
+"""Ablation — walk-batch size (§III-B sets it to 16x the GPU core count).
+
+The batch is the transfer/compute granularity of the walk index.  Too small
+and fixed per-batch costs dominate; too large and frontiers never complete,
+which starves preemptive scheduling (no ready batches while loads are in
+flight).  This ablation sweeps the batch size around the standard setting
+and reports total time plus the preemption-visible signals.
+"""
+
+from repro.bench.harness import make_algorithm
+from repro.bench.reporting import format_seconds, render_table
+from repro.bench.workloads import (
+    default_platform,
+    load_dataset,
+    standard_config,
+    standard_walks,
+)
+from repro.core.engine import LightTrafficEngine
+
+
+def run_sweep():
+    platform = default_platform()
+    graph = load_dataset("uk-sim")
+    walks = standard_walks(graph)
+    rows = []
+    for batch in (32, 64, 128, 512, 2048):
+        config = standard_config(graph, platform, batch_walks=batch)
+        stats = LightTrafficEngine(
+            graph, make_algorithm("pagerank"), config
+        ).run(walks)
+        rows.append(
+            {
+                "batch_walks": batch,
+                "total_time": stats.total_time,
+                "iterations": stats.iterations,
+                "explicit_copies": stats.explicit_copies,
+                "hit_rate": stats.graph_pool_hit_rate,
+            }
+        )
+    return rows
+
+
+def bench_ablation_batch_size(run_once, show):
+    rows = run_once(run_sweep)
+    show(
+        render_table(
+            "Ablation: walk-batch size (uk-sim, PageRank)",
+            ["batch walks", "total time", "iterations", "copies", "hit rate"],
+            [
+                [
+                    r["batch_walks"],
+                    format_seconds(r["total_time"]),
+                    r["iterations"],
+                    r["explicit_copies"],
+                    f"{r['hit_rate']:.1%}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    by = {r["batch_walks"]: r for r in rows}
+    # Oversized batches starve preemption: fewer cache hits, more copies.
+    assert by[2048]["hit_rate"] < by[64]["hit_rate"]
+    assert by[2048]["explicit_copies"] > by[64]["explicit_copies"]
+    # A mid-range batch is at least as good as the extremes.
+    best = min(r["total_time"] for r in rows)
+    assert min(by[64]["total_time"], by[128]["total_time"]) <= best * 1.25

@@ -1,0 +1,66 @@
+"""Ablation — interconnect generations (§IV-B outlook).
+
+The paper measures PCIe 3.0 vs PCIe 4.0 and notes NVLink 2.0-class links
+(64 GB/s) as the opportunity for further gains.  Since LightTraffic is
+transfer-bound on graphs that exceed GPU memory, throughput should climb
+with link bandwidth but sublinearly (scheduling already hides part of the
+traffic), and on a graph that *fits* in GPU memory the link should barely
+matter.
+"""
+
+from repro.bench.harness import make_algorithm
+from repro.bench.reporting import format_rate, render_table
+from repro.bench.workloads import (
+    default_platform,
+    load_dataset,
+    standard_config,
+    standard_walks,
+)
+from repro.core.engine import LightTrafficEngine
+
+
+def run_sweep():
+    platform = default_platform()
+    rows = []
+    for dataset in ("fs-sim", "uk-sim"):
+        graph = load_dataset(dataset)
+        walks = standard_walks(graph)
+        for link in ("pcie3", "pcie4", "nvlink2"):
+            config = standard_config(graph, platform, interconnect=link)
+            stats = LightTrafficEngine(
+                graph, make_algorithm("pagerank"), config
+            ).run(walks)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "link": link,
+                    "throughput": stats.throughput,
+                    "total_time": stats.total_time,
+                }
+            )
+    return rows
+
+
+def bench_ablation_interconnect(run_once, show):
+    rows = run_once(run_sweep)
+    show(
+        render_table(
+            "Ablation: interconnect bandwidth (PageRank)",
+            ["dataset", "link", "throughput", "total time (s)"],
+            [
+                [
+                    r["dataset"],
+                    r["link"],
+                    format_rate(r["throughput"]),
+                    f"{r['total_time']:.4g}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    by = {(r["dataset"], r["link"]): r["throughput"] for r in rows}
+    # Out-of-memory graph: faster links help substantially...
+    assert by[("uk-sim", "pcie4")] > 1.3 * by[("uk-sim", "pcie3")]
+    assert by[("uk-sim", "nvlink2")] > by[("uk-sim", "pcie4")]
+    # ...while a GPU-resident graph barely notices the link.
+    assert by[("fs-sim", "pcie4")] < 1.5 * by[("fs-sim", "pcie3")]

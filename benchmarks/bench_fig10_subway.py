@@ -1,0 +1,34 @@
+"""Fig 10 — comparison with the out-of-memory GPU system Subway.
+
+Paper shape: order-of-magnitude total-time speedups (39.1x/26.9x PageRank,
+22.3x/54.7x PPR on FS/UK), driven mostly by transmission (+ subgraph
+creation) savings.
+"""
+
+from repro.bench.harness import fig10_subway_comparison
+from repro.bench.reporting import render_table
+
+
+def bench_fig10_subway(run_once, show):
+    rows = run_once(fig10_subway_comparison)
+    show(
+        render_table(
+            "Fig 10: LightTraffic speedup over Subway",
+            ["dataset", "algorithm", "total", "computing", "transmission"],
+            [
+                [
+                    r["dataset"],
+                    r["algorithm"],
+                    f"{r['total_speedup']:.1f}x",
+                    f"{r['compute_speedup']:.2f}x",
+                    f"{r['transmission_speedup']:.1f}x",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    for r in rows:
+        # LightTraffic wins by a large factor in total time everywhere.
+        assert r["total_speedup"] > 3.0
+        assert r["transmission_speedup"] > 1.0
+    assert max(r["total_speedup"] for r in rows) > 10.0

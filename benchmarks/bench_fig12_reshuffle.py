@@ -1,0 +1,35 @@
+"""Fig 12 — walk reshuffling: two-level caching vs direct global writes.
+
+Paper shape: two-level caching reduces reshuffle time by up to ~73%;
+reshuffle time shrinks as partitions grow (fewer partitions -> fewer random
+writes and a cheaper partition search).
+"""
+
+from repro.bench.harness import fig12_reshuffle
+from repro.bench.reporting import format_seconds, render_table
+
+
+def bench_fig12_reshuffle(run_once, show):
+    rows = run_once(fig12_reshuffle)
+    show(
+        render_table(
+            "Fig 12: reshuffle time, direct write vs two-level caching",
+            ["partition KiB", "direct write", "two-level", "reduction %"],
+            [
+                [
+                    r["partition_kib"],
+                    format_seconds(r["direct_reshuffle_time"]),
+                    format_seconds(r["two_level_reshuffle_time"]),
+                    f"{r['reduction_pct']:.0f}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    for r in rows:
+        assert r["two_level_reshuffle_time"] < r["direct_reshuffle_time"]
+    # Up to ~73% reduction at small partitions (many partitions).
+    assert max(r["reduction_pct"] for r in rows) > 55.0
+    # Two-level reshuffle time decreases with larger partitions.
+    two_level = [r["two_level_reshuffle_time"] for r in rows]
+    assert two_level[0] > two_level[-1]

@@ -1,0 +1,45 @@
+"""Fig 13 — pipeline efficiency: baseline vs PS vs SS vs PS+SS.
+
+Paper shape: the basic pipeline cannot exploit cached data; preemptive and
+selective scheduling each cut total time, combine to the best result, and
+improve as more graph partitions are cached.
+"""
+
+from repro.bench.harness import fig13_pipeline
+from repro.bench.reporting import format_seconds, render_table
+
+
+def bench_fig13_pipeline(run_once, show):
+    rows = run_once(fig13_pipeline)
+    show(
+        render_table(
+            "Fig 13: total time by scheduler variant and cached partitions",
+            ["cached partitions", "variant", "total time", "iterations"],
+            [
+                [
+                    r["cached_partitions"],
+                    r["variant"],
+                    format_seconds(r["total_time"]),
+                    r["iterations"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    by = {(r["cached_partitions"], r["variant"]): r for r in rows}
+    pools = sorted({r["cached_partitions"] for r in rows})
+    for m_g in pools:
+        base = by[(m_g, "baseline")]["total_time"]
+        ps = by[(m_g, "ps")]["total_time"]
+        ss = by[(m_g, "ss")]["total_time"]
+        both = by[(m_g, "ps+ss")]["total_time"]
+        assert ps < base and ss < base
+        assert both <= min(ps, ss) * 1.10
+    # The combined variant benefits from caching more partitions.
+    first, last = pools[0], pools[-1]
+    assert by[(last, "ps+ss")]["total_time"] < by[(first, "ps+ss")][
+        "total_time"
+    ]
+    # The basic pipeline barely does (it ignores cached data).
+    base_times = [by[(m, "baseline")]["total_time"] for m in pools]
+    assert max(base_times) / min(base_times) < 1.5

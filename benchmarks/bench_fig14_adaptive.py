@@ -1,0 +1,38 @@
+"""Fig 14 — adaptive scheduling with zero copy (straggler handling).
+
+Paper shape: adaptive scheduling beats both all-explicit and all-zero-copy;
+the benefit is larger for PPR (variable walk lengths make stragglers more
+severe).
+"""
+
+from repro.bench.harness import fig14_adaptive
+from repro.bench.reporting import render_table
+
+
+def bench_fig14_adaptive(run_once, show):
+    rows = run_once(fig14_adaptive)
+    show(
+        render_table(
+            "Fig 14: speedup over All-Explicit-Copy",
+            ["dataset", "algorithm", "all zero copy", "adaptive"],
+            [
+                [
+                    r["dataset"],
+                    r["algorithm"],
+                    f"{r['zero_copy_speedup']:.2f}x",
+                    f"{r['adaptive_speedup']:.2f}x",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    for r in rows:
+        # Adaptive never loses to explicit-only, and beats (or matches)
+        # zero-copy-only by balancing the trade-off.
+        assert r["adaptive_speedup"] >= 0.97
+        assert r["adaptive_speedup"] >= r["zero_copy_speedup"] * 0.97
+    # The benefit exists and is larger for PPR than PageRank on average.
+    ppr = [r["adaptive_speedup"] for r in rows if r["algorithm"] == "ppr"]
+    pr = [r["adaptive_speedup"] for r in rows if r["algorithm"] == "pagerank"]
+    assert max(ppr) > 1.1
+    assert sum(ppr) / len(ppr) >= sum(pr) / len(pr) * 0.95

@@ -1,0 +1,57 @@
+"""Fig 15 — running time / per-op breakdown vs GPU memory pool sizes.
+
+Paper shape: the total time is close to max(computing stage, loading
+stage) thanks to the pipeline; with a fixed number of cached partitions,
+caching more walks significantly cuts total time.
+"""
+
+from repro.bench.harness import fig15_memory_size
+from repro.bench.reporting import format_seconds, render_table
+
+
+def bench_fig15_memory_size(run_once, show):
+    rows = run_once(fig15_memory_size)
+    show(
+        render_table(
+            "Fig 15: per-op time vs pool sizes (PageRank, l=10)",
+            [
+                "partitions",
+                "walks cached",
+                "graph load",
+                "walk load",
+                "zero copy",
+                "walk evict",
+                "computing",
+                "total",
+            ],
+            [
+                [
+                    r["cached_partitions"],
+                    r["cached_walks"],
+                    format_seconds(r["graph_load"]),
+                    format_seconds(r["walk_load"]),
+                    format_seconds(r["zero_copy"]),
+                    format_seconds(r["walk_evict"]),
+                    format_seconds(r["computing"]),
+                    format_seconds(r["total_time"]),
+                ]
+                for r in rows
+            ],
+        )
+    )
+    by = {(r["cached_partitions"], r["cached_walks"]): r for r in rows}
+    partitions = sorted({r["cached_partitions"] for r in rows})
+    walks = sorted({r["cached_walks"] for r in rows})
+    for m_g in partitions:
+        # More cached walks => less (or equal) total time, as in the paper's
+        # 12.8s -> 7.1s example at 25 cached partitions.
+        small = by[(m_g, walks[0])]["total_time"]
+        large = by[(m_g, walks[-1])]["total_time"]
+        assert large <= small * 1.05
+    for r in rows:
+        # Pipeline effectiveness: total is below the serial sum of stages.
+        loading = (
+            r["graph_load"] + r["walk_load"] + r["zero_copy"] + r["walk_evict"]
+        )
+        assert r["total_time"] <= (loading + r["computing"]) * 1.001
+        assert r["total_time"] >= max(loading, r["computing"]) * 0.50

@@ -1,0 +1,35 @@
+"""Fig 16 — slowdown of the multi-round baseline vs LightTraffic.
+
+Paper shape: running walks in multiple GPU-memory-sized rounds costs up to
+~3.5x, worst when few graph partitions can be cached; more rounds = more
+repeated graph loading.
+"""
+
+from repro.bench.harness import fig16_multiround
+from repro.bench.reporting import render_table
+
+
+def bench_fig16_multiround(run_once, show):
+    rows = run_once(fig16_multiround)
+    show(
+        render_table(
+            "Fig 16: multi-round baseline slowdown vs LightTraffic",
+            ["cached partitions", "rounds", "walks/round", "slowdown"],
+            [
+                [
+                    r["cached_partitions"],
+                    r["rounds"],
+                    r["walks_per_round"],
+                    f"{r['slowdown']:.2f}x",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    assert all(r["slowdown"] > 1.0 for r in rows)
+    assert max(r["slowdown"] for r in rows) > 1.5
+    # More rounds hurts more (at a fixed pool size).
+    by = {(r["cached_partitions"], r["rounds"]): r["slowdown"] for r in rows}
+    pools = sorted({r["cached_partitions"] for r in rows})
+    for m_g in pools:
+        assert by[(m_g, 8)] >= by[(m_g, 2)] * 0.95

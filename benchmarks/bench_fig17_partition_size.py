@@ -1,0 +1,46 @@
+"""Fig 17 — walk computing time breakdown vs partition size.
+
+Paper shape: walk *updating* time grows with partition size (poorer
+locality of memory references), walk *reshuffling* time shrinks (fewer
+partitions -> cheaper search and fewer random writes); partition size is
+not a very sensitive parameter overall.
+"""
+
+from repro.bench.harness import fig17_partition_size
+from repro.bench.reporting import format_seconds, render_table
+
+
+def bench_fig17_partition_size(run_once, show):
+    rows = run_once(fig17_partition_size)
+    show(
+        render_table(
+            "Fig 17: walk computing breakdown vs partition size",
+            [
+                "partition KiB",
+                "partitions",
+                "walk updating",
+                "walk reshuffling",
+                "others",
+                "computing total",
+            ],
+            [
+                [
+                    r["partition_kib"],
+                    r["num_partitions"],
+                    format_seconds(r["walk_updating"]),
+                    format_seconds(r["walk_reshuffling"]),
+                    format_seconds(r["others"]),
+                    format_seconds(r["computing_total"]),
+                ]
+                for r in rows
+            ],
+        )
+    )
+    rows = sorted(rows, key=lambda r: r["partition_kib"])
+    # Updating: worse locality with large partitions.
+    assert rows[-1]["walk_updating"] > rows[0]["walk_updating"] * 0.95
+    # Reshuffling: cheaper with fewer partitions.
+    assert rows[-1]["walk_reshuffling"] < rows[0]["walk_reshuffling"]
+    # Not a very sensitive parameter overall (within ~3x end to end).
+    totals = [r["computing_total"] for r in rows]
+    assert max(totals) / min(totals) < 3.0

@@ -1,0 +1,62 @@
+"""Fig 18 — scalability vs walk density under a tight memory budget.
+
+Paper shape: with pools restricted to a fixed small size, throughput
+depends on the walk density D (theory: (B/S_w) / (1 + 1/D)) and *not* on
+the graph size — measured curves for a small and a large graph both track
+the theoretical estimate.
+"""
+
+import math
+
+from repro.bench.harness import fig18_scalability
+from repro.bench.reporting import format_rate, render_table
+from repro.bench.sparkline import series_line
+
+
+def bench_fig18_scalability(run_once, show):
+    rows = run_once(fig18_scalability)
+    show(
+        render_table(
+            "Fig 18: throughput vs walk density (restricted pools)",
+            ["dataset", "density D", "walks", "measured", "theory"],
+            [
+                [
+                    r["dataset"],
+                    f"{r['density']:.4g}",
+                    r["num_walks"],
+                    format_rate(r["throughput"]),
+                    format_rate(r["theory_throughput"]),
+                ]
+                for r in rows
+            ],
+        )
+    )
+    by_dataset = {}
+    for r in rows:
+        by_dataset.setdefault(r["dataset"], []).append(r)
+    for name, series in sorted(by_dataset.items()):
+        ordered = sorted(series, key=lambda r: r["density"])
+        show(series_line(
+            f"{name} measured vs density",
+            [r["throughput"] for r in ordered],
+        ))
+    for series in by_dataset.values():
+        series.sort(key=lambda r: r["density"])
+        measured = [r["throughput"] for r in series]
+        # Monotone: higher walk density => higher throughput.
+        assert all(b >= a * 0.8 for a, b in zip(measured, measured[1:]))
+        # Tracks theory within an order of magnitude at every point.
+        for r in series:
+            ratio = r["throughput"] / r["theory_throughput"]
+            assert 0.1 < ratio < 10.0
+    # Graph-size independence: small and large graphs land within ~3x of
+    # each other at equal density.
+    names = sorted(by_dataset)
+    if len(names) == 2:
+        small, large = by_dataset[names[0]], by_dataset[names[1]]
+        common = {r["density"] for r in small} & {r["density"] for r in large}
+        for d in common:
+            s = next(r for r in small if r["density"] == d)
+            l = next(r for r in large if r["density"] == d)
+            ratio = s["throughput"] / l["throughput"]
+            assert 1 / 4 < ratio < 4

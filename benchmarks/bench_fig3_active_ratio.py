@@ -1,0 +1,52 @@
+"""Fig 3 — % of active vertices/edges per iteration under the Subway baseline.
+
+Paper shape: on UK ~60% of vertices and ~80% of edges are active in most
+iterations, while only ~3% of loaded edges are actually used.
+"""
+
+from repro.bench.harness import fig3_active_ratio
+from repro.bench.reporting import render_table
+from repro.bench.sparkline import series_line
+
+
+def bench_fig3_active_ratio(run_once, show):
+    rows = run_once(fig3_active_ratio)
+    show(
+        render_table(
+            "Fig 3: active vertices/edges per iteration (Subway baseline)",
+            ["dataset", "iteration", "active V %", "active E %", "used E %"],
+            [
+                [
+                    r["dataset"],
+                    r["iteration"],
+                    f"{r['active_vertex_pct']:.1f}",
+                    f"{r['active_edge_pct']:.1f}",
+                    f"{r['used_edge_pct']:.2f}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    for dataset in sorted({r["dataset"] for r in rows}):
+        series = [r for r in rows if r["dataset"] == dataset]
+        series.sort(key=lambda r: r["iteration"])
+        show(series_line(
+            f"{dataset} active edges %",
+            [r["active_edge_pct"] for r in series],
+        ))
+        show(series_line(
+            f"{dataset} used edges %  ",
+            [r["used_edge_pct"] for r in series],
+        ))
+    uk_mid = [
+        r
+        for r in rows
+        if r["dataset"] == "uk-sim" and 10 <= r["iteration"] <= 60
+    ]
+    assert uk_mid, "expected mid-run iterations for uk-sim"
+    # Most of the loaded active graph is useless for updating walks.
+    avg_active_e = sum(r["active_edge_pct"] for r in uk_mid) / len(uk_mid)
+    avg_used_e = sum(r["used_edge_pct"] for r in uk_mid) / len(uk_mid)
+    assert avg_active_e > 40.0
+    assert avg_used_e < 15.0
+    assert avg_used_e < avg_active_e / 4

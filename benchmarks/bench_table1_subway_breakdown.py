@@ -1,0 +1,32 @@
+"""Table I — time breakdown of random walks on GPU with the Subway baseline.
+
+Paper: UK = 11.2% computation / 40.4% transmission / 48.4% subgraph
+creation; FS = 2.0% / 43.7% / 54.3%.
+"""
+
+from repro.bench.harness import table1_subway_breakdown
+from repro.bench.reporting import render_table
+
+
+def bench_table1_subway_breakdown(run_once, show):
+    rows = run_once(table1_subway_breakdown)
+    show(
+        render_table(
+            "Table I: Subway time breakdown",
+            ["dataset", "computation %", "transmission %", "subgraph creation %"],
+            [
+                [
+                    r["dataset"],
+                    f"{r['computation_pct']:.1f}",
+                    f"{r['transmission_pct']:.1f}",
+                    f"{r['subgraph_pct']:.1f}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    for r in rows:
+        # Subgraph creation dominates, transmission second, compute smallest.
+        assert r["subgraph_pct"] > r["transmission_pct"] > r["computation_pct"]
+        assert r["subgraph_pct"] > 40.0
+        assert r["computation_pct"] < 20.0

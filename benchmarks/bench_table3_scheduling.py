@@ -1,0 +1,39 @@
+"""Table III — impact of scheduling on data transmission (m_g = 100).
+
+Paper: iterations 10670.8 -> 6673.8 (PS) / 10513.6 (SS) / 6103.8 (PS+SS);
+explicit copies 8365.6 -> 4222.2 / 4176.6 / 2380.4; graph-pool hit rate
+21.6% -> 36.7% / 60.3% / 61.0%.
+"""
+
+from repro.bench.harness import table3_scheduling
+from repro.bench.reporting import render_table
+
+
+def bench_table3_scheduling(run_once, show):
+    rows = run_once(table3_scheduling)
+    show(
+        render_table(
+            "Table III: scheduling impact on data transmission (m_g=100)",
+            ["variant", "iterations", "explicit copies", "hit rate %"],
+            [
+                [
+                    r["variant"],
+                    r["iterations"],
+                    r["explicit_copies"],
+                    f"{r['hit_rate_pct']:.1f}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    by = {r["variant"]: r for r in rows}
+    # Preemptive scheduling reduces iterations (it eliminates some).
+    assert by["ps"]["iterations"] < 0.75 * by["baseline"]["iterations"]
+    # Selective scheduling barely changes iterations but halves copies.
+    assert by["ss"]["iterations"] > 0.9 * by["baseline"]["iterations"]
+    assert by["ss"]["explicit_copies"] < 0.7 * by["baseline"]["explicit_copies"]
+    assert by["ss"]["hit_rate_pct"] > 25.0
+    # Combining both is the best on copies.
+    assert by["ps+ss"]["explicit_copies"] == min(
+        r["explicit_copies"] for r in rows
+    )

@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Each bench runs its experiment exactly once (``rounds=1``) — the harness
+functions are full experiment sweeps, not micro-benchmarks — and prints the
+paper-style table through ``capsys.disabled()`` so it is visible in the
+teed output without ``-s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a harness function once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a rendered table even under captured output."""
+
+    def printer(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return printer

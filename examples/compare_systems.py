@@ -1,0 +1,91 @@
+"""Run the same workload on every system in the repository.
+
+One workload — 2|V| PageRank walks on the out-of-GPU-memory uk-sim dataset
+— executed by LightTraffic and all five comparators (ThunderRW-, FlashMob-,
+Subway-, NextDoor-, UVM-style), printing a side-by-side table.  A miniature
+of the paper's whole evaluation section, using the same scaled platform as
+the benchmark suite so fixed costs and pool sizes are proportionate.
+
+Run:  python examples/compare_systems.py   (takes ~1 minute)
+"""
+
+from repro.algorithms import PageRank
+from repro.baselines import (
+    FlashMobEngine,
+    SubwayConfig,
+    SubwayEngine,
+    ThunderRWEngine,
+    UVMConfig,
+    UVMEngine,
+)
+from repro.bench.workloads import (
+    default_platform,
+    load_dataset,
+    standard_config,
+    standard_walks,
+)
+from repro.core.engine import LightTrafficEngine
+
+
+def main() -> None:
+    platform = default_platform()
+    graph = load_dataset("uk-sim")
+    walks = standard_walks(graph)
+    print(
+        f"graph: {graph} ({graph.csr_bytes / 1e6:.1f} MB CSR, scaled GPU "
+        f"memory {platform.gpu_memory_bytes / 1e6:.1f} MB)\n"
+        f"workload: {walks} PageRank walks of length 80\n"
+    )
+
+    def algo():
+        return PageRank(length=80, restart_prob=0.15)
+
+    runs = []
+    for link in ("pcie3", "pcie4"):
+        stats = LightTrafficEngine(
+            graph, algo(), standard_config(graph, platform, interconnect=link)
+        ).run(walks)
+        stats.system = f"lighttraffic-{link}"
+        runs.append(stats)
+    runs.append(ThunderRWEngine(graph, algo(), cpu=platform.cpu).run(walks))
+    runs.append(FlashMobEngine(graph, algo(), cpu=platform.cpu).run(walks))
+    runs.append(
+        SubwayEngine(
+            graph,
+            algo(),
+            SubwayConfig(
+                device=platform.device,
+                interconnect=platform.pcie3,
+                calibration=platform.calibration,
+                gpu_memory_bytes=platform.gpu_memory_bytes,
+            ),
+        ).run(walks)
+    )
+    # NextDoor needs the graph in GPU memory; uk-sim does not fit — exactly
+    # the situation the paper's out-of-memory design addresses.
+    print("nextdoor: skipped (graph exceeds GPU memory, as in the paper)\n")
+    runs.append(
+        UVMEngine(
+            graph,
+            algo(),
+            UVMConfig(
+                device=platform.device,
+                interconnect=platform.pcie3,
+                calibration=platform.calibration,
+                page_bytes=4096,
+                gpu_memory_bytes=platform.gpu_memory_bytes,
+            ),
+        ).run(walks)
+    )
+
+    best = min(r.total_time for r in runs)
+    print(f"{'system':20s} {'sim time':>12s} {'throughput':>14s} {'vs best':>9s}")
+    for r in sorted(runs, key=lambda r: r.total_time):
+        print(
+            f"{r.system:20s} {r.total_time * 1e3:9.3f} ms "
+            f"{r.throughput / 1e6:10.1f} M/s {r.total_time / best:8.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Explore the paper's design space: pools, scheduling, and copy modes.
+
+Sweeps the LightTraffic knobs on one out-of-memory workload and prints the
+simulated outcome of each configuration — a miniature version of the
+paper's §IV-C/§IV-D sensitivity studies that is handy when tuning the
+engine for a new graph.
+
+Run:  python examples/memory_tuning.py
+"""
+
+from repro import EngineConfig, PageRank, generators, run_walks
+from repro.core.config import COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO
+
+
+def run(graph, label, **options):
+    config = EngineConfig(
+        partition_bytes=16 * 1024,
+        batch_walks=128,
+        seed=3,
+        **options,
+    )
+    stats = run_walks(graph, PageRank(length=40), 2 * graph.num_vertices, config)
+    print(
+        f"{label:34s} time={stats.total_time * 1e3:8.3f} ms  "
+        f"thr={stats.throughput / 1e6:7.1f} Msteps/s  "
+        f"copies={stats.explicit_copies:5d}  hit={stats.graph_pool_hit_rate:5.1%}"
+    )
+    return stats
+
+
+def main() -> None:
+    graph = generators.rmat(scale=13, edge_factor=12, seed=2, name="tune")
+    print(f"graph: {graph} ({graph.csr_bytes / 1e6:.1f} MB CSR)\n")
+
+    print("-- graph pool size (m_g) --")
+    for m_g in (4, 8, 16, 32):
+        run(graph, f"m_g={m_g}", graph_pool_partitions=m_g)
+
+    print("\n-- scheduling optimizations (m_g=16) --")
+    for label, toggles in (
+        ("baseline (round robin + FIFO)", dict(preemptive=False, selective=False)),
+        ("preemptive only", dict(preemptive=True, selective=False)),
+        ("selective only", dict(preemptive=False, selective=True)),
+        ("preemptive + selective", dict(preemptive=True, selective=True)),
+    ):
+        run(graph, label, graph_pool_partitions=16, **toggles)
+
+    print("\n-- copy modes (m_g=16) --")
+    for label, mode in (
+        ("all explicit copy", COPY_EXPLICIT),
+        ("all zero copy", COPY_ZERO),
+        ("adaptive (LightTraffic)", COPY_ADAPTIVE),
+    ):
+        run(graph, label, graph_pool_partitions=16, copy_mode=mode)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""PageRank ranking of a synthetic web graph, Monte-Carlo vs power iteration.
+
+The paper's PageRank workload estimates ranks from random walk visit
+frequencies (random walk with restart).  This example checks the estimate
+against the deterministic power-iteration reference — the estimated top
+pages should essentially coincide.
+
+Run:  python examples/pagerank_ranking.py
+"""
+
+import numpy as np
+
+from repro import EngineConfig, PageRank, generators, run_walks
+from repro.algorithms.pagerank import power_iteration_pagerank
+
+
+def main() -> None:
+    # A skewed "web graph": preferential attachment creates hub pages.
+    graph = generators.barabasi_albert(2000, attach=4, seed=3, name="web")
+    print(f"graph: {graph}, d_max={graph.max_degree}")
+
+    algorithm = PageRank(length=60, restart_prob=0.15)
+    config = EngineConfig(
+        partition_bytes=16 * 1024,
+        batch_walks=128,
+        graph_pool_partitions=4,
+        seed=7,
+    )
+    stats = run_walks(graph, algorithm, 4 * graph.num_vertices, config)
+    print(stats.summary())
+
+    estimated = algorithm.pagerank_scores()
+    reference = power_iteration_pagerank(graph, damping=0.85)
+
+    tv_distance = 0.5 * np.abs(estimated - reference).sum()
+    print(f"total-variation distance vs power iteration: {tv_distance:.4f}")
+
+    top_est = np.argsort(estimated)[-10:][::-1]
+    top_ref = np.argsort(reference)[-10:][::-1]
+    print(f"top-10 overlap: {len(set(top_est) & set(top_ref))}/10")
+    print(f"{'rank':>4} {'walk estimate':>16} {'power iteration':>16}")
+    for rank, (a, b) in enumerate(zip(top_est, top_ref), start=1):
+        print(f"{rank:>4} v{a:<6} {estimated[a]:.5f}  v{b:<6} {reference[b]:.5f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` under
+PEP 517; offline machines lacking ``wheel`` can fall back to the legacy
+editable path (``pip install -e . --no-build-isolation --no-use-pep517``),
+which this file enables.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — a reproduction of LightTraffic (ICDE 2023).
+
+LightTraffic runs massive random walks on a GPU whose memory cannot hold
+the graph or the walk index, by caching fixed-size graph partitions and
+walk batches in reserved GPU memory pools and aggressively optimizing the
+CPU-GPU transfer schedule (pipelining, preemptive / selective / adaptive
+scheduling, two-level walk reshuffling).
+
+This package implements the full system on a *simulated* GPU + PCIe
+substrate (see ``DESIGN.md``): walk semantics are exact, hardware timing is
+an analytic discrete-event model.
+
+Quickstart::
+
+    from repro import generators, PageRank, EngineConfig, run_walks
+
+    graph = generators.rmat(scale=12, edge_factor=8, seed=1, name="demo")
+    stats = run_walks(
+        graph,
+        PageRank(length=80),
+        num_walks=2 * graph.num_vertices,
+        config=EngineConfig(partition_bytes=64 * 1024, batch_walks=1024,
+                            graph_pool_partitions=8, seed=7),
+    )
+    print(stats.summary())
+"""
+
+from repro.graph import (
+    CSRGraph,
+    PartitionedGraph,
+    from_adjacency,
+    from_edges,
+    partition_by_range,
+)
+from repro.graph import generators
+from repro.algorithms import (
+    Node2Vec,
+    PageRank,
+    PersonalizedPageRank,
+    UniformSampling,
+)
+from repro.core import EngineConfig, LightTrafficEngine, RunStats, run_walks
+from repro.gpu import A100, RTX3090, DeviceSpec, PCIE3, PCIE4
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "PartitionedGraph",
+    "from_edges",
+    "from_adjacency",
+    "partition_by_range",
+    "generators",
+    "UniformSampling",
+    "PageRank",
+    "PersonalizedPageRank",
+    "Node2Vec",
+    "EngineConfig",
+    "LightTrafficEngine",
+    "RunStats",
+    "run_walks",
+    "DeviceSpec",
+    "RTX3090",
+    "A100",
+    "PCIE3",
+    "PCIE4",
+    "__version__",
+]

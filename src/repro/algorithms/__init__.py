@@ -1,0 +1,47 @@
+"""Random walk algorithms (paper §IV-A).
+
+Three algorithms drive the paper's evaluation and are implemented here with
+identical semantics:
+
+* **Uniform sampling** — walks start uniformly at all vertices and take
+  exactly ``l`` uniform-neighbor steps; the walk index additionally carries
+  ``walk_id`` so sampled paths can be attributed.
+* **PageRank** — random walk with restart: at each step the walk jumps to a
+  uniformly random vertex with probability ``p`` (default 0.15), otherwise
+  moves to a uniform neighbor; fixed length ``l``; per-vertex visit
+  frequencies are the PageRank estimate.
+* **PPR** — personalized PageRank: all walks start at one source vertex and
+  terminate with probability ``p`` at each step (geometric length); visit
+  frequencies estimate the PPR vector.
+
+:class:`~repro.algorithms.node2vec.Node2Vec` is an extension beyond the
+paper (second-order walks via rejection sampling); weighted-graph neighbor
+selection via alias tables / rejection sampling lives in
+:mod:`repro.algorithms.sampling`.
+"""
+
+from repro.algorithms.base import (
+    BatchRunResult,
+    RandomWalkAlgorithm,
+    uniform_neighbors,
+)
+from repro.algorithms.uniform import UniformSampling
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.ppr import PersonalizedPageRank
+from repro.algorithms.node2vec import Node2Vec
+from repro.algorithms.metapath import MetapathWalk, random_vertex_types
+from repro.algorithms.sampling import AliasTable, rejection_sample
+
+__all__ = [
+    "RandomWalkAlgorithm",
+    "BatchRunResult",
+    "uniform_neighbors",
+    "UniformSampling",
+    "PageRank",
+    "PersonalizedPageRank",
+    "Node2Vec",
+    "MetapathWalk",
+    "random_vertex_types",
+    "AliasTable",
+    "rejection_sample",
+]

@@ -1,0 +1,176 @@
+"""Algorithm protocol and the shared in-partition kernel loop.
+
+The engine is *walk-centric* (§IV-B): a batch of walks is assigned to the
+kernel together with its graph partition, and each walk keeps stepping until
+it either terminates or leaves the partition (at which point it must wait
+for another partition, Figure 1).  That multi-step-per-kernel behaviour is
+implemented once in :meth:`RandomWalkAlgorithm.advance_in_partition`;
+concrete algorithms only define a vectorized ``step_once``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import GraphPartition
+from repro.walks.state import WalkArrays
+
+
+@dataclass(frozen=True)
+class BatchRunResult:
+    """Outcome of running one batch against one partition.
+
+    Attributes
+    ----------
+    total_steps:
+        walk steps executed by this kernel invocation.
+    longest_run:
+        max steps any single walk took (the kernel's serial critical path).
+    active:
+        boolean mask over the batch: walks still alive (not terminated).
+        Alive walks have necessarily left the partition.
+    """
+
+    total_steps: int
+    longest_run: int
+    active: np.ndarray
+
+
+def uniform_neighbors(
+    partition: GraphPartition,
+    vertices: np.ndarray,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Pick one uniform neighbor for each vertex (vectorized).
+
+    Returns ``(next_vertices, dead_end)`` where ``dead_end[i]`` marks
+    vertices with no out-edges (their ``next_vertices`` entry is the vertex
+    itself).  All ``vertices`` must lie inside ``partition``.
+    """
+    local = vertices - partition.start
+    starts = partition.offsets[local]
+    degrees = partition.offsets[local + 1] - starts
+    dead_end = degrees == 0
+    # rng.random() < 1.0 strictly, so floor(r * deg) <= deg - 1; the minimum
+    # clamp only guards the deg == 0 placeholder.
+    pick = (rng.random(vertices.size) * degrees).astype(np.int64)
+    safe = np.where(dead_end, 0, starts + np.minimum(pick, degrees - 1))
+    next_vertices = partition.targets[safe]
+    return np.where(dead_end, vertices, next_vertices), dead_end
+
+
+class RandomWalkAlgorithm(abc.ABC):
+    """Base class for random walk applications.
+
+    Subclasses implement :meth:`step_once` (one vectorized step for a set of
+    walks all located in one partition) and may override :meth:`observe` to
+    maintain application state (visit frequencies, sampled paths).
+    """
+
+    #: human-readable algorithm name (used in reports).
+    name: str = "walk"
+    #: whether the walk index carries a walk_id (affects ``S_w``, §IV-A).
+    carries_walk_id: bool = False
+    #: whether every walk has the same, known length (FlashMob supports only
+    #: fixed-length walks, §IV-B).
+    fixed_length: bool = True
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_walk(self) -> int:
+        """The paper's ``S_w``: 8 B state, +8 B when walk_id is carried."""
+        return 16 if self.carries_walk_id else 8
+
+    @abc.abstractmethod
+    def start_vertices(
+        self, graph: CSRGraph, num_walks: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Initial vertex of each walk."""
+
+    @abc.abstractmethod
+    def step_once(
+        self,
+        vertices: np.ndarray,
+        steps: np.ndarray,
+        ids: np.ndarray,
+        partition: GraphPartition,
+        rng: np.random.Generator,
+        graph: Optional[CSRGraph],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance the given walks one step.
+
+        ``steps`` holds pre-increment counts.  Returns ``(new_vertices,
+        terminated)``; the caller increments ``walked_steps`` and handles
+        partition crossings.
+        """
+
+    def on_start(self, walks: WalkArrays, graph: CSRGraph) -> None:
+        """Hook called once with the freshly initialized walks."""
+
+    def observe(
+        self,
+        vertices: np.ndarray,
+        ids: np.ndarray,
+        terminated: np.ndarray,
+    ) -> None:
+        """Hook called after each vectorized step with the new positions."""
+
+    def expected_total_steps(self, num_walks: int) -> Optional[float]:
+        """Analytic expected step count, when known (used by CPU models)."""
+        return None
+
+    # ------------------------------------------------------------------
+    def advance_in_partition(
+        self,
+        partition: GraphPartition,
+        walks: WalkArrays,
+        rng: np.random.Generator,
+        graph: Optional[CSRGraph] = None,
+    ) -> BatchRunResult:
+        """Run every walk of a batch until it terminates or exits ``partition``.
+
+        Mutates ``walks`` in place (vertices and steps).  This is the
+        semantic core of the walk-updating kernel (Algorithm 1, line 4).
+        """
+        n = len(walks)
+        if n == 0:
+            return BatchRunResult(0, 0, np.zeros(0, dtype=bool))
+        alive = np.ones(n, dtype=bool)
+        # Walks still stepping (alive AND inside the partition).
+        idx = np.arange(n, dtype=np.int64)
+        total_steps = 0
+        rounds = 0
+        set_context = getattr(rng, "set_context", None)
+        while idx.size:
+            ids = walks.ids[idx]
+            if set_context is not None:
+                set_context(ids, walks.steps[idx])
+            new_v, terminated = self.step_once(
+                walks.vertices[idx],
+                walks.steps[idx],
+                ids,
+                partition,
+                rng,
+                graph,
+            )
+            walks.vertices[idx] = new_v
+            walks.steps[idx] += 1
+            total_steps += int(idx.size)
+            rounds += 1
+            self.observe(new_v, ids, terminated)
+            if terminated.any():
+                alive[idx[terminated]] = False
+            keep = (
+                ~terminated
+                & (new_v >= partition.start)
+                & (new_v < partition.stop)
+            )
+            idx = idx[keep]
+        # Every walk surviving round k has taken exactly k steps, so the
+        # longest serial chain equals the number of rounds.
+        return BatchRunResult(total_steps, rounds, alive)

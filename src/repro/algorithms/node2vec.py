@@ -1,0 +1,128 @@
+"""Second-order node2vec walks via rejection sampling (extension).
+
+This goes beyond the paper's three evaluated algorithms (the paper cites
+second-order walks as related work, §V).  Node2vec biases the next-hop
+distribution by the *previous* vertex: a candidate at distance 0 from the
+previous vertex is weighted ``1/p``, distance 1 weighted ``1``, otherwise
+``1/q``.  We use the standard rejection-sampling formulation: propose a
+uniform neighbor, accept with the candidate's weight over ``max(1, 1/p,
+1/q)``.
+
+Out-of-memory caveat (documented deviation): the distance test needs the
+*previous* vertex's adjacency, which may live in a different partition.
+True out-of-memory second-order walks need the I/O machinery of GraSorw;
+here the check reads the full host-resident graph (in this reproduction the
+host always holds the whole CSR anyway), and the walk index carries the
+previous vertex in a host-side side table keyed by ``walk_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RandomWalkAlgorithm, uniform_neighbors
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import GraphPartition
+
+
+class Node2Vec(RandomWalkAlgorithm):
+    """Fixed-length second-order walks with (p, q) bias."""
+
+    name = "node2vec"
+    carries_walk_id = True
+
+    def __init__(
+        self,
+        length: int = 80,
+        return_param: float = 1.0,
+        inout_param: float = 1.0,
+        max_reject_rounds: int = 32,
+    ) -> None:
+        if length < 1:
+            raise ValueError("walk length must be >= 1")
+        if return_param <= 0 or inout_param <= 0:
+            raise ValueError("p and q must be positive")
+        self.length = length
+        self.return_param = return_param
+        self.inout_param = inout_param
+        self.max_reject_rounds = max_reject_rounds
+        self._prev: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_walk(self) -> int:
+        # vertex + steps + walk_id + prev_vertex
+        return 24
+
+    def start_vertices(
+        self, graph: CSRGraph, num_walks: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        starts = np.arange(num_walks, dtype=np.int64) % graph.num_vertices
+        self._prev = np.full(num_walks, -1, dtype=np.int64)
+        return starts
+
+    # ------------------------------------------------------------------
+    def _acceptance(
+        self,
+        graph: CSRGraph,
+        prev: np.ndarray,
+        candidates: np.ndarray,
+    ) -> np.ndarray:
+        """Acceptance probability of each candidate given previous vertices."""
+        w_return = 1.0 / self.return_param
+        w_inout = 1.0 / self.inout_param
+        ceiling = max(1.0, w_return, w_inout)
+        probs = np.empty(candidates.size, dtype=np.float64)
+        for i in range(candidates.size):
+            pv = int(prev[i])
+            cand = int(candidates[i])
+            if pv < 0:
+                probs[i] = 1.0  # first step is unbiased
+            elif cand == pv:
+                probs[i] = w_return / ceiling
+            elif graph.has_edge(pv, cand):
+                probs[i] = 1.0 / ceiling
+            else:
+                probs[i] = w_inout / ceiling
+        return probs
+
+    def step_once(
+        self,
+        vertices: np.ndarray,
+        steps: np.ndarray,
+        ids: np.ndarray,
+        partition: GraphPartition,
+        rng: np.random.Generator,
+        graph: Optional[CSRGraph],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if graph is None:
+            raise RuntimeError(
+                "Node2Vec requires host-graph access for second-order checks"
+            )
+        if self._prev is None:
+            raise RuntimeError("start_vertices must be called first")
+        prev = self._prev[ids]
+        new_v, dead_end = uniform_neighbors(partition, vertices, rng)
+        pending = ~dead_end
+        rounds = 0
+        while pending.any() and rounds < self.max_reject_rounds:
+            idx = np.nonzero(pending)[0]
+            probs = self._acceptance(graph, prev[idx], new_v[idx])
+            accepted = rng.random(idx.size) < probs
+            pending[idx[accepted]] = False
+            if pending.any():
+                re_idx = np.nonzero(pending)[0]
+                resampled, re_dead = uniform_neighbors(
+                    partition, vertices[re_idx], rng
+                )
+                new_v[re_idx] = resampled
+                pending[re_idx[re_dead]] = False
+            rounds += 1
+        self._prev[ids] = vertices
+        terminated = dead_end | (steps + 1 >= self.length)
+        return new_v, terminated
+
+    def expected_total_steps(self, num_walks: int) -> float:
+        return float(num_walks) * self.length

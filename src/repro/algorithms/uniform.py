@@ -1,0 +1,158 @@
+"""Uniform sampling: fixed-length uniform-neighbor walks (§IV-A).
+
+Walks start uniformly at all vertices (walk ``k`` starts at vertex
+``k mod |V|``, matching "2|V| walks started uniformly at all vertices") and
+take exactly ``length`` steps.  The walk index carries ``walk_id`` so that
+sampled paths can be shipped to a consumer; optional in-process path
+recording is provided for small runs (examples/tests) — the paper assumes
+paths are transferred to other GPUs and does not store them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import RandomWalkAlgorithm, uniform_neighbors
+from repro.algorithms.sampling import PartitionAliasSampler
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import GraphPartition
+from repro.walks.state import WalkArrays
+
+
+class UniformSampling(RandomWalkAlgorithm):
+    """Fixed-length uniform random walks (DeepWalk-style sampling)."""
+
+    name = "uniform"
+    carries_walk_id = True
+
+    #: weighted-sampling strategies (§II-A mentions both).
+    SAMPLER_ALIAS = "alias"
+    SAMPLER_REJECTION = "rejection"
+
+    def __init__(
+        self,
+        length: int = 80,
+        record_paths: bool = False,
+        weighted: bool = False,
+        sampler: str = SAMPLER_ALIAS,
+        max_reject_rounds: int = 64,
+    ) -> None:
+        if length < 1:
+            raise ValueError("walk length must be >= 1")
+        if sampler not in (self.SAMPLER_ALIAS, self.SAMPLER_REJECTION):
+            raise ValueError(f"unknown sampler {sampler!r}")
+        self.length = length
+        self.record_paths = record_paths
+        self.weighted = weighted
+        self.sampler = sampler
+        self.max_reject_rounds = max_reject_rounds
+        self.paths: Optional[np.ndarray] = None
+        self._alias_cache = {}
+        self._max_weight_cache = {}
+
+    # ------------------------------------------------------------------
+    def start_vertices(
+        self, graph: CSRGraph, num_walks: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        starts = np.arange(num_walks, dtype=np.int64) % graph.num_vertices
+        if self.record_paths:
+            self.paths = np.full(
+                (num_walks, self.length + 1), -1, dtype=np.int64
+            )
+        return starts
+
+    def on_start(self, walks: WalkArrays, graph: CSRGraph) -> None:
+        if self.paths is not None:
+            self.paths[walks.ids, 0] = walks.vertices
+
+    def step_once(
+        self,
+        vertices: np.ndarray,
+        steps: np.ndarray,
+        ids: np.ndarray,
+        partition: GraphPartition,
+        rng: np.random.Generator,
+        graph: Optional[CSRGraph],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.weighted and partition.weights is not None:
+            new_v, dead_end = self._weighted_neighbors(partition, vertices, rng)
+        else:
+            new_v, dead_end = uniform_neighbors(partition, vertices, rng)
+        terminated = dead_end | (steps + 1 >= self.length)
+        if self.paths is not None:
+            self.paths[ids, steps + 1] = new_v
+        return new_v, terminated
+
+    def _weighted_neighbors(
+        self,
+        partition: GraphPartition,
+        vertices: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if self.sampler == self.SAMPLER_REJECTION:
+            return self._rejection_neighbors(partition, vertices, rng)
+        sampler = self._alias_cache.get(partition.index)
+        if sampler is None:
+            sampler = PartitionAliasSampler(partition.offsets, partition.weights)
+            self._alias_cache[partition.index] = sampler
+        local = vertices - partition.start
+        edge_idx = sampler.sample_local(local, rng)
+        dead_end = edge_idx < 0
+        safe = np.where(dead_end, 0, edge_idx)
+        new_v = partition.targets[safe]
+        return np.where(dead_end, vertices, new_v), dead_end
+
+    def _rejection_neighbors(
+        self,
+        partition: GraphPartition,
+        vertices: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Weighted pick via rejection: propose uniform, accept w/w_max.
+
+        No per-vertex preprocessing (unlike alias tables), at the cost of a
+        few proposal rounds — the time/space trade-off §II-A alludes to.
+        """
+        max_w = self._max_weight_cache.get(partition.index)
+        if max_w is None:
+            # Per-vertex maximum edge weight (vectorized segment max).
+            max_w = np.zeros(partition.num_vertices, dtype=np.float64)
+            np.maximum.at(
+                max_w,
+                np.repeat(
+                    np.arange(partition.num_vertices),
+                    np.diff(partition.offsets),
+                ),
+                partition.weights,
+            )
+            self._max_weight_cache[partition.index] = max_w
+        local = vertices - partition.start
+        starts = partition.offsets[local]
+        degrees = partition.offsets[local + 1] - starts
+        dead_end = degrees == 0
+        result = np.where(dead_end, vertices, vertices)
+        pending = ~dead_end
+        ceiling = max_w[local]
+        for __ in range(self.max_reject_rounds):
+            if not pending.any():
+                break
+            idx = np.nonzero(pending)[0]
+            pick = (rng.random(idx.size) * degrees[idx]).astype(np.int64)
+            edge = starts[idx] + np.minimum(pick, degrees[idx] - 1)
+            accept = (
+                rng.random(idx.size) * ceiling[idx]
+                < partition.weights[edge]
+            )
+            result[idx[accept]] = partition.targets[edge[accept]]
+            pending[idx[accept]] = False
+        if pending.any():  # accept the last proposal after the round cap
+            idx = np.nonzero(pending)[0]
+            pick = (rng.random(idx.size) * degrees[idx]).astype(np.int64)
+            edge = starts[idx] + np.minimum(pick, degrees[idx] - 1)
+            result[idx] = partition.targets[edge]
+        return result, dead_end
+
+    def expected_total_steps(self, num_walks: int) -> float:
+        return float(num_walks) * self.length

@@ -1,0 +1,43 @@
+"""Comparator systems re-implemented for the paper's evaluation (§IV).
+
+* :mod:`repro.baselines.thunderrw` — ThunderRW-like in-memory CPU engine
+  (step-interleaved random access hiding DRAM latency).
+* :mod:`repro.baselines.flashmob` — FlashMob-like sort-based cache-efficient
+  CPU engine (fixed-length walks only, as in the paper).
+* :mod:`repro.baselines.subway` — Subway-like out-of-GPU-memory baseline
+  (dynamic active subgraph + vertex-centric kernel).
+* :mod:`repro.baselines.nextdoor` — NextDoor-like in-GPU-memory baseline.
+* :mod:`repro.baselines.multiround` — the multi-round alternative of §II-B
+  (split walks into GPU-memory-sized sets, run sequentially).
+* :mod:`repro.baselines.uvm` — unified-virtual-memory fault-driven
+  processing (the related-work approach LightTraffic's explicit transfers
+  outperform, §V).
+
+All baselines execute the *same* walk semantics as the LightTraffic engine
+(shared algorithm kernels) and report the same :class:`~repro.core.stats.RunStats`;
+their timing comes from analytic cost models documented per module.
+"""
+
+from repro.baselines.cpumodel import CPUSpec, CPUCostModel, XEON_GOLD_5218R
+from repro.baselines.thunderrw import ThunderRWEngine
+from repro.baselines.flashmob import FlashMobEngine
+from repro.baselines.subway import SubwayEngine, SubwayConfig, SubwayOutOfMemory
+from repro.baselines.nextdoor import NextDoorEngine, NextDoorConfig
+from repro.baselines.multiround import MultiRoundEngine
+from repro.baselines.uvm import UVMEngine, UVMConfig
+
+__all__ = [
+    "CPUSpec",
+    "CPUCostModel",
+    "XEON_GOLD_5218R",
+    "ThunderRWEngine",
+    "FlashMobEngine",
+    "SubwayEngine",
+    "SubwayConfig",
+    "SubwayOutOfMemory",
+    "NextDoorEngine",
+    "NextDoorConfig",
+    "MultiRoundEngine",
+    "UVMEngine",
+    "UVMConfig",
+]

@@ -1,0 +1,118 @@
+"""CPU memory-hierarchy cost model shared by the CPU baselines.
+
+The paper's CPU comparators differ in exactly one dimension that matters at
+scale: *how they pay for memory access*.
+
+* ThunderRW interleaves multiple walk steps per core so DRAM latency is
+  partially hidden, but each step still issues random accesses; on graphs
+  far larger than the LLC its throughput collapses to the random-access
+  bandwidth of the memory system.
+* FlashMob sorts walker groups so accesses become near-sequential; it pays a
+  per-step shuffle cost instead, and degrades only mildly (extra shuffle
+  passes) as the graph grows.
+
+Both effects are modeled with a last-level-cache miss curve plus a
+bandwidth ceiling.  LLC size must be scaled together with the datasets
+(see :class:`repro.gpu.calibration.Calibration.sim_scale`); the benchmark
+workloads pass the scaled spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """The modeled CPU platform (paper testbed: 2x Xeon Gold 5218R)."""
+
+    name: str
+    cores: int = 40
+    clock_hz: float = 2.1e9
+    llc_bytes: int = 55 * (1 << 20)
+    llc_latency_seconds: float = 20e-9
+    dram_latency_seconds: float = 95e-9
+    dram_bandwidth: float = 120e9
+
+    def scaled(self, sim_scale: float) -> "CPUSpec":
+        """LLC scaled to match scaled-down datasets (DESIGN.md §2)."""
+        if not 0 < sim_scale <= 1:
+            raise ValueError("sim_scale must be in (0, 1]")
+        return replace(
+            self, llc_bytes=max(4096, int(self.llc_bytes * sim_scale))
+        )
+
+
+#: The paper's CPU testbed.
+XEON_GOLD_5218R = CPUSpec(name="2x-xeon-gold-5218r")
+
+
+class CPUCostModel:
+    """Per-step cost curves for the two CPU processing models.
+
+    Both engines degrade as the graph outgrows the LLC, but differently:
+
+    * ThunderRW issues truly random accesses; beyond the latency that step
+      interleaving hides, every level of the memory system (LLC -> DRAM row
+      buffers -> TLB reach) loses efficiency as the working set grows, which
+      empirically looks like a superlinear-in-log2 per-step cost.  It is the
+      fastest system on cache-friendly graphs and the slowest on huge ones
+      (the two ends of the paper's 1.4x-12.8x LightTraffic speedup range).
+    * FlashMob pays a per-step shuffle that grows with the number of sort
+      passes (log of the working-set : cache ratio) but keeps its accesses
+      sequential, so it degrades far more gently.
+    """
+
+    #: ThunderRW: fixed per-step work (RNG, offset arithmetic, state update).
+    TRW_WORK_SECONDS = 20e-9
+    #: ThunderRW: quadratic-in-log2 memory-system degradation coefficient.
+    TRW_DEGRADE_SECONDS = 6.0e-9
+
+    #: FlashMob: fixed per-step work.
+    FM_WORK_SECONDS = 20e-9
+    #: FlashMob: per-step shuffle/sort cost when the working set fits LLC.
+    FM_SHUFFLE_SECONDS = 20e-9
+    #: FlashMob: shuffle grows with extra passes as the graph outgrows LLC.
+    FM_SHUFFLE_GROWTH = 1.0
+    #: FlashMob: sequential bytes per step (sorted access).
+    FM_SEQ_BYTES = 24.0
+    #: FlashMob: fraction of DRAM bandwidth achieved sequentially.
+    FM_SEQ_EFFICIENCY = 0.6
+
+    def __init__(self, spec: CPUSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def miss_rate(self, graph_bytes: int) -> float:
+        """LLC miss probability of a uniform random access into the graph."""
+        if graph_bytes <= 0:
+            raise ValueError("graph_bytes must be positive")
+        if graph_bytes <= self.spec.llc_bytes:
+            return 0.02
+        return min(0.98, 1.0 - self.spec.llc_bytes / graph_bytes)
+
+    def _llc_ratio_bits(self, graph_bytes: int) -> float:
+        import math
+
+        return math.log2(max(1.0, graph_bytes / self.spec.llc_bytes))
+
+    # ------------------------------------------------------------------
+    def thunderrw_steps_per_second(self, graph_bytes: int) -> float:
+        """Machine-wide sustainable step rate of the interleaved engine."""
+        bits = self._llc_ratio_bits(graph_bytes)
+        per_step = self.TRW_WORK_SECONDS + self.TRW_DEGRADE_SECONDS * bits * bits
+        return self.spec.cores / per_step
+
+    # ------------------------------------------------------------------
+    def flashmob_steps_per_second(self, graph_bytes: int) -> float:
+        """Machine-wide sustainable step rate of the sort-based engine."""
+        spec = self.spec
+        shuffle = self.FM_SHUFFLE_SECONDS * (
+            1.0 + self.FM_SHUFFLE_GROWTH * self._llc_ratio_bits(graph_bytes)
+        )
+        per_step = self.FM_WORK_SECONDS + shuffle
+        compute_bound = spec.cores / per_step
+        bandwidth_bound = (
+            spec.dram_bandwidth * self.FM_SEQ_EFFICIENCY / self.FM_SEQ_BYTES
+        )
+        return min(compute_bound, bandwidth_bound)

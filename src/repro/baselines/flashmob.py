@@ -1,0 +1,31 @@
+"""FlashMob-like in-memory CPU random walk engine.
+
+FlashMob (Yang et al., SOSP 2021) makes random walk memory accesses
+*cache-efficient*: walkers are sorted/bucketed by their current vertex each
+step, so graph accesses become near-sequential and LLC-friendly, at the
+price of a per-step shuffle.  Its throughput therefore degrades only mildly
+with graph size (extra shuffle passes), but it supports only fixed-length
+walks — the paper notes PPR results are unavailable for FlashMob (§IV-B),
+and this implementation enforces the same restriction.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import RandomWalkAlgorithm
+from repro.baselines.inmemory_cpu import InMemoryCPUEngine
+
+
+class FlashMobEngine(InMemoryCPUEngine):
+    """Sort-based cache-efficient engine (fixed-length walks only)."""
+
+    system = "flashmob"
+
+    def _check_supported(self, algorithm: RandomWalkAlgorithm) -> None:
+        if not algorithm.fixed_length:
+            raise ValueError(
+                "FlashMob supports only fixed-length random walks "
+                f"({algorithm.name} has variable length)"
+            )
+
+    def steps_per_second(self) -> float:
+        return self.model.flashmob_steps_per_second(self.graph.csr_bytes)

@@ -1,0 +1,97 @@
+"""Shared machinery for the in-memory CPU baselines.
+
+Both CPU engines operate on the full CSR graph in DRAM, so their walk
+semantics are a single whole-graph kernel invocation (walks never "leave"
+the partition).  Timing comes from the per-system step-rate curves in
+:mod:`repro.baselines.cpumodel`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import RandomWalkAlgorithm
+from repro.baselines.cpumodel import CPUCostModel, CPUSpec, XEON_GOLD_5218R
+from repro.core.stats import CAT_CPU_COMPUTE, RunStats
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import GraphPartition
+from repro.walks.state import WalkArrays
+
+
+def whole_graph_partition(graph: CSRGraph) -> GraphPartition:
+    """A single pseudo-partition spanning the entire graph."""
+    return GraphPartition(
+        index=0,
+        start=0,
+        stop=graph.num_vertices,
+        offsets=graph.offsets,
+        targets=graph.targets,
+        weights=graph.weights,
+    )
+
+
+def execute_in_memory(
+    graph: CSRGraph,
+    algorithm: RandomWalkAlgorithm,
+    num_walks: int,
+    rng: np.random.Generator,
+) -> int:
+    """Run all walks to completion against the full graph; returns steps."""
+    starts = algorithm.start_vertices(graph, num_walks, rng)
+    walks = WalkArrays.fresh(starts)
+    algorithm.on_start(walks, graph)
+    partition = whole_graph_partition(graph)
+    result = algorithm.advance_in_partition(partition, walks, rng, graph)
+    if result.active.any():
+        raise RuntimeError("in-memory execution left unfinished walks")
+    return result.total_steps
+
+
+class InMemoryCPUEngine:
+    """Base class: full-graph semantics + a per-system step-rate model."""
+
+    system = "cpu"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        algorithm: RandomWalkAlgorithm,
+        cpu: CPUSpec = XEON_GOLD_5218R,
+        seed: Optional[int] = 42,
+    ) -> None:
+        self.graph = graph
+        self.algorithm = algorithm
+        self.cpu = cpu
+        self.model = CPUCostModel(cpu)
+        self.seed = seed
+        self._check_supported(algorithm)
+
+    # ------------------------------------------------------------------
+    def _check_supported(self, algorithm: RandomWalkAlgorithm) -> None:
+        """Subclasses may reject algorithm classes (FlashMob: fixed only)."""
+
+    def steps_per_second(self) -> float:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run(self, num_walks: int) -> RunStats:
+        if num_walks < 1:
+            raise ValueError("num_walks must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        total_steps = execute_in_memory(
+            self.graph, self.algorithm, num_walks, rng
+        )
+        rate = self.steps_per_second()
+        total_time = total_steps / rate
+        return RunStats(
+            system=self.system,
+            algorithm=self.algorithm.name,
+            graph=self.graph.name or "graph",
+            num_walks=num_walks,
+            total_steps=total_steps,
+            iterations=1,
+            total_time=total_time,
+            breakdown={CAT_CPU_COMPUTE: total_time},
+        )

@@ -1,0 +1,87 @@
+"""Multi-round baseline: split walks into GPU-memory-sized sets (§II-B, Fig 16).
+
+The intuitive alternative to an out-of-memory walk index: divide all walks
+into ``rounds`` sets, each small enough to keep entirely in GPU memory, and
+run the sets sequentially with the partition-based engine.  Every round
+re-streams the graph partitions, so total graph traffic grows roughly
+linearly with the number of rounds — the effect Fig 16 measures (up to
+~3.5x slowdown at 25 cached partitions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.algorithms.base import RandomWalkAlgorithm
+from repro.core.config import EngineConfig
+from repro.core.engine import LightTrafficEngine
+from repro.core.stats import RunStats
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import PartitionedGraph
+
+
+class MultiRoundEngine:
+    """Sequential rounds of the partition-based engine, one walk set each."""
+
+    system = "multiround"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        algorithm_factory: Callable[[], RandomWalkAlgorithm],
+        config: EngineConfig = EngineConfig(),
+        rounds: int = 2,
+        partitioned: PartitionedGraph = None,
+    ) -> None:
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.graph = graph
+        self.algorithm_factory = algorithm_factory
+        self.rounds = rounds
+        # Within a round all walks fit in GPU memory: no walk-pool cap.
+        self.config = config.with_options(walk_pool_walks=None)
+        self.partitioned = partitioned
+
+    # ------------------------------------------------------------------
+    def run(self, num_walks: int) -> RunStats:
+        if num_walks < self.rounds:
+            raise ValueError("need at least one walk per round")
+        per_round = math.ceil(num_walks / self.rounds)
+        aggregate = None
+        remaining = num_walks
+        sample_algorithm = self.algorithm_factory()
+        for round_index in range(self.rounds):
+            walks_this_round = min(per_round, remaining)
+            remaining -= walks_this_round
+            algorithm = self.algorithm_factory()
+            engine = LightTrafficEngine(
+                self.graph,
+                algorithm,
+                self.config.with_options(
+                    seed=(self.config.seed or 0) + round_index
+                ),
+                partitioned=self.partitioned,
+            )
+            stats = engine.run(walks_this_round)
+            if aggregate is None:
+                aggregate = stats
+            else:
+                aggregate.total_steps += stats.total_steps
+                aggregate.iterations += stats.iterations
+                aggregate.explicit_copies += stats.explicit_copies
+                aggregate.zero_copy_iterations += stats.zero_copy_iterations
+                aggregate.graph_pool_hits += stats.graph_pool_hits
+                aggregate.graph_pool_misses += stats.graph_pool_misses
+                aggregate.walk_batches_loaded += stats.walk_batches_loaded
+                aggregate.walk_batches_evicted += stats.walk_batches_evicted
+                aggregate.total_time += stats.total_time
+                for key, value in stats.breakdown.items():
+                    aggregate.breakdown[key] = (
+                        aggregate.breakdown.get(key, 0.0) + value
+                    )
+        aggregate.system = self.system
+        aggregate.algorithm = sample_algorithm.name
+        aggregate.num_walks = num_walks
+        aggregate.notes = f"rounds={self.rounds}"
+        return aggregate

@@ -1,0 +1,23 @@
+"""ThunderRW-like in-memory CPU random walk engine.
+
+ThunderRW (Sun et al., VLDB 2021) hides the latency of irregular memory
+accesses with a *step-centric* model: each core keeps a ring of in-flight
+walks and interleaves their steps, overlapping the memory stalls of one
+walk with the compute of another.  That makes it fast when the graph is
+cache-resident and latency-hiding suffices, but on graphs far larger than
+the LLC its random accesses become bandwidth-bound — the regime where the
+paper reports LightTraffic's largest speedups (up to 12.8x, §IV-B).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.inmemory_cpu import InMemoryCPUEngine
+
+
+class ThunderRWEngine(InMemoryCPUEngine):
+    """Step-interleaved in-memory engine (supports all walk types)."""
+
+    system = "thunderrw"
+
+    def steps_per_second(self) -> float:
+        return self.model.thunderrw_steps_per_second(self.graph.csr_bytes)

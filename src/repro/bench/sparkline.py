@@ -1,0 +1,64 @@
+"""Unicode sparklines for benchmark series.
+
+The figure-style benches print per-iteration or per-density series; a
+sparkline under the table makes the curve's shape visible in plain
+terminal output (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a sequence as a one-line block-character sparkline.
+
+    ``width`` downsamples long series by bucket-averaging.  Non-finite
+    values render as spaces.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        return ""
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        if len(data) > width:
+            bucket = len(data) / width
+            data = [
+                _mean(data[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+                for i in range(width)
+            ]
+    finite = [v for v in data if math.isfinite(v)]
+    if not finite:
+        return " " * len(data)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for v in data:
+        if not math.isfinite(v):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_BLOCKS[3])
+        else:
+            idx = int((v - low) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def _mean(chunk: Sequence[float]) -> float:
+    finite = [v for v in chunk if math.isfinite(v)]
+    return sum(finite) / len(finite) if finite else float("nan")
+
+
+def series_line(label: str, values: Sequence[float], width: int = 48) -> str:
+    """``label  ▁▃▆█...  [min .. max]`` for bench output."""
+    finite = [float(v) for v in values if math.isfinite(float(v))]
+    if not finite:
+        return f"{label}: (empty)"
+    return (
+        f"{label}: {sparkline(values, width=width)}  "
+        f"[{min(finite):.3g} .. {max(finite):.3g}]"
+    )

@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print the synthetic dataset registry next to the paper's Table II.
+``run``
+    Run one algorithm on one dataset (or a graph file) with the
+    LightTraffic engine or any baseline, printing the run statistics.
+``experiment``
+    Regenerate one paper table/figure by name (``fig3`` ... ``fig18``,
+    ``table1``/``table2``/``table3``) and print its rows.
+``generate``
+    Generate a synthetic graph and save it (edge list or ``.npz`` CSR).
+
+Examples
+--------
+::
+
+    python -m repro datasets
+    python -m repro run --dataset uk-sim --algorithm pagerank --system lighttraffic
+    python -m repro run --graph mygraph.npz --algorithm ppr --walks 100000
+    python -m repro experiment table3
+    python -m repro generate --kind rmat --scale 14 --edge-factor 8 --out g.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import harness, reporting
+from repro.bench.workloads import (
+    DATASETS,
+    default_platform,
+    load_dataset,
+    standard_config,
+    standard_walks,
+)
+from repro.core.engine import LightTrafficEngine
+from repro.core.stats import RunStats
+
+SYSTEMS = ("lighttraffic", "thunderrw", "flashmob", "subway", "nextdoor")
+
+EXPERIMENTS = {
+    "table1": (harness.table1_subway_breakdown, ()),
+    "table2": (harness.table2_dataset_stats, ()),
+    "table3": (harness.table3_scheduling, ()),
+    "fig3": (harness.fig3_active_ratio, ()),
+    "fig9": (harness.fig9_cpu_comparison, ()),
+    "fig10": (harness.fig10_subway_comparison, ()),
+    "fig11": (harness.fig11_nextdoor, ()),
+    "fig12": (harness.fig12_reshuffle, ()),
+    "fig13": (harness.fig13_pipeline, ()),
+    "fig14": (harness.fig14_adaptive, ()),
+    "fig15": (harness.fig15_memory_size, ()),
+    "fig16": (harness.fig16_multiround, ()),
+    "fig17": (harness.fig17_partition_size, ()),
+    "fig18": (harness.fig18_scalability, ()),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LightTraffic (ICDE 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the synthetic dataset registry")
+
+    run = sub.add_parser("run", help="run one workload")
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=sorted(DATASETS))
+    source.add_argument("--graph", help="path to a .npz CSR or edge-list file")
+    run.add_argument(
+        "--algorithm",
+        choices=("uniform", "pagerank", "ppr"),
+        default="pagerank",
+    )
+    run.add_argument("--system", choices=SYSTEMS, default="lighttraffic")
+    run.add_argument("--walks", type=int, default=None,
+                     help="walk count (default: 2|V|)")
+    run.add_argument("--interconnect", choices=("pcie3", "pcie4", "nvlink2"),
+                     default="pcie3")
+    run.add_argument("--seed", type=int, default=42)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    report = sub.add_parser(
+        "report", help="regenerate all experiments into one markdown file"
+    )
+    report.add_argument("--out", required=True)
+    report.add_argument(
+        "--only", default=None,
+        help="comma-separated experiment names (default: all)",
+    )
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph")
+    gen.add_argument("--kind", choices=("rmat", "erdos", "ba"), default="rmat")
+    gen.add_argument("--scale", type=int, default=12,
+                     help="rmat: log2 vertex count")
+    gen.add_argument("--edge-factor", type=float, default=8.0)
+    gen.add_argument("--vertices", type=int, default=4096,
+                     help="erdos/ba vertex count")
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--out", required=True,
+                     help=".npz for binary CSR, anything else for edge list")
+    return parser
+
+
+def _load_graph(args) -> "CSRGraph":
+    from repro.graph.io import load_csr, load_edge_list
+
+    if args.dataset:
+        return load_dataset(args.dataset)
+    if args.graph.endswith(".npz"):
+        return load_csr(args.graph)
+    return load_edge_list(args.graph, preprocess=True, name=args.graph)
+
+
+def _run_system(args, graph) -> RunStats:
+    from repro.baselines import (
+        FlashMobEngine,
+        NextDoorConfig,
+        NextDoorEngine,
+        SubwayConfig,
+        SubwayEngine,
+        ThunderRWEngine,
+    )
+
+    platform = default_platform()
+    algorithm = harness.make_algorithm(args.algorithm)
+    walks = args.walks or standard_walks(graph)
+    if args.system == "lighttraffic":
+        config = standard_config(
+            graph, platform, interconnect=args.interconnect, seed=args.seed
+        )
+        return LightTrafficEngine(graph, algorithm, config).run(walks)
+    if args.system == "thunderrw":
+        return ThunderRWEngine(graph, algorithm, cpu=platform.cpu,
+                               seed=args.seed).run(walks)
+    if args.system == "flashmob":
+        return FlashMobEngine(graph, algorithm, cpu=platform.cpu,
+                              seed=args.seed).run(walks)
+    if args.system == "subway":
+        config = SubwayConfig(
+            device=platform.device,
+            interconnect=platform.interconnect(args.interconnect),
+            calibration=platform.calibration,
+            gpu_memory_bytes=platform.gpu_memory_bytes,
+            seed=args.seed,
+        )
+        return SubwayEngine(graph, algorithm, config).run(walks)
+    config = NextDoorConfig(
+        device=platform.device,
+        interconnect=platform.interconnect(args.interconnect),
+        calibration=platform.calibration,
+        seed=args.seed,
+    )
+    return NextDoorEngine(graph, algorithm, config).run(walks)
+
+
+def cmd_datasets() -> int:
+    rows = harness.table2_dataset_stats()
+    reporting.print_table(
+        "Datasets (synthetic twins of the paper's Table II)",
+        ["dataset", "paper", "|V|", "|E|", "CSR MB", "d_max", "scale"],
+        [
+            [
+                r["dataset"],
+                r["paper"],
+                r["V"],
+                r["E"],
+                f"{r['csr_mb']:.2f}",
+                r["d_max"],
+                f"{r['scale']:.0f}x",
+            ]
+            for r in rows
+        ],
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    graph = _load_graph(args)
+    stats = _run_system(args, graph)
+    print(stats.summary())
+    print(f"  iterations      : {stats.iterations}")
+    print(f"  explicit copies : {stats.explicit_copies}")
+    if stats.zero_copy_iterations:
+        print(f"  zero-copy iters : {stats.zero_copy_iterations}")
+    if stats.graph_pool_hits + stats.graph_pool_misses:
+        print(f"  pool hit rate   : {stats.graph_pool_hit_rate:.1%}")
+    print("  breakdown:")
+    for category, seconds in sorted(stats.breakdown.items()):
+        print(f"    {category:18s} {reporting.format_seconds(seconds)}")
+    return 0
+
+
+def cmd_experiment(name: str) -> int:
+    func, args = EXPERIMENTS[name]
+    rows = func(*args)
+    if not rows:
+        print("no rows produced")
+        return 1
+    keys = list(rows[0].keys())
+    reporting.print_table(
+        f"experiment {name}", keys, reporting.rows_from_dicts(rows, keys)
+    )
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.graph import generators
+    from repro.graph.io import save_csr, save_edge_list
+
+    if args.kind == "rmat":
+        graph = generators.rmat(
+            scale=args.scale, edge_factor=args.edge_factor, seed=args.seed
+        )
+    elif args.kind == "erdos":
+        graph = generators.erdos_renyi(
+            args.vertices,
+            int(args.edge_factor * args.vertices),
+            seed=args.seed,
+        )
+    else:
+        graph = generators.barabasi_albert(
+            args.vertices, attach=max(1, int(args.edge_factor)), seed=args.seed
+        )
+    if args.out.endswith(".npz"):
+        save_csr(graph, args.out)
+    else:
+        save_edge_list(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return cmd_datasets()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "experiment":
+        return cmd_experiment(args.name)
+    if args.command == "report":
+        from repro.bench.report import write_report
+
+        only = args.only.split(",") if args.only else None
+        write_report(args.out, only=only)
+        print(f"wrote report to {args.out}")
+        return 0
+    if args.command == "generate":
+        return cmd_generate(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Adaptive zero-copy scheduling (paper §III-E).
+
+When a partition's computing load is light (stragglers), explicitly loading
+the whole partition of size ``S_p`` wastes the link; accessing the few
+required cache lines through zero copy is cheaper.  The paper's rule:
+estimate zero-copy traffic as ``alpha * w`` (``alpha`` ~ 256 bytes per walk
+per iteration, empirically insensitive) and use zero copy iff
+``alpha * w < S_p``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+class AdaptivePolicy:
+    """Decides explicit copy vs zero copy for each graph-partition load."""
+
+    def __init__(
+        self,
+        mode: str = COPY_ADAPTIVE,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        if mode not in (COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO):
+            raise ValueError(f"unknown copy mode {mode!r}")
+        self.mode = mode
+        self.alpha = calibration.zero_copy_alpha_bytes
+        #: alpha adjusted for the substrate's actual zero-copy cost (see
+        #: ``Calibration.zero_copy_cost_factor``); the decision rule is the
+        #: paper's alpha*w < S_p with this effective alpha.
+        self.effective_alpha = (
+            calibration.zero_copy_alpha_bytes
+            * calibration.zero_copy_cost_factor
+        )
+
+    def should_zero_copy(self, partition_bytes: int, num_walks: int) -> bool:
+        """Whether to serve this partition through zero copy this iteration."""
+        if partition_bytes <= 0:
+            raise ValueError("partition_bytes must be positive")
+        if num_walks < 0:
+            raise ValueError("num_walks must be non-negative")
+        if self.mode == COPY_EXPLICIT:
+            return False
+        if self.mode == COPY_ZERO:
+            return True
+        return self.effective_alpha * num_walks < partition_bytes
+
+    def zero_copy_traffic(self, num_walks: int) -> int:
+        """Estimated zero-copy bytes to finish ``num_walks`` this iteration."""
+        return int(self.alpha * num_walks)
+
+    def density_threshold(self, bytes_per_walk: int) -> float:
+        """Walk density below which zero copy engages (§IV-D: D < S_w/alpha,
+        with the substrate's effective alpha)."""
+        return bytes_per_walk / self.effective_alpha

@@ -1,0 +1,130 @@
+"""Engine configuration.
+
+Defaults follow the paper's default setting scaled to the synthetic
+datasets: range partitions of a fixed byte budget, walk batches sized
+``16x`` the GPU core count (§III-B; benchmark configs use smaller batches
+to keep batch:partition proportions at the reduced graph scale), and all
+three scheduling optimizations enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.gpu.device import RTX3090, DeviceSpec
+from repro.gpu.kernels import DIRECT_WRITE, TWO_LEVEL
+from repro.gpu.pcie import PCIeSpec
+
+#: copy_mode values (§III-E): adaptive picks per-iteration via alpha*w < S_p.
+COPY_ADAPTIVE = "adaptive"
+COPY_EXPLICIT = "explicit"
+COPY_ZERO = "zero_copy"
+
+#: partition-selection / eviction policy values.
+SCHED_SELECTIVE = "selective"
+SCHED_ROUND_ROBIN = "round_robin"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All knobs of :class:`~repro.core.engine.LightTrafficEngine`.
+
+    Attributes
+    ----------
+    partition_bytes:
+        target CSR bytes per graph partition (block size of the graph pool).
+    batch_walks:
+        walks per batch; ``None`` = ``16 * device.total_cores`` (paper
+        default).
+    graph_pool_partitions:
+        ``m_g`` — graph partitions cached in GPU memory.
+    walk_pool_walks:
+        ``m_w`` — walks cached in GPU memory; ``None`` = unbounded (all
+        walks fit, no walk eviction).
+    pipeline:
+        overlap loading and computing on separate streams; ``False``
+        serializes every operation (ablation lower bound).
+    preemptive:
+        compute ready batches while the load stream is busy (§III-D).
+    selective:
+        selective partition load/evict and batch-pick policies (§III-D);
+        ``False`` = round-robin loading + FIFO eviction (paper's baseline).
+    copy_mode:
+        ``adaptive`` | ``explicit`` | ``zero_copy`` (§III-E / Fig 14).
+    reshuffle_mode:
+        ``two_level`` | ``direct`` (§III-C / Fig 12).
+    interconnect:
+        ``pcie3`` | ``pcie4`` | ``nvlink2``, or a custom
+        :class:`~repro.gpu.pcie.PCIeSpec` (benchmarks pass scaled specs).
+    device:
+        modeled GPU.
+    calibration:
+        cost-model constants.
+    rng_mode:
+        ``sequential`` (one shared RNG stream; trajectories depend on
+        dispatch order) or ``counter`` (Philox-style per-walk randomness
+        derived from ``(seed, walk_id, step)``: trajectories are bitwise
+        identical under every scheduling/copy-mode combination).
+    seed:
+        RNG seed for walk trajectories.
+    max_iterations:
+        safety cap; ``None`` = unlimited.
+    record_ops:
+        keep per-op timeline records (tests / debugging; costs memory).
+    """
+
+    partition_bytes: int = 256 * 1024
+    batch_walks: Optional[int] = None
+    graph_pool_partitions: int = 8
+    walk_pool_walks: Optional[int] = None
+    pipeline: bool = True
+    preemptive: bool = True
+    selective: bool = True
+    copy_mode: str = COPY_ADAPTIVE
+    reshuffle_mode: str = TWO_LEVEL
+    #: ship sampled path fragments to a consumer GPU as walks advance
+    #: (the paper's §IV-A assumption for uniform sampling; off = paths
+    #: are not stored, exactly as the paper measures).
+    ship_paths: bool = False
+    #: link carrying shipped paths (device-to-device NVLink by default).
+    ship_interconnect: Union[str, PCIeSpec] = "nvlink2"
+    #: graph-pool eviction: None = paper default (min_walks when selective,
+    #: FIFO otherwise); or one of 'fifo' | 'lru' | 'min_walks'.
+    eviction_policy: Optional[str] = None
+    interconnect: Union[str, PCIeSpec] = "pcie3"
+    device: DeviceSpec = RTX3090
+    calibration: Calibration = DEFAULT_CALIBRATION
+    rng_mode: str = "sequential"
+    seed: Optional[int] = 42
+    max_iterations: Optional[int] = None
+    record_ops: bool = False
+
+    def __post_init__(self) -> None:
+        if self.partition_bytes <= 0:
+            raise ValueError("partition_bytes must be positive")
+        if self.batch_walks is not None and self.batch_walks < 1:
+            raise ValueError("batch_walks must be >= 1")
+        if self.graph_pool_partitions < 1:
+            raise ValueError("graph_pool_partitions must be >= 1")
+        if self.copy_mode not in (COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO):
+            raise ValueError(f"unknown copy_mode {self.copy_mode!r}")
+        if self.reshuffle_mode not in (TWO_LEVEL, DIRECT_WRITE):
+            raise ValueError(f"unknown reshuffle_mode {self.reshuffle_mode!r}")
+        if self.rng_mode not in ("sequential", "counter"):
+            raise ValueError(f"unknown rng_mode {self.rng_mode!r}")
+        if self.eviction_policy not in (None, "fifo", "lru", "min_walks"):
+            raise ValueError(
+                f"unknown eviction_policy {self.eviction_policy!r}"
+            )
+
+    def resolved_batch_walks(self) -> int:
+        """Batch capacity: configured, or the paper's 16x core count."""
+        if self.batch_walks is not None:
+            return self.batch_walks
+        return 16 * self.device.total_cores
+
+    def with_options(self, **changes) -> "EngineConfig":
+        """Functional update (convenience for benchmark sweeps)."""
+        return replace(self, **changes)

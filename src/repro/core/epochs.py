@@ -1,0 +1,85 @@
+"""Multi-epoch driver for embedding-style workloads.
+
+Graph embedding "often takes hundreds of epochs to converge, and each epoch
+requires to concurrently run |V| walks" (paper §II-A).  This driver runs a
+sequence of engine invocations — one per epoch, each with a fresh algorithm
+instance and a derived seed — and aggregates the statistics, which is how a
+downstream DeepWalk/metapath2vec pipeline would actually consume the
+engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.algorithms.base import RandomWalkAlgorithm
+from repro.core.config import EngineConfig
+from repro.core.engine import LightTrafficEngine
+from repro.core.stats import RunStats
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import PartitionedGraph, partition_by_range
+
+
+@dataclass
+class EpochResult:
+    """Aggregate outcome of a multi-epoch run."""
+
+    epochs: int
+    num_walks_per_epoch: int
+    total_steps: int = 0
+    total_time: float = 0.0
+    per_epoch: List[RunStats] = field(default_factory=list)
+    algorithms: List[RandomWalkAlgorithm] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.total_steps / self.total_time if self.total_time else 0.0
+
+    @property
+    def mean_epoch_time(self) -> float:
+        return self.total_time / self.epochs if self.epochs else 0.0
+
+
+def run_epochs(
+    graph: CSRGraph,
+    algorithm_factory: Callable[[], RandomWalkAlgorithm],
+    epochs: int,
+    num_walks: Optional[int] = None,
+    config: EngineConfig = EngineConfig(),
+    keep_algorithms: bool = True,
+) -> EpochResult:
+    """Run ``epochs`` independent walk epochs over one shared partitioning.
+
+    The graph is partitioned once (static range partitioning survives across
+    epochs); each epoch gets a fresh algorithm instance and seed
+    ``config.seed + epoch`` so epochs draw independent trajectories, as an
+    embedding trainer requires.
+
+    ``keep_algorithms=False`` drops per-epoch algorithm state (paths, visit
+    counts) after each epoch to bound memory on long trainings.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    if num_walks is None:
+        num_walks = graph.num_vertices
+    partitioned: PartitionedGraph = partition_by_range(
+        graph, config.partition_bytes
+    )
+    result = EpochResult(epochs=epochs, num_walks_per_epoch=num_walks)
+    base_seed = config.seed or 0
+    for epoch in range(epochs):
+        algorithm = algorithm_factory()
+        engine = LightTrafficEngine(
+            graph,
+            algorithm,
+            config.with_options(seed=base_seed + epoch),
+            partitioned=partitioned,
+        )
+        stats = engine.run(num_walks)
+        result.total_steps += stats.total_steps
+        result.total_time += stats.total_time
+        result.per_epoch.append(stats)
+        if keep_algorithms:
+            result.algorithms.append(algorithm)
+    return result

@@ -1,0 +1,122 @@
+"""Counter-based per-walk random numbers (scheduling-independent replay).
+
+With a shared sequential RNG, walk trajectories depend on the *order*
+batches happen to be processed — toggling preemptive scheduling or the
+copy mode changes every outcome.  GPU random walk systems instead derive
+each walk's randomness from ``(seed, walk_id, step)`` with a counter-based
+generator (Philox-style), so any schedule produces identical trajectories.
+
+:class:`CounterRNG` reproduces that contract in NumPy: the kernel loop sets
+the per-call context (the walk ids and step counts of the lanes about to
+step), and each subsequent draw mixes ``(seed, walk_id, step,
+draw_index)`` through a splitmix64-style hash.  It exposes the small
+``Generator`` surface the algorithms use (``random`` and ``integers``), so
+``EngineConfig(rng_mode="counter")`` drops in without touching algorithm
+code.
+
+Initialization draws (start-vertex selection) happen before any walk
+context exists and run once in a fixed order, so they fall back to an
+ordinary seeded ``Generator``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+#: splitmix64 constants.
+_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (uint64 -> well-mixed uint64)."""
+    x = x.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x += _GAMMA
+        x ^= x >> np.uint64(30)
+        x *= _MIX1
+        x ^= x >> np.uint64(27)
+        x *= _MIX2
+        x ^= x >> np.uint64(31)
+    return x
+
+
+class CounterRNG:
+    """Per-walk counter-based RNG with a ``Generator``-compatible surface.
+
+    Draws require a context (set by the kernel loop); every draw within one
+    context must cover *all* context lanes (``size == len(ids)``), which is
+    how the vectorized algorithms already behave.  Subset draws (e.g.
+    node2vec's rejection rounds) are unsupported — the engine rejects
+    ``rng_mode="counter"`` for such algorithms up front.
+    """
+
+    def __init__(self, seed: Optional[int]) -> None:
+        self.seed = np.uint64((seed or 0) & 0xFFFFFFFFFFFFFFFF)
+        self._ids: Optional[np.ndarray] = None
+        self._steps: Optional[np.ndarray] = None
+        self._draw = 0
+        self._init_rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def set_context(self, ids: np.ndarray, steps: np.ndarray) -> None:
+        """Bind the walk lanes about to step (kernel loop hook)."""
+        self._ids = ids.astype(np.uint64, copy=False)
+        self._steps = steps.astype(np.uint64, copy=False)
+        self._draw = 0
+
+    def clear_context(self) -> None:
+        self._ids = None
+        self._steps = None
+
+    @property
+    def has_context(self) -> bool:
+        return self._ids is not None
+
+    def _uint64(self, size: int) -> np.ndarray:
+        if self._ids is None:
+            raise RuntimeError("CounterRNG draw without walk context")
+        if size != self._ids.size:
+            raise ValueError(
+                f"counter draws must cover all {self._ids.size} context "
+                f"lanes, got size={size}"
+            )
+        with np.errstate(over="ignore"):
+            key = (
+                self.seed
+                + splitmix64(self._ids)
+                + splitmix64(self._steps + np.uint64(0x632BE59BD9B4E019))
+                + np.uint64(self._draw) * _GAMMA
+            )
+        self._draw += 1
+        return splitmix64(key)
+
+    # ------------------------------------------------------------------
+    # Generator-compatible surface
+    # ------------------------------------------------------------------
+    def random(self, size: int) -> np.ndarray:
+        """Uniform floats in [0, 1), one per context lane."""
+        if not self.has_context:
+            return self._init_rng.random(size)
+        # 53-bit mantissa conversion, same as numpy's.
+        return (self._uint64(size) >> np.uint64(11)) * (2.0 ** -53)
+
+    def integers(self, low, high=None, size=None, dtype=np.int64):
+        """Uniform integers, one per context lane (or init fallback)."""
+        if not self.has_context:
+            return self._init_rng.integers(low, high, size=size, dtype=dtype)
+        if high is None:
+            low, high = 0, low
+        if size is None:
+            raise ValueError("size is required for counter draws")
+        span = int(high) - int(low)
+        if span <= 0:
+            raise ValueError("high must exceed low")
+        # Multiply-shift bounded mapping (negligible modulo bias for the
+        # span sizes used here: vertex counts << 2^64).
+        draws = self._uint64(int(size))
+        scaled = (draws >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
+        return (np.int64(low) + (scaled * span).astype(np.int64)).astype(dtype)

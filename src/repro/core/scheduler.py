@@ -1,0 +1,168 @@
+"""Partition / batch / eviction scheduling policies (paper §III-D).
+
+The scheduler answers four questions each iteration:
+
+1. *Which partition to load next?*  Baseline: round robin over partitions
+   that still have walks.  Selective: the partition with the most walks, so
+   the loaded bytes serve the most computation.
+2. *Which cached graph partition to overwrite when the pool is full?*
+   Baseline: FIFO.  Selective: the cached partition with the fewest walks
+   (lowest reuse chance).
+3. *Which batch to compute preemptively while loads are in flight?*
+   Prefer a full batch whose graph partition is cached and whose partition
+   holds the fewest walks (finish it off before its graph gets evicted);
+   otherwise the computable batch with the most walks (amortize launch
+   cost).
+4. *Which batch to evict when the walk pool overflows?*  Same preference
+   order as (3), applied to partitions whose graph is *not* cached first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.memory import BlockPool
+from repro.walks.pool import DeviceWalkPool, HostWalkPool
+
+
+class Scheduler:
+    """Stateful policy bundle for one engine run."""
+
+    #: graph-pool eviction policies.
+    EVICT_FIFO = "fifo"
+    EVICT_LRU = "lru"
+    EVICT_MIN_WALKS = "min_walks"
+
+    def __init__(
+        self,
+        num_partitions: int,
+        selective: bool,
+        preemptive: bool,
+        eviction_policy: str = None,
+    ) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self.selective = selective
+        self.preemptive = preemptive
+        if eviction_policy is None:
+            eviction_policy = (
+                self.EVICT_MIN_WALKS if selective else self.EVICT_FIFO
+            )
+        if eviction_policy not in (
+            self.EVICT_FIFO,
+            self.EVICT_LRU,
+            self.EVICT_MIN_WALKS,
+        ):
+            raise ValueError(f"unknown eviction policy {eviction_policy!r}")
+        self.eviction_policy = eviction_policy
+        self._cursor = -1
+
+    # ------------------------------------------------------------------
+    # (1) Partition selection
+    # ------------------------------------------------------------------
+    def select_partition(
+        self, host: HostWalkPool, device: DeviceWalkPool
+    ) -> Optional[int]:
+        """Next partition to process, or ``None`` if no walks remain."""
+        totals = host.counts + device.counts
+        if self.selective:
+            best = int(np.argmax(totals))
+            return best if totals[best] > 0 else None
+        # Round robin over non-empty partitions.
+        for step in range(1, self.num_partitions + 1):
+            candidate = (self._cursor + step) % self.num_partitions
+            if totals[candidate] > 0:
+                self._cursor = candidate
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # (2) Graph-pool eviction victim
+    # ------------------------------------------------------------------
+    def graph_victim(
+        self,
+        graph_pool: BlockPool,
+        host: HostWalkPool,
+        device: DeviceWalkPool,
+        protect: Optional[int] = None,
+    ) -> int:
+        """Cached partition to overwrite; never the one being loaded."""
+        cached = [k for k in graph_pool.keys() if k != protect]
+        if not cached:
+            raise KeyError("no evictable graph partition")
+        if self.eviction_policy in (self.EVICT_FIFO, self.EVICT_LRU):
+            # keys() is insertion order; with a recency-tracked pool the
+            # first key is the least recently used.
+            return cached[0]
+        totals = host.counts + device.counts
+        return min(cached, key=lambda k: (int(totals[k]), k))
+
+    # ------------------------------------------------------------------
+    # (3) Preemptive batch pick
+    # ------------------------------------------------------------------
+    def pick_preemptive_partition(
+        self,
+        graph_pool: BlockPool,
+        host: HostWalkPool,
+        device: DeviceWalkPool,
+        exclude: Optional[int] = None,
+    ) -> Optional[int]:
+        """Partition whose cached batches should be computed preemptively.
+
+        Ready = graph partition cached *and* computable device-cached walks.
+        Per the paper's batch-pick policy, full batches are preferred (from
+        the ready partition with the *fewest* total walks, to finish it off
+        before its graph gets overwritten); otherwise the largest partial
+        batch is dispatched, provided it is at least half full — dispatching
+        near-empty frontiers would burn kernel launches for no progress.
+        """
+        keys = graph_pool.keys()
+        if exclude is not None:
+            keys = [k for k in keys if k != exclude]
+        if not keys:
+            return None
+        keys_arr = np.asarray(keys, dtype=np.int64)
+        dcounts = device.counts[keys_arr]
+        capacity = device.batch_capacity
+        full_mask = dcounts >= capacity
+        if full_mask.any():
+            candidates = keys_arr[full_mask]
+            if not self.selective:
+                return int(candidates[0])
+            totals = host.counts[candidates] + device.counts[candidates]
+            return int(candidates[int(np.argmin(totals))])
+        partial_mask = dcounts * 2 >= capacity
+        if partial_mask.any():
+            candidates = keys_arr[partial_mask]
+            if not self.selective:
+                return int(candidates[0])
+            return int(candidates[int(np.argmax(dcounts[partial_mask]))])
+        return None
+
+    # ------------------------------------------------------------------
+    # (4) Walk-batch eviction
+    # ------------------------------------------------------------------
+    def walk_evict_partition(
+        self,
+        graph_pool: BlockPool,
+        device: DeviceWalkPool,
+        protect: Optional[int] = None,
+    ) -> int:
+        """Partition from which to evict one walk batch to the host."""
+        candidates = [
+            int(p) for p in device.partitions_with_walks() if p != protect
+        ]
+        if not candidates:
+            if protect is not None and device.has_walks(protect):
+                return protect
+            raise KeyError("walk pool has nothing to evict")
+        if not self.selective:
+            return candidates[0]
+        uncached = [p for p in candidates if p not in graph_pool]
+        pool = uncached if uncached else candidates
+        # Fewest cached walks first: those batches have the lowest chance of
+        # being computed before their graph partition cycles out.
+        return min(pool, key=lambda p: (int(device.counts[p]), p))

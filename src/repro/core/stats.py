@@ -1,0 +1,94 @@
+"""Run statistics and time accounting.
+
+:class:`RunStats` is the structured result every engine/baseline run
+returns; the benchmark harness turns these into the paper's tables and
+figure series.  Times are *simulated* seconds on the modeled hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: breakdown categories used across engines (Fig 15 / Fig 17 / Table I).
+CAT_GRAPH_LOAD = "graph_load"
+CAT_WALK_LOAD = "walk_load"
+CAT_ZERO_COPY = "zero_copy"
+CAT_WALK_EVICT = "walk_evict"
+CAT_WALK_UPDATE = "walk_update"
+CAT_RESHUFFLE = "walk_reshuffle"
+CAT_KERNEL_OTHER = "kernel_other"
+CAT_PATH_SHIP = "path_ship"
+CAT_SUBGRAPH = "subgraph_creation"
+CAT_CPU_COMPUTE = "cpu_compute"
+
+
+@dataclass
+class RunStats:
+    """Outcome of one end-to-end random walk run."""
+
+    system: str
+    algorithm: str
+    graph: str
+    num_walks: int
+    total_steps: int = 0
+    iterations: int = 0
+    explicit_copies: int = 0
+    zero_copy_iterations: int = 0
+    graph_pool_hits: int = 0
+    graph_pool_misses: int = 0
+    walk_batches_loaded: int = 0
+    walk_batches_evicted: int = 0
+    num_partitions: int = 0
+    total_time: float = 0.0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput(self) -> float:
+        """Processed steps per (simulated) second — the paper's metric."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.total_steps / self.total_time
+
+    @property
+    def graph_pool_hit_rate(self) -> float:
+        """Graph-pool cache hit rate (Table III)."""
+        probes = self.graph_pool_hits + self.graph_pool_misses
+        return self.graph_pool_hits / probes if probes else 0.0
+
+    def time(self, category: str) -> float:
+        """Accumulated simulated time of one breakdown category."""
+        return self.breakdown.get(category, 0.0)
+
+    @property
+    def compute_time(self) -> float:
+        """Kernel-side time (update + reshuffle + launch overheads)."""
+        return (
+            self.time(CAT_WALK_UPDATE)
+            + self.time(CAT_RESHUFFLE)
+            + self.time(CAT_KERNEL_OTHER)
+            + self.time(CAT_CPU_COMPUTE)
+        )
+
+    @property
+    def transmission_time(self) -> float:
+        """All CPU-GPU traffic time (loads + zero copy + evictions)."""
+        return (
+            self.time(CAT_GRAPH_LOAD)
+            + self.time(CAT_WALK_LOAD)
+            + self.time(CAT_ZERO_COPY)
+            + self.time(CAT_WALK_EVICT)
+            + self.time(CAT_PATH_SHIP)
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.system}/{self.algorithm} on {self.graph}: "
+            f"{self.num_walks} walks, {self.total_steps} steps, "
+            f"{self.iterations} iters, {self.total_time * 1e3:.2f} ms sim, "
+            f"{self.throughput / 1e6:.1f} Msteps/s"
+        )

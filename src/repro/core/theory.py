@@ -1,0 +1,102 @@
+"""The paper's analytical performance model (§IV-D scalability analysis).
+
+Under a tight memory budget where every iteration must transfer the graph
+partition (size ``S_p``) plus the walk index of its ``w`` walks (``S_w``
+each), and computation is fully hidden by the pipeline, one iteration takes
+``(S_p + w*S_w) / B`` seconds and executes ``w`` steps.  Defining the walk
+density ``D = w*S_w / S_p``:
+
+    throughput = (B / S_w) / (1 + 1/D)
+
+— independent of the graph size, which is the paper's scalability claim
+(Fig 18).  Zero copy takes over when ``D < S_w / alpha``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+def walk_density(
+    walks_per_partition: float, partition_bytes: int, walk_bytes: int = 8
+) -> float:
+    """The paper's ``D = w * S_w / S_p``."""
+    if partition_bytes <= 0:
+        raise ValueError("partition_bytes must be positive")
+    if walks_per_partition < 0 or walk_bytes <= 0:
+        raise ValueError("walk parameters must be positive")
+    return walks_per_partition * walk_bytes / partition_bytes
+
+
+def transfer_bound_throughput(
+    bandwidth: float, walk_bytes: int, density: float
+) -> float:
+    """Steps/second lower-bound model: ``(B/S_w) / (1 + 1/D)``."""
+    if bandwidth <= 0 or walk_bytes <= 0:
+        raise ValueError("bandwidth and walk_bytes must be positive")
+    if density <= 0:
+        return 0.0
+    return (bandwidth / walk_bytes) / (1.0 + 1.0 / density)
+
+
+def throughput_ceiling(bandwidth: float, walk_bytes: int) -> float:
+    """The D -> infinity asymptote ``B / S_w``."""
+    return bandwidth / walk_bytes
+
+
+def zero_copy_density_threshold(
+    walk_bytes: int,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    effective: bool = True,
+) -> float:
+    """Density below which zero copy engages: ``D < S_w / alpha``.
+
+    ``effective=True`` uses the substrate-calibrated alpha (see
+    ``Calibration.zero_copy_cost_factor``); ``False`` gives the paper's raw
+    rule with alpha = 256 B.
+    """
+    alpha = calibration.zero_copy_alpha_bytes
+    if effective:
+        alpha *= calibration.zero_copy_cost_factor
+    return walk_bytes / alpha
+
+
+@dataclass(frozen=True)
+class IterationModel:
+    """Expected iteration structure of a fixed-length run.
+
+    With range partitions of roughly equal edge mass and uniform neighbor
+    choice, a walk stays in its current partition with probability ~1/P per
+    step, so each partition *visit* advances the walk by
+    ``1 / (1 - 1/P)`` steps in expectation, and a length-``l`` walk makes
+    about ``l * (1 - 1/P)`` partition visits.
+    """
+
+    num_partitions: int
+    walk_length: int
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1 or self.walk_length < 1:
+            raise ValueError("num_partitions and walk_length must be >= 1")
+
+    @property
+    def stay_probability(self) -> float:
+        return 1.0 / self.num_partitions
+
+    @property
+    def steps_per_visit(self) -> float:
+        if self.num_partitions == 1:
+            return float(self.walk_length)
+        return 1.0 / (1.0 - self.stay_probability)
+
+    @property
+    def visits_per_walk(self) -> float:
+        return self.walk_length / self.steps_per_visit
+
+    def expected_iterations(self, num_walks: int, walks_per_iteration: float) -> float:
+        """Iterations to drain ``num_walks`` given per-iteration capacity."""
+        if walks_per_iteration <= 0:
+            raise ValueError("walks_per_iteration must be positive")
+        return num_walks * self.visits_per_walk / walks_per_iteration

@@ -1,0 +1,43 @@
+"""Simulated GPU + PCIe substrate.
+
+The paper's prototype runs on real NVIDIA GPUs; this reproduction runs on a
+discrete-event *model* of one.  The substrate has four parts:
+
+* :mod:`repro.gpu.device` — static device specs (SMs, cores, memories),
+* :mod:`repro.gpu.pcie` — the CPU<->GPU interconnect (explicit copy and
+  zero-copy cost models, full-duplex channels),
+* :mod:`repro.gpu.timeline` — CUDA-stream-like simulated streams with
+  per-category time accounting (the discrete-event core),
+* :mod:`repro.gpu.memory` — block-based device memory pools
+  (``cudaMalloc``-once semantics, §III-B),
+* :mod:`repro.gpu.kernels` — analytic kernel cost models (walk update,
+  two-level vs direct reshuffle, vertex-centric baseline kernels).
+
+Walk *semantics* are executed for real elsewhere; this package only answers
+"how long would that have taken on the modeled hardware, and what would it
+have overlapped with".  All tunables live in :mod:`repro.gpu.calibration`.
+"""
+
+from repro.gpu.device import DeviceSpec, RTX3090, A100
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.gpu.pcie import PCIeSpec, PCIE3, PCIE4
+from repro.gpu.timeline import Stream, Timeline, TimeBreakdown
+from repro.gpu.memory import BlockPool, PoolFullError
+from repro.gpu.kernels import KernelModel
+
+__all__ = [
+    "DeviceSpec",
+    "RTX3090",
+    "A100",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "PCIeSpec",
+    "PCIE3",
+    "PCIE4",
+    "Stream",
+    "Timeline",
+    "TimeBreakdown",
+    "BlockPool",
+    "PoolFullError",
+    "KernelModel",
+]

@@ -1,0 +1,101 @@
+"""Static GPU device specifications.
+
+Two presets mirror the paper's testbeds (§IV-A): a GeForce RTX 3090
+(24 GB, PCIe 3.0 platform) and a Tesla A100 (PCIe 4.0 platform, capped to
+24 GB in the paper's comparison for fairness).  Only the parameters that the
+cost models consume are represented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of a modeled GPU.
+
+    Attributes
+    ----------
+    name:
+        human-readable device label.
+    num_sms:
+        number of streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM.
+    clock_hz:
+        boost clock used to convert cycle counts to seconds.
+    mem_bytes:
+        device memory capacity (bounds the pools).
+    mem_bandwidth:
+        device memory bandwidth in bytes/second.
+    shared_mem_per_sm:
+        programmable shared memory per SM (second-level reshuffle cache).
+    l2_bytes:
+        L2 cache size (drives the partition-size locality model, Fig 17).
+    l1_latency_cycles / l2_latency_cycles / mem_latency_cycles:
+        load-to-use latencies of the memory hierarchy (Figure 2).
+    """
+
+    name: str
+    num_sms: int
+    cores_per_sm: int
+    clock_hz: float
+    mem_bytes: int
+    mem_bandwidth: float
+    shared_mem_per_sm: int
+    l2_bytes: int
+    l1_latency_cycles: int = 20
+    l2_latency_cycles: int = 200
+    mem_latency_cycles: int = 400
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("SM/core counts must be positive")
+        if self.clock_hz <= 0 or self.mem_bandwidth <= 0:
+            raise ValueError("clock and bandwidth must be positive")
+        if self.mem_bytes <= 0:
+            raise ValueError("mem_bytes must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Total CUDA cores (sets the paper's default batch size, §III-B)."""
+        return self.num_sms * self.cores_per_sm
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at the device clock."""
+        return cycles / self.clock_hz
+
+    def with_memory(self, mem_bytes: int) -> "DeviceSpec":
+        """Copy of this spec with a different memory capacity.
+
+        The paper caps the A100 at 24 GB for fair comparison; benchmarks use
+        this to sweep memory budgets.
+        """
+        return replace(self, mem_bytes=mem_bytes)
+
+
+#: GeForce RTX 3090: 82 SMs x 128 cores, 24 GB GDDR6X @ ~936 GB/s.
+RTX3090 = DeviceSpec(
+    name="rtx3090",
+    num_sms=82,
+    cores_per_sm=128,
+    clock_hz=1.4e9,
+    mem_bytes=24 * (1 << 30),
+    mem_bandwidth=936e9,
+    shared_mem_per_sm=100 * 1024,
+    l2_bytes=6 * (1 << 20),
+)
+
+#: Tesla A100 (40 GB variant; the paper limits it to 24 GB): 108 SMs x 64
+#: FP32 cores, HBM2e @ ~1.55 TB/s, 40 MB L2.
+A100 = DeviceSpec(
+    name="a100",
+    num_sms=108,
+    cores_per_sm=64,
+    clock_hz=1.41e9,
+    mem_bytes=24 * (1 << 30),
+    mem_bandwidth=1555e9,
+    shared_mem_per_sm=164 * 1024,
+    l2_bytes=40 * (1 << 20),
+)

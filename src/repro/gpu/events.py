@@ -1,0 +1,91 @@
+"""CUDA-event-like synchronization primitives for the simulated timeline.
+
+Algorithm 2 adds "explicit synchronization between streams if data
+dependency exists"; in CUDA that is ``cudaEventRecord`` on the producing
+stream and ``cudaStreamWaitEvent`` on the consuming one.  The engine mostly
+passes completion times around directly, but composite experiments (and
+user code built on the substrate) get the same expressiveness here:
+
+* :class:`Event` — records a point in a stream's op sequence,
+* :meth:`Event.wait` — returns the release time a dependent op must honor,
+* :func:`elapsed_between` — ``cudaEventElapsedTime`` analogue,
+* :class:`StreamGroup` — barrier across streams (``cudaDeviceSynchronize``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.gpu.timeline import Stream
+
+
+class Event:
+    """A recorded timestamp in a stream (``cudaEventRecord``)."""
+
+    __slots__ = ("stream", "_time")
+
+    def __init__(self, stream: Optional[Stream] = None) -> None:
+        self.stream = stream
+        self._time: Optional[float] = None
+        if stream is not None:
+            self.record(stream)
+
+    def record(self, stream: Stream) -> "Event":
+        """Capture the stream's current completion frontier."""
+        self.stream = stream
+        self._time = stream.busy_until
+        return self
+
+    @property
+    def is_recorded(self) -> bool:
+        return self._time is not None
+
+    @property
+    def time(self) -> float:
+        """The simulated time at which this event triggers."""
+        if self._time is None:
+            raise RuntimeError("event was never recorded")
+        return self._time
+
+    def wait(self) -> float:
+        """Release time for a dependent op (``cudaStreamWaitEvent``).
+
+        Use as the ``earliest`` argument of :meth:`Stream.schedule`.
+        """
+        return self.time
+
+    def query(self, now: float) -> bool:
+        """Whether the event has triggered by simulated time ``now``."""
+        return self.is_recorded and self.time <= now
+
+
+def elapsed_between(start: Event, end: Event) -> float:
+    """Seconds between two recorded events (``cudaEventElapsedTime``)."""
+    delta = end.time - start.time
+    if delta < 0:
+        raise ValueError("end event precedes start event")
+    return delta
+
+
+class StreamGroup:
+    """A set of streams with device-wide synchronization semantics."""
+
+    def __init__(self, streams: Iterable[Stream]) -> None:
+        self.streams = list(streams)
+        if not self.streams:
+            raise ValueError("need at least one stream")
+
+    def synchronize(self) -> float:
+        """``cudaDeviceSynchronize``: time when every stream is drained."""
+        return max(stream.busy_until for stream in self.streams)
+
+    def barrier(self, category: str = "sync") -> float:
+        """Insert a zero-duration barrier op into every stream.
+
+        After the barrier, no stream can start new work before the group's
+        synchronize time — modeling a device-wide join point.
+        """
+        release = self.synchronize()
+        for stream in self.streams:
+            stream.schedule(0.0, category, earliest=release)
+        return release

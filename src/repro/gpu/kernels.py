@@ -1,0 +1,191 @@
+"""Analytic kernel cost models.
+
+The walk-update kernel (Algorithm 1) is memory bound; its duration is the
+maximum of a *latency* bound (the longest walk's serial chain of dependent
+steps) and a *throughput* bound (total steps over the device's sustainable
+step rate, itself the minimum of a compute-lane bound and a device-memory
+bandwidth bound).  A locality factor raises the per-step cost as the
+partition grows past the L2 cache, which is what makes walk updating slower
+for large partitions in Fig 17.
+
+The reshuffle model implements the Fig 12 comparison: the two-level path
+(shared-memory local index + counting sort + coalesced frontier writes) has a
+small per-walk cost growing with ``log2(P)`` (findPartition + sort depth),
+while the direct-write path pays L2-latency atomics plus a scatter penalty
+that grows with the number of partitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.gpu.device import DeviceSpec
+
+#: Reshuffle strategies (Fig 12).
+TWO_LEVEL = "two_level"
+DIRECT_WRITE = "direct"
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Decomposed cost of one walk-update kernel invocation."""
+
+    update_seconds: float
+    reshuffle_seconds: float
+    other_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.update_seconds + self.reshuffle_seconds + self.other_seconds
+
+
+class KernelModel:
+    """Cost model bound to a device spec and calibration."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        calibration.validate()
+        self.device = device
+        self.calibration = calibration
+
+    # ------------------------------------------------------------------
+    # Walk update (Algorithm 1, lines 3-5)
+    # ------------------------------------------------------------------
+    def locality_factor(self, partition_bytes: int) -> float:
+        """Per-step slowdown of large partitions (cache-unfriendly gathers)."""
+        cal = self.calibration
+        span = cal.locality_l2_multiple * self.device.l2_bytes
+        pressure = min(1.0, partition_bytes / span)
+        return 1.0 + (cal.step_cycles_locality / cal.step_cycles_base) * pressure
+
+    def step_cycles(self, partition_bytes: int) -> float:
+        """Cycles per walk step against a partition of the given size."""
+        return self.calibration.step_cycles_base * self.locality_factor(
+            partition_bytes
+        )
+
+    def steps_per_second(self, partition_bytes: int) -> float:
+        """Sustainable device-wide step throughput for a partition size."""
+        cal = self.calibration
+        cycles = self.step_cycles(partition_bytes)
+        compute_bound = (
+            self.device.total_cores * self.device.clock_hz / cycles
+        )
+        memory_bound = (
+            self.device.mem_bandwidth
+            * cal.random_access_efficiency
+            / cal.step_bytes_effective
+        ) / self.locality_factor(partition_bytes)
+        return min(compute_bound, memory_bound)
+
+    def update_time(
+        self,
+        total_steps: int,
+        longest_run: int,
+        partition_bytes: int,
+    ) -> float:
+        """Duration of updating one batch.
+
+        Parameters
+        ----------
+        total_steps:
+            steps executed across all walks in the batch this invocation.
+        longest_run:
+            the maximum steps any single walk took (serial dependent chain).
+        partition_bytes:
+            size of the graph partition being walked (locality model).
+        """
+        if total_steps < 0 or longest_run < 0:
+            raise ValueError("step counts must be non-negative")
+        if total_steps == 0:
+            return 0.0
+        # The latency bound is a fixed-size term (per-walk dependent chain),
+        # so it shrinks with sim_scale like the other fixed costs.
+        latency_bound = self.calibration.sim_scale * self.device.cycles_to_seconds(
+            longest_run * self.step_cycles(partition_bytes)
+        )
+        throughput_bound = total_steps / self.steps_per_second(partition_bytes)
+        return max(latency_bound, throughput_bound)
+
+    # ------------------------------------------------------------------
+    # Reshuffle (Algorithm 1, lines 6-14; Fig 12)
+    # ------------------------------------------------------------------
+    def reshuffle_time(
+        self, num_walks: int, num_partitions: int, mode: str = TWO_LEVEL
+    ) -> float:
+        """Duration of inserting ``num_walks`` updated walks into frontiers."""
+        if num_walks < 0:
+            raise ValueError("num_walks must be non-negative")
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if num_walks == 0:
+            return 0.0
+        cal = self.calibration
+        if mode == TWO_LEVEL:
+            per_walk = cal.reshuffle_two_level_base_cycles
+            per_walk += cal.reshuffle_two_level_log_cycles * math.log2(
+                max(2, num_partitions)
+            )
+        elif mode == DIRECT_WRITE:
+            per_walk = cal.reshuffle_direct_base_cycles
+            per_walk += cal.reshuffle_direct_scatter_cycles * min(
+                num_partitions, cal.reshuffle_direct_scatter_cap
+            )
+        else:
+            raise ValueError(f"unknown reshuffle mode {mode!r}")
+        lanes = min(num_walks, cal.reshuffle_parallel_lanes)
+        cycles = num_walks * per_walk / lanes
+        return self.device.cycles_to_seconds(cycles)
+
+    # ------------------------------------------------------------------
+    # Full kernel
+    # ------------------------------------------------------------------
+    def kernel_cost(
+        self,
+        total_steps: int,
+        longest_run: int,
+        num_walks: int,
+        num_partitions: int,
+        partition_bytes: int,
+        reshuffle_mode: str = TWO_LEVEL,
+    ) -> KernelCost:
+        """Cost of one walk-update-and-reshuffle kernel (Algorithm 1)."""
+        return KernelCost(
+            update_seconds=self.update_time(
+                total_steps, longest_run, partition_bytes
+            ),
+            reshuffle_seconds=self.reshuffle_time(
+                num_walks, num_partitions, reshuffle_mode
+            ),
+            other_seconds=self.calibration.scaled_kernel_launch_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Vertex-centric baseline kernel (Subway, Fig 10)
+    # ------------------------------------------------------------------
+    def vertex_centric_time(
+        self, total_steps: int, max_walks_per_vertex: int
+    ) -> float:
+        """One Subway-style iteration kernel: one thread per active vertex.
+
+        Walks co-located on a vertex are processed serially by that vertex's
+        thread, so the critical path is ``max_walks_per_vertex`` steps; this
+        is the load imbalance §IV-B attributes Subway's compute gap to.
+        """
+        if total_steps == 0:
+            return 0.0
+        cal = self.calibration
+        # max_walks_per_vertex already shrinks with the dataset scale (it is
+        # proportional to the walk count), so no sim_scale here.
+        latency_bound = self.device.cycles_to_seconds(
+            max_walks_per_vertex * cal.subway_step_cycles
+        )
+        throughput_bound = self.device.cycles_to_seconds(
+            total_steps * cal.subway_step_cycles / cal.subway_lane_count
+        )
+        return max(latency_bound, throughput_bound)

@@ -1,0 +1,148 @@
+"""Discrete-event simulated CUDA streams.
+
+A :class:`Stream` is a serial queue of operations: an op scheduled with an
+``earliest`` release time starts at ``max(stream.busy_until, earliest)`` and
+occupies the stream for its duration, exactly like ops issued to one CUDA
+stream.  Ops on *different* streams overlap freely, which is how the paper's
+3-phase pipeline (graph loading / walk loading / computing on three CUDA
+streams, §III-D) is modeled.
+
+Every op is tagged with a category; :class:`TimeBreakdown` accumulates busy
+time per category, producing the Fig 15 / Fig 17 / Table I style breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class StreamOp:
+    """One completed operation on a stream (kept for tests/inspection)."""
+
+    category: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TimeBreakdown:
+    """Per-category accumulated busy time."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    def add(self, category: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self._totals[category] = self._totals.get(category, 0.0) + duration
+
+    def get(self, category: str) -> float:
+        return self._totals.get(category, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def total(self) -> float:
+        return sum(self._totals.values())
+
+    def merge(self, other: "TimeBreakdown") -> None:
+        for category, duration in other._totals.items():
+            self.add(category, duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{k}={v * 1e3:.3f}ms" for k, v in sorted(self._totals.items())
+        )
+        return f"<TimeBreakdown {inner}>"
+
+
+class Stream:
+    """A serial simulated stream (one CUDA stream)."""
+
+    def __init__(
+        self,
+        name: str,
+        breakdown: Optional[TimeBreakdown] = None,
+        record_ops: bool = False,
+    ) -> None:
+        self.name = name
+        self.busy_until = 0.0
+        self._breakdown = breakdown
+        self._record_ops = record_ops
+        self.ops: List[StreamOp] = []
+
+    def schedule(
+        self, duration: float, category: str, earliest: float = 0.0
+    ) -> Tuple[float, float]:
+        """Append an op; returns its ``(start, end)`` times.
+
+        ``earliest`` expresses a cross-stream dependency (the op cannot start
+        before that time) — the analogue of ``cudaStreamSynchronize`` /
+        event waits in Algorithm 2.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if earliest < 0:
+            raise ValueError("earliest must be non-negative")
+        start = max(self.busy_until, earliest)
+        end = start + duration
+        self.busy_until = end
+        if self._breakdown is not None:
+            self._breakdown.add(category, duration)
+        if self._record_ops:
+            self.ops.append(StreamOp(category, start, end))
+        return start, end
+
+    def idle_before(self, time: float) -> float:
+        """How long this stream would sit idle until ``time`` (>= 0)."""
+        return max(0.0, time - self.busy_until)
+
+
+class Timeline:
+    """The engine's three streams plus shared accounting.
+
+    ``compute`` executes kernels; ``load`` carries host-to-device transfers
+    (explicit partition/batch copies and the PCIe occupancy of zero-copy
+    reads); ``evict`` carries device-to-host transfers.  PCIe is full
+    duplex, so ``load`` and ``evict`` being separate streams models
+    simultaneous loading and eviction without interference (§III-D).
+    """
+
+    COMPUTE = "compute"
+    LOAD = "load"
+    EVICT = "evict"
+
+    def __init__(self, record_ops: bool = False) -> None:
+        self.breakdown = TimeBreakdown()
+        self.compute = Stream(self.COMPUTE, self.breakdown, record_ops)
+        self.load = Stream(self.LOAD, self.breakdown, record_ops)
+        self.evict = Stream(self.EVICT, self.breakdown, record_ops)
+
+    @property
+    def streams(self) -> Tuple[Stream, Stream, Stream]:
+        return (self.compute, self.load, self.evict)
+
+    @property
+    def now(self) -> float:
+        """The makespan so far (max across streams)."""
+        return max(stream.busy_until for stream in self.streams)
+
+    def total_time(self) -> float:
+        return self.now
+
+    def validate(self) -> None:
+        """Check per-stream ops never overlap (needs ``record_ops=True``)."""
+        for stream in self.streams:
+            prev_end = 0.0
+            for op in stream.ops:
+                if op.start + 1e-12 < prev_end:
+                    raise AssertionError(
+                        f"overlapping ops on stream {stream.name}: "
+                        f"{op} starts before {prev_end}"
+                    )
+                prev_end = op.end

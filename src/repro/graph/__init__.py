@@ -1,0 +1,49 @@
+"""Graph substrate: CSR storage, builders, generators, partitioning, IO.
+
+This package provides the in-CPU-memory graph representation that the
+LightTraffic engine and every baseline operate on.  The layout mirrors the
+paper's Figure 5: a CSR vertex array (``offsets``) and edge array
+(``targets``), plus an optional weight array for weighted random walks.
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builders import (
+    from_edges,
+    from_adjacency,
+    preprocess_edges,
+)
+from repro.graph.generators import (
+    rmat,
+    erdos_renyi,
+    barabasi_albert,
+    star,
+    ring,
+    complete,
+)
+from repro.graph.partition import PartitionedGraph, GraphPartition, partition_by_range
+from repro.graph.io import (
+    save_edge_list,
+    load_edge_list,
+    save_csr,
+    load_csr,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_adjacency",
+    "preprocess_edges",
+    "rmat",
+    "erdos_renyi",
+    "barabasi_albert",
+    "star",
+    "ring",
+    "complete",
+    "PartitionedGraph",
+    "GraphPartition",
+    "partition_by_range",
+    "save_edge_list",
+    "load_edge_list",
+    "save_csr",
+    "load_csr",
+]

@@ -1,0 +1,165 @@
+"""Graph analysis utilities.
+
+Small, vectorized analyses used by the dataset registry (Table II style
+statistics), the tests (structural sanity of generated graphs), and users
+sizing engine configurations for their own graphs:
+
+* degree statistics and power-law tail estimation,
+* connected components (frontier BFS over CSR),
+* reachable-set / effective-diameter probes via BFS,
+* a partition "walk pressure" profile (how unevenly the stationary walk
+  mass lands across range partitions — the skew selective scheduling
+  exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import PartitionedGraph
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of a graph's degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    p99: float
+    gini: float
+
+    @property
+    def skewed(self) -> bool:
+        """Heuristic: hub-dominated distributions have high Gini."""
+        return self.gini > 0.4
+
+
+def degree_stats(graph: CSRGraph) -> DegreeStats:
+    """Degree distribution summary (d_max is Table II's last column)."""
+    degrees = graph.degrees()
+    if degrees.size == 0:
+        return DegreeStats(0, 0, 0.0, 0.0, 0.0, 0.0)
+    sorted_deg = np.sort(degrees).astype(np.float64)
+    n = sorted_deg.size
+    total = sorted_deg.sum()
+    if total == 0:
+        gini = 0.0
+    else:
+        # Gini via the sorted-cumulative formula.
+        index = np.arange(1, n + 1)
+        gini = float(
+            (2 * (index * sorted_deg).sum()) / (n * total) - (n + 1) / n
+        )
+    return DegreeStats(
+        minimum=int(degrees.min()),
+        maximum=int(degrees.max()),
+        mean=float(degrees.mean()),
+        median=float(np.median(degrees)),
+        p99=float(np.percentile(degrees, 99)),
+        gini=gini,
+    )
+
+
+def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
+    """BFS distance from ``source`` (-1 for unreachable), frontier-vectorized."""
+    if not 0 <= source < graph.num_vertices:
+        raise IndexError(f"source {source} out of range")
+    levels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    degrees = graph.degrees()
+    while frontier.size:
+        depth += 1
+        # Gather all neighbors of the frontier in one shot.
+        counts = degrees[frontier]
+        if counts.sum() == 0:
+            break
+        starts = graph.offsets[frontier]
+        gather = np.concatenate(
+            [
+                graph.targets[s : s + c]
+                for s, c in zip(starts, counts)
+                if c
+            ]
+        )
+        fresh = np.unique(gather)
+        fresh = fresh[levels[fresh] < 0]
+        if fresh.size == 0:
+            break
+        levels[fresh] = depth
+        frontier = fresh
+    return levels
+
+
+def connected_components(graph: CSRGraph) -> Tuple[np.ndarray, int]:
+    """Component label per vertex and the component count (undirected view).
+
+    Uses repeated BFS; treats edges as undirected (the preprocessing
+    pipeline symmetrizes graphs, so this matches the benchmark datasets).
+    """
+    labels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    count = 0
+    for v in range(graph.num_vertices):
+        if labels[v] >= 0:
+            continue
+        reached = bfs_levels(graph, v) >= 0
+        labels[reached & (labels < 0)] = count
+        count += 1
+    return labels, count
+
+
+def largest_component_fraction(graph: CSRGraph) -> float:
+    """Fraction of vertices in the largest (weakly) connected component."""
+    if graph.num_vertices == 0:
+        return 0.0
+    labels, count = connected_components(graph)
+    sizes = np.bincount(labels, minlength=count)
+    return float(sizes.max() / graph.num_vertices)
+
+
+def effective_diameter(
+    graph: CSRGraph,
+    percentile: float = 90.0,
+    samples: int = 16,
+    seed: Optional[int] = 7,
+) -> float:
+    """Approximate effective diameter from sampled BFS sources."""
+    if not 0 < percentile <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    if graph.num_vertices == 0:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    sources = rng.integers(0, graph.num_vertices, size=min(samples, graph.num_vertices))
+    distances = []
+    for source in sources:
+        levels = bfs_levels(graph, int(source))
+        reachable = levels[levels >= 0]
+        if reachable.size > 1:
+            distances.append(np.percentile(reachable, percentile))
+    return float(np.mean(distances)) if distances else 0.0
+
+
+def walk_pressure_profile(partitioned: PartitionedGraph) -> np.ndarray:
+    """Expected stationary walk mass per partition (simple walks).
+
+    For an undirected graph the stationary distribution of a simple walk is
+    degree-proportional; summing it per partition predicts which partitions
+    stay walk-heavy — the signal selective scheduling keys on.  Returns a
+    probability vector over partitions.
+    """
+    graph = partitioned.graph
+    degrees = graph.degrees().astype(np.float64)
+    total = degrees.sum()
+    if total == 0:
+        return np.full(partitioned.num_partitions, 1.0 / partitioned.num_partitions)
+    pressure = np.empty(partitioned.num_partitions, dtype=np.float64)
+    for part in partitioned.partitions:
+        pressure[part.index] = degrees[part.start : part.stop].sum() / total
+    return pressure

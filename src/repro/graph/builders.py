@@ -1,0 +1,136 @@
+"""Builders that turn raw edge data into :class:`~repro.graph.csr.CSRGraph`.
+
+``preprocess_edges`` implements the paper's preprocessing pipeline
+(§IV-A): convert to an undirected graph, remove self loops and duplicate
+edges, and drop zero-degree vertices (compacting vertex ids).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def _as_edge_array(edges: Iterable[Tuple[int, int]]) -> np.ndarray:
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    arr = np.asarray(arr, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("edges must be an (n, 2) array of (source, target)")
+    return arr
+
+
+def preprocess_edges(
+    edges: Iterable[Tuple[int, int]],
+    undirected: bool = True,
+    remove_self_loops: bool = True,
+    remove_duplicates: bool = True,
+    compact_ids: bool = True,
+) -> Tuple[np.ndarray, int, np.ndarray]:
+    """Clean an edge list the way the paper preprocesses its datasets.
+
+    Returns ``(edges, num_vertices, id_map)`` where ``edges`` is the cleaned
+    ``(n, 2)`` array, ``num_vertices`` counts the surviving vertices and
+    ``id_map`` maps new vertex ids back to the original ids (identity when
+    ``compact_ids`` is false).
+    """
+    arr = _as_edge_array(edges)
+    if arr.size and arr.min() < 0:
+        raise ValueError("vertex ids must be non-negative")
+    if undirected and arr.size:
+        arr = np.concatenate([arr, arr[:, ::-1]], axis=0)
+    if remove_self_loops and arr.size:
+        arr = arr[arr[:, 0] != arr[:, 1]]
+    if remove_duplicates and arr.size:
+        arr = np.unique(arr, axis=0)
+    if arr.size == 0:
+        return np.empty((0, 2), dtype=np.int64), 0, np.empty(0, dtype=np.int64)
+    if compact_ids:
+        used = np.unique(arr)
+        remap = np.empty(int(used.max()) + 1, dtype=np.int64)
+        remap[used] = np.arange(used.size)
+        arr = remap[arr]
+        return arr, int(used.size), used
+    num_vertices = int(arr.max()) + 1
+    return arr, num_vertices, np.arange(num_vertices, dtype=np.int64)
+
+
+def from_edges(
+    edges: Iterable[Tuple[int, int]],
+    num_vertices: Optional[int] = None,
+    weights: Optional[Sequence[float]] = None,
+    sort_neighbors: bool = True,
+    name: str = "",
+) -> CSRGraph:
+    """Build a CSR graph from an edge list.
+
+    Parameters
+    ----------
+    edges:
+        iterable of ``(source, target)`` pairs, or an ``(n, 2)`` array.
+    num_vertices:
+        total vertex count; inferred as ``max id + 1`` when omitted.
+    weights:
+        optional per-edge weights aligned with ``edges``.
+    sort_neighbors:
+        keep each neighbor list sorted (enables binary-search ``has_edge``).
+    """
+    arr = _as_edge_array(edges)
+    if num_vertices is None:
+        num_vertices = int(arr.max()) + 1 if arr.size else 0
+    if arr.size and arr.max() >= num_vertices:
+        raise ValueError("edge endpoint exceeds num_vertices")
+    weight_arr = None
+    if weights is not None:
+        weight_arr = np.asarray(weights, dtype=np.float64)
+        if weight_arr.shape != (arr.shape[0],):
+            raise ValueError("weights must align with edges")
+
+    if sort_neighbors and arr.size:
+        order = np.lexsort((arr[:, 1], arr[:, 0]))
+    elif arr.size:
+        order = np.argsort(arr[:, 0], kind="stable")
+    else:
+        order = np.empty(0, dtype=np.int64)
+    arr = arr[order]
+    if weight_arr is not None:
+        weight_arr = weight_arr[order]
+
+    counts = np.bincount(arr[:, 0], minlength=num_vertices) if arr.size else (
+        np.zeros(num_vertices, dtype=np.int64)
+    )
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    targets = arr[:, 1].copy() if arr.size else np.empty(0, dtype=np.int64)
+    return CSRGraph(offsets, targets, weight_arr, name=name)
+
+
+def from_adjacency(
+    adjacency: Sequence[Sequence[int]],
+    weights: Optional[Sequence[Sequence[float]]] = None,
+    name: str = "",
+) -> CSRGraph:
+    """Build a CSR graph from per-vertex neighbor lists."""
+    num_vertices = len(adjacency)
+    counts = np.fromiter(
+        (len(neigh) for neigh in adjacency), dtype=np.int64, count=num_vertices
+    )
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    targets = np.empty(int(offsets[-1]), dtype=np.int64)
+    for v, neigh in enumerate(adjacency):
+        targets[offsets[v] : offsets[v + 1]] = neigh
+    weight_arr = None
+    if weights is not None:
+        if len(weights) != num_vertices:
+            raise ValueError("weights must align with adjacency")
+        weight_arr = np.empty_like(targets, dtype=np.float64)
+        for v, w in enumerate(weights):
+            if len(w) != counts[v]:
+                raise ValueError(f"weights for vertex {v} misaligned")
+            weight_arr[offsets[v] : offsets[v + 1]] = w
+    return CSRGraph(offsets, targets, weight_arr, name=name)

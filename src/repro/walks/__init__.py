@@ -1,0 +1,34 @@
+"""Out-of-memory walk index management (paper §III-B / §III-C).
+
+The walk index (``current_vertex``, ``walked_steps``, and optional
+application state such as ``walk_id``) is stored in fixed-size *batches*;
+all walks in a batch currently stay in the same graph partition, so a batch
+can always be fully updated given that one partition.  Batches belonging to
+a partition form a circular queue whose tail is the append-only *write
+frontier*.  A host pool holds everything; a device pool caches at most
+``m_w`` walks, with one frontier batch plus one reserved free batch per
+partition so frontier rollover never overflows.
+"""
+
+from repro.walks.state import WalkArrays
+from repro.walks.batch import WalkBatch
+from repro.walks.queue import BatchQueue
+from repro.walks.pool import HostWalkPool, DeviceWalkPool
+from repro.walks.reshuffle import (
+    LocalIndex,
+    group_by_partition,
+    TwoLevelReshuffler,
+    DirectWriteReshuffler,
+)
+
+__all__ = [
+    "WalkArrays",
+    "WalkBatch",
+    "BatchQueue",
+    "HostWalkPool",
+    "DeviceWalkPool",
+    "LocalIndex",
+    "group_by_partition",
+    "TwoLevelReshuffler",
+    "DirectWriteReshuffler",
+]

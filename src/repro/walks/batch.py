@@ -1,0 +1,97 @@
+"""Fixed-size walk batches (paper §III-B, Figure 6).
+
+A batch is a small fixed-capacity array of walk states; *all walks in a
+batch stay in the same graph partition* (the batch-homogeneity invariant),
+so any batch can be fully updated given its partition.  Writes are
+append-only: the batch at the tail of a partition's queue is the *write
+frontier* and receives insertions until full, at which point a fresh batch
+takes over (rollover).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.walks.state import WalkArrays
+
+
+class WalkBatch:
+    """A fixed-capacity, append-only batch of walk states."""
+
+    __slots__ = ("capacity", "size", "partition", "vertices", "steps", "ids")
+
+    def __init__(self, capacity: int, partition: int) -> None:
+        if capacity < 1:
+            raise ValueError("batch capacity must be >= 1")
+        if partition < 0:
+            raise ValueError("partition must be non-negative")
+        self.capacity = capacity
+        self.partition = partition
+        self.size = 0
+        self.vertices = np.empty(capacity, dtype=np.int64)
+        self.steps = np.empty(capacity, dtype=np.int32)
+        self.ids = np.empty(capacity, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        return self.size >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - self.size
+
+    def nbytes(self, bytes_per_walk: int) -> int:
+        """Transfer size of this batch's *contents* (S_w per walk)."""
+        return self.size * bytes_per_walk
+
+    # ------------------------------------------------------------------
+    def append(self, walks: WalkArrays, start: int = 0) -> int:
+        """Append walks[start:] until the batch fills; returns count written."""
+        available = len(walks) - start
+        if available < 0:
+            raise ValueError("start beyond walks length")
+        take = min(self.free_space, available)
+        if take:
+            end = self.size + take
+            self.vertices[self.size : end] = walks.vertices[start : start + take]
+            self.steps[self.size : end] = walks.steps[start : start + take]
+            self.ids[self.size : end] = walks.ids[start : start + take]
+            self.size = end
+        return take
+
+    def drain(self) -> WalkArrays:
+        """Remove and return all walks (the batch is freed after compute).
+
+        Ownership of the underlying storage transfers to the caller: the
+        returned arrays are zero-copy views, so a drained batch must be
+        discarded (which is exactly the paper's "the loaded batch is simply
+        freed" semantics).
+        """
+        out = WalkArrays(
+            self.vertices[: self.size],
+            self.steps[: self.size],
+            self.ids[: self.size],
+        )
+        self.size = 0
+        return out
+
+    def contents(self) -> WalkArrays:
+        """Copy of current contents without draining (eviction transfer)."""
+        return WalkArrays(
+            self.vertices[: self.size].copy(),
+            self.steps[: self.size].copy(),
+            self.ids[: self.size].copy(),
+        )
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<WalkBatch part={self.partition} {self.size}/{self.capacity}>"
+        )

@@ -1,0 +1,324 @@
+"""Host and device walk pools (paper §III-B, Figures 4 & 6).
+
+The *host* pool stores the entire walk index grouped by partition, with no
+capacity limit (CPU memory holds everything, as in the paper).  The *device*
+pool caches at most ``m_w`` walks; per partition it keeps an append-only
+write frontier plus the already-full batches awaiting computation, with one
+reserved free batch per partition guaranteeing rollover never fails.
+
+Implementation note: the device pool stores each partition's walks as a
+FIFO list of array chunks and materializes fixed-size :class:`WalkBatch`
+objects only at pop/evict time.  Batch *accounting* (how many full batches
+exist, what the frontier holds) is derived from walk counts — `full =
+count // B`, `frontier = count % B` — which is exactly the invariant the
+paper's circular queues maintain, at a fraction of the bookkeeping cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from repro.walks.batch import WalkBatch
+from repro.walks.queue import BatchQueue
+from repro.walks.state import WalkArrays
+
+
+class HostWalkPool:
+    """CPU-memory walk index: one circular batch queue per partition."""
+
+    def __init__(self, num_partitions: int, batch_capacity: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self.batch_capacity = batch_capacity
+        self._queues: Dict[int, BatchQueue] = {}
+        self.counts = np.zeros(num_partitions, dtype=np.int64)
+
+    def _queue(self, partition: int) -> BatchQueue:
+        if not 0 <= partition < self.num_partitions:
+            raise IndexError(f"partition {partition} out of range")
+        queue = self._queues.get(partition)
+        if queue is None:
+            queue = BatchQueue(partition, self.batch_capacity)
+            self._queues[partition] = queue
+        return queue
+
+    # ------------------------------------------------------------------
+    def append_walks(self, partition: int, walks: WalkArrays) -> None:
+        if not len(walks):
+            return
+        self._queue(partition).append_walks(walks)
+        self.counts[partition] += len(walks)
+
+    def push_batch(self, batch: WalkBatch) -> None:
+        """Re-insert a batch evicted from the device pool."""
+        self._queue(batch.partition).push_batch(batch)
+        self.counts[batch.partition] += batch.size
+
+    def pop_batch(self, partition: int) -> WalkBatch:
+        batch = self._queue(partition).pop_batch()
+        self.counts[partition] -= batch.size
+        return batch
+
+    def has_walks(self, partition: int) -> bool:
+        return bool(self.counts[partition] > 0)
+
+    def num_batches(self, partition: int) -> int:
+        queue = self._queues.get(partition)
+        if queue is None:
+            return 0
+        return sum(1 for b in queue if not b.is_empty)
+
+    @property
+    def total_walks(self) -> int:
+        return int(self.counts.sum())
+
+    def partitions_with_walks(self) -> np.ndarray:
+        return np.nonzero(self.counts > 0)[0]
+
+    def iter_walks(self) -> Iterator[WalkArrays]:
+        """All walk contents (testing helper for conservation checks)."""
+        for queue in self._queues.values():
+            for batch in queue:
+                if not batch.is_empty:
+                    yield batch.contents()
+
+
+class DeviceWalkPool:
+    """GPU-memory walk cache: frontier + free batch per partition, m_w cap.
+
+    ``capacity_walks`` bounds the number of walk states cached; the
+    ``(2P + 1)B`` reservation for frontiers and free batches (§III-B memory
+    usage analysis) is accounted separately via :meth:`reserved_bytes`.
+    """
+
+    def __init__(
+        self, num_partitions: int, batch_capacity: int, capacity_walks: int
+    ) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        if batch_capacity < 1:
+            raise ValueError("batch_capacity must be >= 1")
+        if capacity_walks < batch_capacity:
+            raise ValueError("capacity_walks must hold at least one batch")
+        self.num_partitions = num_partitions
+        self.batch_capacity = batch_capacity
+        self.capacity_walks = capacity_walks
+        # Per-partition contiguous append buffers (vertices, steps, ids,
+        # head, tail): inserts are slice assignments at the tail, pops are
+        # slice views from the head — both O(1) per call.  counts[p] always
+        # equals tail - head.
+        self._buffers: Dict[int, list] = {}
+        self.counts = np.zeros(num_partitions, dtype=np.int64)
+
+    def _buffer(self, partition: int, extra: int) -> list:
+        """The partition's buffer with >= ``extra`` free tail slots."""
+        buffer = self._buffers.get(partition)
+        if buffer is None:
+            cap = max(4 * self.batch_capacity, extra)
+            buffer = [
+                np.empty(cap, dtype=np.int64),
+                np.empty(cap, dtype=np.int32),
+                np.empty(cap, dtype=np.int64),
+                0,  # head
+                0,  # tail
+            ]
+            self._buffers[partition] = buffer
+            return buffer
+        head, tail = buffer[3], buffer[4]
+        cap = buffer[0].size
+        if tail + extra <= cap:
+            return buffer
+        live = tail - head
+        if live + extra <= cap and head >= cap // 2:
+            # Compact: shift the live region to the front.
+            for k in range(3):
+                buffer[k][:live] = buffer[k][head:tail]
+            buffer[3], buffer[4] = 0, live
+            return buffer
+        new_cap = max(cap * 2, live + extra)
+        for k in range(3):
+            grown = np.empty(new_cap, dtype=buffer[k].dtype)
+            grown[:live] = buffer[k][head:tail]
+            buffer[k] = grown
+        buffer[3], buffer[4] = 0, live
+        return buffer
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def cached_walks(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def overflow(self) -> int:
+        """How many walks exceed ``m_w`` (must be evicted before loading)."""
+        return max(0, self.cached_walks - self.capacity_walks)
+
+    def free_capacity(self) -> int:
+        return max(0, self.capacity_walks - self.cached_walks)
+
+    def reserved_bytes(self, bytes_per_walk: int) -> int:
+        """The §III-B bound: (2P + 1) batches of frontier/free reservation."""
+        return (
+            (2 * self.num_partitions + 1)
+            * self.batch_capacity
+            * bytes_per_walk
+        )
+
+    def num_walks(self, partition: int) -> int:
+        return int(self.counts[partition])
+
+    def has_walks(self, partition: int) -> bool:
+        return bool(self.counts[partition] > 0)
+
+    def partitions_with_walks(self) -> np.ndarray:
+        return np.nonzero(self.counts > 0)[0]
+
+    def full_batches(self, partition: int) -> int:
+        """Completed (non-frontier) batches: ``count // B``."""
+        return int(self.counts[partition]) // self.batch_capacity
+
+    def frontier_size(self, partition: int) -> int:
+        """Walks sitting in the partition's write frontier: ``count % B``."""
+        return int(self.counts[partition]) % self.batch_capacity
+
+    def has_cached_batches(self, partition: int) -> bool:
+        """Whether completed batches exist (these are the preemptible ones;
+        the write frontier must stay in place to receive reshuffled walks)."""
+        return self.full_batches(partition) >= 1
+
+    def has_full_cached_batch(self, partition: int) -> bool:
+        return self.full_batches(partition) >= 1
+
+    # ------------------------------------------------------------------
+    # Frontier writes (first-level walk-index cache, §III-C)
+    # ------------------------------------------------------------------
+    def append_walks(self, partition: int, walks: WalkArrays) -> None:
+        """Append updated walks to the partition's frontier (rollover-safe).
+
+        The caller must not mutate ``walks`` afterwards (reshuffled groups
+        are freshly sorted copies, so this holds throughout the engine).
+        """
+        n = len(walks)
+        if not n:
+            return
+        if not 0 <= partition < self.num_partitions:
+            raise IndexError(f"partition {partition} out of range")
+        buffer = self._buffer(partition, n)
+        tail = buffer[4]
+        buffer[0][tail : tail + n] = walks.vertices
+        buffer[1][tail : tail + n] = walks.steps
+        buffer[2][tail : tail + n] = walks.ids
+        buffer[4] = tail + n
+        self.counts[partition] += n
+
+    def scatter_sorted(
+        self,
+        parts: list,
+        sizes: np.ndarray,
+        vertices: np.ndarray,
+        steps: np.ndarray,
+        ids: np.ndarray,
+        starts: np.ndarray,
+        stops: np.ndarray,
+    ) -> None:
+        """Bulk frontier insert of partition-sorted walks (reshuffle hot path).
+
+        ``parts[k]`` receives the slice ``[starts[k], stops[k])`` of the
+        sorted payload arrays.  Semantically identical to calling
+        :meth:`append_walks` per group; one vectorized count update.
+        """
+        for k, part in enumerate(parts):
+            lo = starts[k]
+            hi = stops[k]
+            n = hi - lo
+            buffer = self._buffer(part, n)
+            tail = buffer[4]
+            buffer[0][tail : tail + n] = vertices[lo:hi]
+            buffer[1][tail : tail + n] = steps[lo:hi]
+            buffer[2][tail : tail + n] = ids[lo:hi]
+            buffer[4] = tail + n
+        np.add.at(self.counts, parts, sizes)
+
+    # ------------------------------------------------------------------
+    # Batch load / fetch / evict
+    # ------------------------------------------------------------------
+    def load_batch(self, batch: WalkBatch) -> None:
+        """Cache a batch transferred from the host pool."""
+        if batch.is_empty:
+            return
+        self.append_walks(batch.partition, batch.drain())
+
+    def _take(self, partition: int, count: int) -> WalkArrays:
+        """Remove the oldest ``count`` walks of a partition (FIFO).
+
+        Returns zero-copy views of the buffer region.  The region is not
+        reused until a later insert compacts or grows the buffer, so the
+        caller may mutate the views while it processes them (the engine
+        finishes each popped group synchronously before further pool ops on
+        the partition).
+        """
+        buffer = self._buffers[partition]
+        head = buffer[3]
+        stop = head + count
+        out = WalkArrays(
+            buffer[0][head:stop], buffer[1][head:stop], buffer[2][head:stop]
+        )
+        buffer[3] = stop
+        self.counts[partition] -= count
+        return out
+
+    def pop_all(self, partition: int) -> WalkArrays:
+        """Fetch every cached walk of this partition (frontier included).
+
+        Used when the partition is selected: all its batches are computed,
+        and its walk count drops to zero (§II-B observation).
+        """
+        count = int(self.counts[partition])
+        if count == 0:
+            return WalkArrays.empty()
+        return self._take(partition, count)
+
+    def pop_full_batches(self, partition: int) -> WalkArrays:
+        """Fetch the completed batches only (preemptive scheduling)."""
+        full = self.full_batches(partition)
+        if full == 0:
+            raise IndexError(
+                f"partition {partition} has no completed cached batches"
+            )
+        return self._take(partition, full * self.batch_capacity)
+
+    def pop_preemptible(self, partition: int) -> WalkArrays:
+        """Fetch the preemptible walks: the completed batches if any exist,
+        otherwise the detached write frontier (which the reserved free batch
+        immediately replaces, per §III-C)."""
+        full = self.full_batches(partition)
+        if full:
+            return self._take(partition, full * self.batch_capacity)
+        return self.pop_all(partition)
+
+    def evict_batch(self, partition: int) -> WalkBatch:
+        """Remove up to one batch of walks for transfer back to the host."""
+        count = int(self.counts[partition])
+        if count == 0:
+            raise IndexError(f"partition {partition} has no walks to evict")
+        take = min(count, self.batch_capacity)
+        walks = self._take(partition, take)
+        batch = WalkBatch(self.batch_capacity, partition)
+        batch.append(walks)
+        return batch
+
+    def iter_walks(self) -> Iterator[WalkArrays]:
+        """All walk contents (testing helper for conservation checks)."""
+        for buffer in self._buffers.values():
+            head, tail = buffer[3], buffer[4]
+            if tail > head:
+                yield WalkArrays(
+                    buffer[0][head:tail],
+                    buffer[1][head:tail],
+                    buffer[2][head:tail],
+                )

@@ -1,0 +1,104 @@
+"""Per-partition circular queue of walk batches (paper §III-B, Figure 6).
+
+Batches belonging to one partition form a circular queue: during
+computation, batches are fetched from the *head*; insertions of updated
+walks go to the *write frontier* at the tail with append-only writes.  When
+the frontier fills, a fresh batch becomes the new frontier (on the device
+pool the fresh batch is the pre-reserved free batch, so no allocation can
+fail mid-kernel).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.walks.batch import WalkBatch
+from repro.walks.state import WalkArrays
+
+
+class BatchQueue:
+    """Circular queue of batches for one partition."""
+
+    __slots__ = ("partition", "batch_capacity", "_batches")
+
+    def __init__(self, partition: int, batch_capacity: int) -> None:
+        if batch_capacity < 1:
+            raise ValueError("batch_capacity must be >= 1")
+        self.partition = partition
+        self.batch_capacity = batch_capacity
+        self._batches: Deque[WalkBatch] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_batches(self) -> int:
+        return len(self._batches)
+
+    @property
+    def num_walks(self) -> int:
+        return sum(batch.size for batch in self._batches)
+
+    @property
+    def is_empty(self) -> bool:
+        return all(batch.is_empty for batch in self._batches)
+
+    @property
+    def frontier(self) -> Optional[WalkBatch]:
+        """The write-frontier batch (tail), or ``None`` if no batch exists."""
+        return self._batches[-1] if self._batches else None
+
+    def batches(self) -> List[WalkBatch]:
+        return list(self._batches)
+
+    def __iter__(self) -> Iterator[WalkBatch]:
+        return iter(self._batches)
+
+    # ------------------------------------------------------------------
+    def append_walks(self, walks: WalkArrays) -> None:
+        """Insert walks at the frontier, rolling over to new batches as needed."""
+        written = 0
+        total = len(walks)
+        while written < total:
+            frontier = self.frontier
+            if frontier is None or frontier.is_full:
+                frontier = WalkBatch(self.batch_capacity, self.partition)
+                self._batches.append(frontier)
+            written += frontier.append(walks, start=written)
+
+    def push_batch(self, batch: WalkBatch) -> None:
+        """Insert an existing batch at the head (e.g. evicted from device)."""
+        if batch.partition != self.partition:
+            raise ValueError(
+                f"batch belongs to partition {batch.partition}, queue to "
+                f"{self.partition}"
+            )
+        self._batches.appendleft(batch)
+
+    def pop_batch(self) -> WalkBatch:
+        """Fetch the head batch for processing (skips drained empties)."""
+        while self._batches:
+            batch = self._batches.popleft()
+            if not batch.is_empty:
+                return batch
+        raise IndexError(f"partition {self.partition} has no walks queued")
+
+    def pop_all(self) -> List[WalkBatch]:
+        """Drain every non-empty batch (used when a partition is computed)."""
+        out = [b for b in self._batches if not b.is_empty]
+        self._batches.clear()
+        return out
+
+    def compact(self) -> None:
+        """Drop empty non-frontier batches (free-list return)."""
+        if not self._batches:
+            return
+        frontier = self._batches[-1]
+        kept = deque(b for b in list(self._batches)[:-1] if not b.is_empty)
+        kept.append(frontier)
+        self._batches = kept
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<BatchQueue part={self.partition} batches={self.num_batches} "
+            f"walks={self.num_walks}>"
+        )

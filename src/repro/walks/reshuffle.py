@@ -1,0 +1,169 @@
+"""Walk reshuffling (paper §III-C, Algorithm 1 lines 6-14, Figure 7).
+
+After a batch is updated, its surviving walks may belong to different
+partitions and must be inserted into the corresponding write frontiers.
+Two implementations are modeled:
+
+* **Two-level caching** (LightTraffic): each SM builds a *local index* in
+  shared memory — an atomic counter per partition plus an inverted map sorted
+  with counting sort — so global-memory synchronization happens once per
+  partition, and writes to the same frontier are coalesced.
+* **Direct write** (Fig 12 baseline): every thread performs an atomic on the
+  global frontier counter and an uncoalesced scatter store.
+
+Both produce identical walk placements; they differ only in the modeled
+kernel time (see :meth:`repro.gpu.kernels.KernelModel.reshuffle_time`).
+:class:`LocalIndex` is a faithful, testable port of the shared-memory data
+structure itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.gpu.kernels import DIRECT_WRITE, TWO_LEVEL, KernelModel
+from repro.walks.pool import DeviceWalkPool
+from repro.walks.state import WalkArrays
+
+
+class LocalIndex:
+    """The shared-memory structure of Algorithm 1 (one SM's view).
+
+    ``add(part, tid)`` mimics ``pos = atomicAdd(&localLen[part], 1);
+    invertedMap.add(part, pos, tid)``; ``sorted_entries`` mimics
+    ``invertedMap.sort()`` via counting sort over the prefix sums of the
+    local counters, yielding ``(part, pos, tid)`` triples ordered so that
+    threads writing to the same frontier get adjacent target addresses.
+    """
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+        self.local_len = np.zeros(num_partitions, dtype=np.int64)
+        self._entries: List[Tuple[int, int, int]] = []
+
+    def add(self, partition: int, tid: int) -> int:
+        """Atomic-add into the local counter; returns the walk's local pos."""
+        if not 0 <= partition < self.num_partitions:
+            raise IndexError(f"partition {partition} out of range")
+        pos = int(self.local_len[partition])
+        self.local_len[partition] += 1
+        self._entries.append((partition, pos, tid))
+        return pos
+
+    def sorted_entries(self) -> List[Tuple[int, int, int]]:
+        """Counting-sort the inverted map by (partition, pos)."""
+        prefix = np.zeros(self.num_partitions + 1, dtype=np.int64)
+        np.cumsum(self.local_len, out=prefix[1:])
+        out: List[Tuple[int, int, int]] = [None] * len(self._entries)  # type: ignore
+        for part, pos, tid in self._entries:
+            out[int(prefix[part]) + pos] = (part, pos, tid)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def group_by_partition(
+    walks: WalkArrays, partition_ids: np.ndarray
+) -> Dict[int, WalkArrays]:
+    """Split walks into per-target-partition groups (vectorized).
+
+    ``partition_ids[i]`` is the partition that ``walks[i]`` now belongs to
+    (``findPartition`` of Algorithm 1).  Uses a stable counting-sort-style
+    grouping, matching what the two-level local index produces after merge.
+    """
+    if partition_ids.shape != (len(walks),):
+        raise ValueError("partition_ids must align with walks")
+    if not len(walks):
+        return {}
+    order = np.argsort(partition_ids, kind="stable")
+    sorted_parts = partition_ids[order]
+    # Sort the payload once; per-group WalkArrays are zero-copy views.
+    vertices = walks.vertices[order]
+    steps = walks.steps[order]
+    ids = walks.ids[order]
+    boundaries = np.nonzero(np.diff(sorted_parts))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [len(walks)]])
+    groups: Dict[int, WalkArrays] = {}
+    for lo, hi in zip(starts, stops):
+        part = int(sorted_parts[lo])
+        groups[part] = WalkArrays(
+            vertices[lo:hi], steps[lo:hi], ids[lo:hi]
+        )
+    return groups
+
+
+class _BaseReshuffler:
+    """Shared semantics; subclasses pick the cost mode."""
+
+    mode: str = TWO_LEVEL
+
+    def __init__(self, kernel_model: KernelModel, num_partitions: int) -> None:
+        self.kernel_model = kernel_model
+        self.num_partitions = num_partitions
+        # Per-walk cost is constant for a fixed P and mode; precompute the
+        # serial (1-lane) per-walk duration so the hot path is one multiply
+        # (see KernelModel.reshuffle_time for the formula).
+        self._serial_per_walk = kernel_model.reshuffle_time(
+            1, num_partitions, self.mode
+        )
+        self._lanes = kernel_model.calibration.reshuffle_parallel_lanes
+
+    def seconds_for(self, num_walks: int) -> float:
+        """Modeled reshuffle duration for ``num_walks`` updated walks."""
+        if num_walks <= 0:
+            return 0.0
+        return num_walks * self._serial_per_walk / min(num_walks, self._lanes)
+
+    def reshuffle(
+        self,
+        pool: DeviceWalkPool,
+        walks: WalkArrays,
+        partition_ids: np.ndarray,
+    ) -> Tuple[float, int]:
+        """Insert updated walks into device frontiers.
+
+        Returns ``(modeled_seconds, partitions_touched)``.  The grouping is
+        a stable counting sort by partition — semantically what the
+        two-level local index produces after merging (Algorithm 1).
+        """
+        n = len(walks)
+        if n == 0:
+            return 0.0, 0
+        order = np.argsort(partition_ids, kind="stable")
+        sorted_parts = partition_ids[order]
+        # Guard against corrupted lookups: a negative id would silently wrap
+        # into the last partition's counters.
+        if sorted_parts[0] < 0 or sorted_parts[-1] >= self.num_partitions:
+            raise ValueError(
+                f"partition ids out of range [0, {self.num_partitions}): "
+                f"min={sorted_parts[0]}, max={sorted_parts[-1]}"
+            )
+        vertices = walks.vertices[order]
+        steps = walks.steps[order]
+        ids = walks.ids[order]
+        boundaries = np.nonzero(sorted_parts[1:] != sorted_parts[:-1])[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        stops = np.concatenate([boundaries, [n]])
+        parts = sorted_parts[starts].tolist()
+        pool.scatter_sorted(
+            parts, stops - starts, vertices, steps, ids, starts, stops
+        )
+        return self.seconds_for(n), len(parts)
+
+
+class TwoLevelReshuffler(_BaseReshuffler):
+    """LightTraffic's shared-memory two-level reshuffling (§III-C)."""
+
+    mode = TWO_LEVEL
+
+
+class DirectWriteReshuffler(_BaseReshuffler):
+    """Baseline: direct global-memory atomics and scatter writes (Fig 12)."""
+
+    mode = DIRECT_WRITE

@@ -1,0 +1,47 @@
+"""Shared test fixtures: small deterministic graphs and engine configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.graph import generators
+from repro.graph.builders import from_edges
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> CSRGraph:
+    """~1k-vertex power-law graph shared by engine-level tests."""
+    return generators.rmat(scale=10, edge_factor=6, seed=7, name="small")
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> CSRGraph:
+    """~4k-vertex graph for distribution-accuracy tests."""
+    return generators.rmat(scale=12, edge_factor=8, seed=11, name="medium")
+
+
+@pytest.fixture()
+def line_graph() -> CSRGraph:
+    """0-1-2-3-4 path graph (undirected)."""
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+    both = edges + [(b, a) for a, b in edges]
+    return from_edges(both, num_vertices=5, name="line")
+
+
+@pytest.fixture()
+def tiny_config() -> EngineConfig:
+    """Engine config with small pools/batches for unit-scale runs."""
+    return EngineConfig(
+        partition_bytes=2048,
+        batch_walks=32,
+        graph_pool_partitions=4,
+        seed=123,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2024)

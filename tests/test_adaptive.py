@@ -1,0 +1,74 @@
+"""Unit tests for adaptive zero-copy scheduling (§III-E)."""
+
+import pytest
+
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.config import COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO
+from repro.gpu.calibration import Calibration
+
+
+class TestThresholdRule:
+    def test_alpha_w_below_partition_uses_zero_copy(self):
+        policy = AdaptivePolicy(COPY_ADAPTIVE)
+        # effective alpha = 256 * 6: 10 walks -> ~15 KiB << 64 KiB partition.
+        assert policy.should_zero_copy(64 * 1024, 10)
+
+    def test_alpha_w_above_partition_uses_explicit(self):
+        policy = AdaptivePolicy(COPY_ADAPTIVE)
+        assert not policy.should_zero_copy(64 * 1024, 10_000)
+
+    def test_boundary(self):
+        policy = AdaptivePolicy(COPY_ADAPTIVE)
+        partition = int(policy.effective_alpha) * 100
+        assert not policy.should_zero_copy(partition, 100)  # strict <
+        assert policy.should_zero_copy(partition, 99)
+
+    def test_zero_walks(self):
+        assert AdaptivePolicy(COPY_ADAPTIVE).should_zero_copy(1024, 0)
+
+
+class TestForcedModes:
+    def test_explicit_never_zero_copies(self):
+        policy = AdaptivePolicy(COPY_EXPLICIT)
+        assert not policy.should_zero_copy(1 << 20, 0)
+        assert not policy.should_zero_copy(1 << 20, 1)
+
+    def test_zero_always_zero_copies(self):
+        policy = AdaptivePolicy(COPY_ZERO)
+        assert policy.should_zero_copy(1 << 10, 10**9)
+
+
+class TestMisc:
+    def test_traffic_estimate(self):
+        policy = AdaptivePolicy(COPY_ADAPTIVE)
+        assert policy.zero_copy_traffic(10) == 2560
+
+    def test_density_threshold_matches_paper(self):
+        # §IV-D: zero copy engages when D < S_w / alpha (effective alpha).
+        policy = AdaptivePolicy(COPY_ADAPTIVE)
+        assert policy.density_threshold(8) == pytest.approx(
+            8 / policy.effective_alpha
+        )
+        assert policy.density_threshold(16) == pytest.approx(
+            16 / policy.effective_alpha
+        )
+
+    def test_custom_alpha(self):
+        policy = AdaptivePolicy(
+            COPY_ADAPTIVE,
+            Calibration(zero_copy_alpha_bytes=512.0, zero_copy_cost_factor=1.0),
+        )
+        assert policy.alpha == 512.0
+        assert policy.effective_alpha == 512.0
+        assert not policy.should_zero_copy(512 * 10, 10)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy("sometimes")
+
+    def test_invalid_args(self):
+        policy = AdaptivePolicy(COPY_ADAPTIVE)
+        with pytest.raises(ValueError):
+            policy.should_zero_copy(0, 1)
+        with pytest.raises(ValueError):
+            policy.should_zero_copy(1024, -1)

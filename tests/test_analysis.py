@@ -1,0 +1,125 @@
+"""Tests for graph analysis utilities (validated against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.analysis import (
+    bfs_levels,
+    connected_components,
+    degree_stats,
+    effective_diameter,
+    largest_component_fraction,
+    walk_pressure_profile,
+)
+from repro.graph.builders import from_edges
+from repro.graph.partition import partition_by_range
+
+
+class TestDegreeStats:
+    def test_ring_uniform(self):
+        stats = degree_stats(generators.ring(10))
+        assert stats.minimum == stats.maximum == 2
+        assert stats.mean == 2.0
+        assert stats.gini == pytest.approx(0.0, abs=1e-9)
+        assert not stats.skewed
+
+    def test_star_skewed(self):
+        stats = degree_stats(generators.star(50))
+        assert stats.maximum == 50
+        assert stats.skewed
+
+    def test_rmat_heavy_tail(self, small_graph):
+        stats = degree_stats(small_graph)
+        assert stats.p99 > stats.median
+        assert stats.maximum >= stats.p99
+
+    def test_empty(self):
+        from repro.graph.csr import CSRGraph
+
+        empty = CSRGraph(np.array([0]), np.array([], dtype=np.int64))
+        stats = degree_stats(empty)
+        assert stats.mean == 0.0
+
+
+class TestBFS:
+    def test_line_distances(self, line_graph):
+        levels = bfs_levels(line_graph, 0)
+        assert levels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_ring_symmetry(self):
+        levels = bfs_levels(generators.ring(8), 0)
+        assert levels.max() == 4
+        assert levels[4] == 4
+
+    def test_unreachable_marked(self):
+        g = from_edges([(0, 1), (1, 0), (2, 3), (3, 2)], num_vertices=4)
+        levels = bfs_levels(g, 0)
+        assert levels[2] == -1 and levels[3] == -1
+
+    def test_matches_networkx(self, small_graph):
+        levels = bfs_levels(small_graph, 0)
+        nx_graph = nx.DiGraph(list(small_graph.iter_edges()))
+        nx_levels = nx.single_source_shortest_path_length(nx_graph, 0)
+        for v in range(0, small_graph.num_vertices, 37):
+            expected = nx_levels.get(v, -1)
+            assert levels[v] == expected
+
+    def test_invalid_source(self, line_graph):
+        with pytest.raises(IndexError):
+            bfs_levels(line_graph, 99)
+
+
+class TestComponents:
+    def test_two_components(self):
+        g = from_edges([(0, 1), (1, 0), (2, 3), (3, 2)], num_vertices=4)
+        labels, count = connected_components(g)
+        assert count == 2
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_rmat_mostly_connected(self, small_graph):
+        # Preprocessing drops isolated vertices; R-MAT cores are connected.
+        assert largest_component_fraction(small_graph) > 0.9
+
+    def test_matches_networkx_count(self):
+        g = from_edges(
+            [(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4)], num_vertices=6
+        )
+        __, count = connected_components(g)
+        nx_graph = nx.Graph(list(g.iter_edges()))
+        assert count == nx.number_connected_components(nx_graph)
+
+
+class TestEffectiveDiameter:
+    def test_ring_diameter(self):
+        diameter = effective_diameter(generators.ring(20), percentile=100, samples=4)
+        assert diameter == pytest.approx(10.0, abs=1.0)
+
+    def test_small_world_rmat(self, small_graph):
+        diameter = effective_diameter(small_graph, samples=6)
+        assert 1.0 < diameter < 12.0
+
+    def test_invalid_percentile(self, line_graph):
+        with pytest.raises(ValueError):
+            effective_diameter(line_graph, percentile=0)
+
+
+class TestWalkPressure:
+    def test_sums_to_one(self, small_graph):
+        pg = partition_by_range(small_graph, 4096)
+        pressure = walk_pressure_profile(pg)
+        assert pressure.sum() == pytest.approx(1.0)
+        assert pressure.size == pg.num_partitions
+
+    def test_range_partitioning_equalizes_edges(self, small_graph):
+        """Equal-byte partitions carry near-equal stationary walk mass —
+        the structural fact behind the scheduling dynamics in DESIGN.md."""
+        pg = partition_by_range(small_graph, 8192)
+        if pg.num_partitions < 4:
+            pytest.skip("need several partitions")
+        pressure = walk_pressure_profile(pg)
+        # No partition dominates: max within a few x of the mean.
+        assert pressure.max() < 5.0 / pg.num_partitions

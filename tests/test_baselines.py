@@ -1,0 +1,203 @@
+"""Unit and integration tests for the comparator systems."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, PersonalizedPageRank, UniformSampling
+from repro.baselines import (
+    CPUCostModel,
+    CPUSpec,
+    FlashMobEngine,
+    MultiRoundEngine,
+    NextDoorEngine,
+    NextDoorConfig,
+    SubwayConfig,
+    SubwayEngine,
+    SubwayOutOfMemory,
+    ThunderRWEngine,
+    XEON_GOLD_5218R,
+)
+from repro.core.config import EngineConfig
+from repro.core.engine import run_walks
+from repro.core.stats import CAT_GRAPH_LOAD, CAT_SUBGRAPH, CAT_WALK_UPDATE
+
+
+class TestCPUCostModel:
+    def test_thunderrw_degrades_with_size(self):
+        model = CPUCostModel(XEON_GOLD_5218R)
+        small = model.thunderrw_steps_per_second(1 << 20)
+        large = model.thunderrw_steps_per_second(1 << 36)
+        assert small > 2 * large
+
+    def test_flashmob_degrades_gently(self):
+        model = CPUCostModel(XEON_GOLD_5218R)
+        small = model.flashmob_steps_per_second(1 << 20)
+        large = model.flashmob_steps_per_second(1 << 36)
+        trw = CPUCostModel(XEON_GOLD_5218R)
+        assert small > large
+        # FlashMob loses less from the same growth than ThunderRW.
+        trw_ratio = trw.thunderrw_steps_per_second(
+            1 << 20
+        ) / trw.thunderrw_steps_per_second(1 << 36)
+        fm_ratio = small / large
+        assert fm_ratio < trw_ratio
+
+    def test_crossover_thunderrw_fast_when_cached(self):
+        model = CPUCostModel(XEON_GOLD_5218R)
+        cached = XEON_GOLD_5218R.llc_bytes // 2
+        assert model.thunderrw_steps_per_second(
+            cached
+        ) > model.flashmob_steps_per_second(cached)
+
+    def test_miss_rate_curve(self):
+        model = CPUCostModel(XEON_GOLD_5218R)
+        assert model.miss_rate(1024) == pytest.approx(0.02)
+        assert model.miss_rate(10 ** 12) == pytest.approx(0.98)
+        with pytest.raises(ValueError):
+            model.miss_rate(0)
+
+    def test_scaled_spec(self):
+        scaled = XEON_GOLD_5218R.scaled(1 / 1024)
+        assert scaled.llc_bytes == XEON_GOLD_5218R.llc_bytes // 1024
+        assert scaled.cores == XEON_GOLD_5218R.cores
+        with pytest.raises(ValueError):
+            XEON_GOLD_5218R.scaled(0)
+
+
+class TestCPUEngines:
+    def test_thunderrw_runs_all_algorithms(self, small_graph):
+        for algo in (UniformSampling(8), PageRank(8), PersonalizedPageRank()):
+            stats = ThunderRWEngine(small_graph, algo).run(100)
+            assert stats.system == "thunderrw"
+            assert stats.total_steps > 0
+            assert stats.total_time > 0
+
+    def test_flashmob_rejects_variable_length(self, small_graph):
+        with pytest.raises(ValueError, match="fixed-length"):
+            FlashMobEngine(small_graph, PersonalizedPageRank())
+
+    def test_flashmob_runs_fixed_length(self, small_graph):
+        stats = FlashMobEngine(small_graph, PageRank(8)).run(100)
+        assert stats.total_steps == 800
+
+    def test_cpu_time_is_steps_over_rate(self, small_graph):
+        engine = ThunderRWEngine(small_graph, UniformSampling(8))
+        stats = engine.run(50)
+        assert stats.total_time == pytest.approx(
+            stats.total_steps / engine.steps_per_second()
+        )
+
+    def test_invalid_walk_count(self, small_graph):
+        with pytest.raises(ValueError):
+            ThunderRWEngine(small_graph, PageRank(4)).run(0)
+
+
+class TestSubway:
+    def test_runs_one_step_per_iteration(self, small_graph):
+        engine = SubwayEngine(small_graph, PageRank(length=9))
+        stats = engine.run(120)
+        assert stats.iterations == 9  # one step per active walk per iter
+        assert stats.total_steps == 120 * 9
+
+    def test_records_activity_ratios(self, small_graph):
+        engine = SubwayEngine(small_graph, PageRank(length=6))
+        engine.run(2 * small_graph.num_vertices)
+        assert len(engine.records) == 6
+        first = engine.records[0]
+        assert 0 < first.active_vertex_fraction <= 1
+        assert 0 < first.active_edge_fraction <= 1
+        # Walks use only a fraction of the loaded active edges.
+        assert first.used_edge_fraction < first.active_edge_fraction
+
+    def test_breakdown_sums_to_total(self, small_graph):
+        stats = SubwayEngine(small_graph, PageRank(length=5)).run(100)
+        assert stats.total_time == pytest.approx(sum(stats.breakdown.values()))
+        assert stats.time(CAT_SUBGRAPH) > 0
+        assert stats.time(CAT_GRAPH_LOAD) > 0
+        assert stats.time(CAT_WALK_UPDATE) > 0
+
+    def test_chunked_loads_when_subgraph_exceeds_gpu(self, small_graph):
+        config = SubwayConfig(gpu_memory_bytes=1024)
+        stats = SubwayEngine(small_graph, PageRank(length=3)).run(100)
+        chunked = SubwayEngine(small_graph, PageRank(length=3), config).run(100)
+        assert chunked.explicit_copies > stats.explicit_copies
+
+    def test_host_oom_model(self, small_graph):
+        tight = SubwayConfig(host_memory_bytes=small_graph.csr_bytes)
+        with pytest.raises(SubwayOutOfMemory):
+            SubwayEngine(small_graph, PageRank(length=3), tight).run(10)
+
+    def test_host_memory_estimate(self, small_graph):
+        engine = SubwayEngine(small_graph, PageRank(length=3))
+        assert engine.host_memory_estimate() > 2 * small_graph.csr_bytes
+
+    def test_ppr_variable_iterations(self, small_graph):
+        engine = SubwayEngine(
+            small_graph, PersonalizedPageRank(stop_prob=0.3)
+        )
+        stats = engine.run(200)
+        assert stats.iterations > 3  # geometric tail
+
+
+class TestNextDoor:
+    def test_runs(self, small_graph):
+        stats = NextDoorEngine(small_graph, PageRank(length=7)).run(100)
+        assert stats.total_steps == 700
+        assert stats.explicit_copies == 1  # whole graph loaded once
+        assert stats.time(CAT_GRAPH_LOAD) > 0
+
+    def test_rejects_oversized_graph(self, small_graph):
+        import dataclasses
+
+        from repro.gpu.device import RTX3090
+
+        tiny_device = dataclasses.replace(RTX3090, mem_bytes=1024)
+        with pytest.raises(ValueError, match="fit in GPU memory"):
+            NextDoorEngine(
+                small_graph,
+                PageRank(length=3),
+                NextDoorConfig(device=tiny_device),
+            )
+
+    def test_invalid_walk_count(self, small_graph):
+        with pytest.raises(ValueError):
+            NextDoorEngine(small_graph, PageRank(length=3)).run(0)
+
+
+class TestMultiRound:
+    def test_aggregates_all_rounds(self, small_graph, tiny_config):
+        engine = MultiRoundEngine(
+            small_graph,
+            lambda: UniformSampling(length=6),
+            tiny_config,
+            rounds=4,
+        )
+        stats = engine.run(400)
+        assert stats.system == "multiround"
+        assert stats.num_walks == 400
+        assert stats.total_steps == 2400
+        assert "rounds=4" in stats.notes
+
+    def test_costs_more_than_single_run(self, small_graph, tiny_config):
+        single = run_walks(
+            small_graph, UniformSampling(length=6), 400, tiny_config
+        )
+        multi = MultiRoundEngine(
+            small_graph, lambda: UniformSampling(length=6), tiny_config, rounds=4
+        ).run(400)
+        assert multi.total_time > single.total_time
+
+    def test_single_round_equivalent_scale(self, small_graph, tiny_config):
+        multi = MultiRoundEngine(
+            small_graph, lambda: UniformSampling(length=6), tiny_config, rounds=1
+        ).run(100)
+        assert multi.total_steps == 600
+
+    def test_invalid(self, small_graph, tiny_config):
+        with pytest.raises(ValueError):
+            MultiRoundEngine(small_graph, PageRank, tiny_config, rounds=0)
+        engine = MultiRoundEngine(
+            small_graph, lambda: PageRank(length=3), tiny_config, rounds=8
+        )
+        with pytest.raises(ValueError):
+            engine.run(4)  # fewer walks than rounds

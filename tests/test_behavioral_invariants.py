@@ -1,0 +1,95 @@
+"""Final behavioural invariants cutting across subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PageRank, PersonalizedPageRank, UniformSampling
+from repro.baselines import SubwayEngine, UVMConfig, UVMEngine
+from repro.core.config import EngineConfig
+from repro.core.engine import LightTrafficEngine, run_walks
+from repro.graph import generators
+
+GRAPH = generators.rmat(scale=9, edge_factor=5, seed=41, name="inv")
+
+
+@given(
+    seed=st.integers(0, 200),
+    batch=st.sampled_from([8, 32, 128]),
+    pool=st.integers(2, 8),
+)
+@settings(max_examples=15, deadline=None)
+def test_timeline_never_overlaps_under_random_configs(seed, batch, pool):
+    """Property: per-stream ops never overlap, whatever the config."""
+    config = EngineConfig(
+        partition_bytes=2048,
+        batch_walks=batch,
+        graph_pool_partitions=pool,
+        seed=seed,
+        record_ops=True,
+    )
+    engine = LightTrafficEngine(GRAPH, PageRank(length=6), config)
+    engine.run(150)
+    engine._timeline.validate()  # raises on overlap
+
+
+class TestSubwayMonotonicity:
+    def test_active_walks_non_increasing(self):
+        engine = SubwayEngine(GRAPH, PersonalizedPageRank(stop_prob=0.2))
+        engine.run(300)
+        active = [r.active_walks for r in engine.records]
+        assert all(b <= a for a, b in zip(active, active[1:]))
+
+    def test_fixed_length_constant_until_end(self):
+        engine = SubwayEngine(GRAPH, UniformSampling(length=7))
+        engine.run(300)
+        active = [r.active_walks for r in engine.records]
+        assert active == [300] * 7
+
+
+class TestUVMPageSizeTradeoff:
+    def test_larger_pages_fewer_faults_more_bytes(self):
+        def run(page):
+            engine = UVMEngine(
+                GRAPH,
+                PageRank(length=6),
+                UVMConfig(page_bytes=page, gpu_memory_bytes=GRAPH.csr_bytes * 2),
+            )
+            engine.run(150)
+            return engine.faults
+
+        small_pages = run(512)
+        large_pages = run(8192)
+        # With a cache that fits the graph, faults ~ distinct pages touched:
+        # fewer, larger pages fault less often.
+        assert large_pages < small_pages
+
+
+class TestWalkLengthAccounting:
+    def test_every_walk_reaches_exact_length(self, tiny_config):
+        algo = UniformSampling(length=11, record_paths=True)
+        run_walks(GRAPH, algo, 120, tiny_config)
+        # paths fully populated: every walk took exactly `length` steps.
+        assert np.all(algo.paths >= 0)
+
+    def test_ppr_steps_bounded_by_max_length(self, tiny_config):
+        algo = PersonalizedPageRank(stop_prob=0.05, max_length=7)
+        stats = run_walks(GRAPH, algo, 200, tiny_config)
+        assert stats.total_steps <= 200 * 7
+
+
+class TestThroughputOrdering:
+    def test_denser_workload_higher_throughput(self):
+        """More walks over the same graph amortize transfers (the Fig 18
+        mechanism at standard scale)."""
+        config = EngineConfig(
+            partition_bytes=2048,
+            batch_walks=32,
+            graph_pool_partitions=3,
+            copy_mode="explicit",
+            seed=6,
+        )
+        sparse = run_walks(GRAPH, PageRank(length=8), 50, config)
+        dense = run_walks(GRAPH, PageRank(length=8), 2000, config)
+        assert dense.throughput > sparse.throughput

@@ -1,0 +1,171 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.graph.io import load_csr
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_sources_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--dataset", "lj-sim", "--graph", "x.npz"]
+            )
+
+    def test_experiment_names_cover_all_figures(self):
+        expected = {"table1", "table2", "table3"} | {
+            f"fig{i}" for i in (3, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18)
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestGenerate:
+    def test_generate_npz(self, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        code = main(
+            ["generate", "--kind", "rmat", "--scale", "8",
+             "--edge-factor", "4", "--out", str(out)]
+        )
+        assert code == 0
+        graph = load_csr(out)
+        assert graph.num_vertices > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_edge_list(self, tmp_path):
+        out = tmp_path / "g.txt"
+        code = main(
+            ["generate", "--kind", "ba", "--vertices", "50",
+             "--edge-factor", "2", "--out", str(out)]
+        )
+        assert code == 0
+        assert out.read_text().count("\n") > 10
+
+    def test_generate_erdos(self, tmp_path):
+        out = tmp_path / "e.npz"
+        assert main(
+            ["generate", "--kind", "erdos", "--vertices", "100",
+             "--edge-factor", "3", "--out", str(out)]
+        ) == 0
+
+
+class TestRun:
+    @pytest.fixture()
+    def graph_file(self, tmp_path, small_graph):
+        from repro.graph.io import save_csr
+
+        path = tmp_path / "g.npz"
+        save_csr(small_graph, path)
+        return str(path)
+
+    def test_run_lighttraffic(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--algorithm", "pagerank",
+             "--walks", "500"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lighttraffic/pagerank" in out
+        assert "breakdown" in out
+
+    @pytest.mark.parametrize(
+        "system", ["thunderrw", "flashmob", "subway", "nextdoor"]
+    )
+    def test_run_baselines(self, graph_file, capsys, system):
+        code = main(
+            ["run", "--graph", graph_file, "--algorithm", "uniform",
+             "--walks", "200", "--system", system]
+        )
+        assert code == 0
+        assert f"{system}/uniform" in capsys.readouterr().out
+
+    def test_run_ppr_rejected_by_flashmob(self, graph_file):
+        with pytest.raises(ValueError, match="fixed-length"):
+            main(
+                ["run", "--graph", graph_file, "--algorithm", "ppr",
+                 "--walks", "100", "--system", "flashmob"]
+            )
+
+    def test_run_edge_list_input(self, tmp_path, small_graph, capsys):
+        from repro.graph.io import save_edge_list
+
+        path = tmp_path / "g.txt"
+        save_edge_list(small_graph, path)
+        code = main(
+            ["run", "--graph", str(path), "--algorithm", "uniform",
+             "--walks", "100"]
+        )
+        assert code == 0
+
+
+class TestExperimentCommand:
+    def test_experiment_prints_rows(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "table3", (lambda: [{"variant": "x", "v": 1}], ())
+        )
+        assert main(["experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment table3" in out
+        assert "variant" in out
+
+    def test_experiment_empty_rows(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "fig3", (lambda: [], ()))
+        assert main(["experiment", "fig3"]) == 1
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestReportCommand:
+    def test_report_written(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.report as report_mod
+
+        monkeypatch.setattr(
+            report_mod,
+            "_REGISTRY",
+            {"table2": (lambda: [{"a": 1}], "datasets")},
+        )
+        out = tmp_path / "r.md"
+        assert main(["report", "--out", str(out), "--only", "table2"]) == 0
+        assert "## table2" in out.read_text()
+
+
+class TestDatasetsCommand:
+    def test_datasets_table(self, capsys, monkeypatch):
+        from repro.bench import harness
+
+        monkeypatch.setattr(
+            harness,
+            "table2_dataset_stats",
+            lambda: [
+                {
+                    "dataset": "lj-sim",
+                    "paper": "LiveJournal",
+                    "V": 10,
+                    "E": 20,
+                    "csr_mb": 0.1,
+                    "d_max": 3,
+                    "paper_V": 4.85e6,
+                    "paper_E": 8.57e7,
+                    "paper_csr_gb": 0.364,
+                    "scale": 1000.0,
+                }
+            ],
+        )
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "lj-sim" in out and "LiveJournal" in out

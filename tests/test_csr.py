@@ -1,0 +1,194 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builders import from_edges
+from repro.graph.csr import (
+    CSRGraph,
+    EDGE_ENTRY_BYTES,
+    VERTEX_ENTRY_BYTES,
+    adjacency_lists,
+)
+
+
+def triangle() -> CSRGraph:
+    return from_edges(
+        [(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)], num_vertices=3
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 6
+
+    def test_empty_graph_single_vertex(self):
+        g = CSRGraph(np.array([0, 0]), np.array([], dtype=np.int64))
+        assert g.num_vertices == 1
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="offsets\\[0\\]"):
+            CSRGraph(np.array([1, 2]), np.array([0]))
+
+    def test_offsets_must_match_edge_count(self):
+        with pytest.raises(ValueError, match="offsets\\[-1\\]"):
+            CSRGraph(np.array([0, 2]), np.array([0]))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+    def test_targets_range_checked(self):
+        with pytest.raises(ValueError, match="out of vertex-id range"):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError, match="out of vertex-id range"):
+            CSRGraph(np.array([0, 1]), np.array([-1]))
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValueError, match="at least one entry"):
+            CSRGraph(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+    def test_weights_must_align(self):
+        with pytest.raises(ValueError, match="one entry per edge"):
+            CSRGraph(np.array([0, 1]), np.array([0]), weights=np.array([1.0, 2.0]))
+
+    def test_weights_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            CSRGraph(np.array([0, 1]), np.array([0]), weights=np.array([0.0]))
+
+    def test_2d_arrays_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            CSRGraph(np.zeros((2, 2)), np.array([0]))
+
+
+class TestQueries:
+    def test_neighbors(self):
+        g = triangle()
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+        assert sorted(g.neighbors(2).tolist()) == [0, 1]
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(IndexError):
+            triangle().neighbors(3)
+        with pytest.raises(IndexError):
+            triangle().neighbors(-1)
+
+    def test_degrees(self):
+        g = triangle()
+        assert g.degrees().tolist() == [2, 2, 2]
+        assert g.degree(1) == 2
+        assert g.max_degree == 2
+
+    def test_has_edge(self):
+        g = triangle()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 0)
+        assert not g.has_edge(0, 0)
+
+    def test_has_edge_unsorted_neighbors(self):
+        g = from_edges([(0, 2), (0, 1)], num_vertices=3, sort_neighbors=False)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(0, 0)
+
+    def test_iter_edges(self):
+        g = triangle()
+        edges = set(g.iter_edges())
+        assert (0, 1) in edges and (2, 1) in edges
+        assert len(edges) == 6
+
+    def test_neighbor_weights_requires_weighted(self):
+        with pytest.raises(ValueError, match="unweighted"):
+            triangle().neighbor_weights(0)
+
+    def test_neighbor_weights(self):
+        g = from_edges([(0, 1), (0, 2)], num_vertices=3, weights=[0.5, 1.5])
+        assert g.neighbor_weights(0).tolist() == [0.5, 1.5]
+
+
+class TestSlicing:
+    def test_vertex_range_edges(self):
+        g = triangle()
+        lo, hi = g.vertex_range_edges(1, 3)
+        assert (lo, hi) == (2, 6)
+
+    def test_vertex_range_invalid(self):
+        with pytest.raises(ValueError):
+            triangle().vertex_range_edges(2, 1)
+        with pytest.raises(ValueError):
+            triangle().vertex_range_edges(0, 9)
+
+    def test_subgraph_arrays_rebased(self):
+        g = triangle()
+        offsets, targets, weights = g.subgraph_arrays(1, 3)
+        assert offsets.tolist() == [0, 2, 4]
+        assert weights is None
+        # Targets keep global ids.
+        assert set(targets.tolist()) <= {0, 1, 2}
+
+    def test_subgraph_arrays_weighted(self):
+        g = from_edges([(0, 1), (1, 0)], num_vertices=2, weights=[2.0, 3.0])
+        __, targets, weights = g.subgraph_arrays(1, 2)
+        assert targets.tolist() == [0]
+        assert weights.tolist() == [3.0]
+
+
+class TestSizes:
+    def test_csr_bytes_unweighted(self):
+        g = triangle()
+        assert g.csr_bytes == VERTEX_ENTRY_BYTES * 4 + EDGE_ENTRY_BYTES * 6
+
+    def test_csr_bytes_weighted(self):
+        g = from_edges([(0, 1)], num_vertices=2, weights=[1.0])
+        assert g.csr_bytes == VERTEX_ENTRY_BYTES * 3 + EDGE_ENTRY_BYTES * 2
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        assert triangle() == triangle()
+
+    def test_unequal_edges(self):
+        g2 = from_edges([(0, 1)], num_vertices=3)
+        assert triangle() != g2
+
+    def test_weighted_vs_unweighted(self):
+        a = from_edges([(0, 1)], num_vertices=2)
+        b = from_edges([(0, 1)], num_vertices=2, weights=[1.0])
+        assert a != b
+
+    def test_validate_roundtrip(self):
+        triangle().validate()
+
+
+class TestAdjacencyLists:
+    def test_matches_neighbors(self, small_graph):
+        lists = adjacency_lists(small_graph)
+        assert len(lists) == small_graph.num_vertices
+        for v in (0, small_graph.num_vertices // 2):
+            assert np.array_equal(lists[v], small_graph.neighbors(v))
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_csr_from_edges_preserves_multiset(edges):
+    """Property: CSR construction preserves the edge multiset."""
+    g = from_edges(edges, num_vertices=16)
+    rebuilt = sorted(g.iter_edges())
+    assert rebuilt == sorted((int(a), int(b)) for a, b in edges)
+    # Offsets are consistent with degrees.
+    assert g.offsets[-1] == len(edges)
+    assert np.all(np.diff(g.offsets) >= 0)

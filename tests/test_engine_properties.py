@@ -1,0 +1,101 @@
+"""Property-based tests of the engine over randomized configurations.
+
+The engine must complete every walk, conserve counts, and keep its timeline
+consistent for *any* combination of pool sizes, batch sizes, partition
+sizes, scheduling toggles, and copy modes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PageRank, PersonalizedPageRank, UniformSampling
+from repro.core.config import (
+    COPY_ADAPTIVE,
+    COPY_EXPLICIT,
+    COPY_ZERO,
+    EngineConfig,
+)
+from repro.core.engine import run_walks
+from repro.graph import generators
+
+GRAPH = generators.rmat(scale=9, edge_factor=5, seed=77, name="prop")
+
+
+config_strategy = st.fixed_dictionaries(
+    {
+        "partition_bytes": st.sampled_from([1024, 2048, 4096, 16384]),
+        "batch_walks": st.sampled_from([8, 32, 128]),
+        "graph_pool_partitions": st.integers(1, 12),
+        "walk_pool_walks": st.sampled_from([None, 64, 512]),
+        "pipeline": st.booleans(),
+        "preemptive": st.booleans(),
+        "selective": st.booleans(),
+        "copy_mode": st.sampled_from(
+            [COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO]
+        ),
+        "seed": st.integers(0, 10_000),
+    }
+)
+
+
+@given(options=config_strategy, num_walks=st.integers(1, 300))
+@settings(max_examples=40, deadline=None)
+def test_uniform_always_completes_exactly(options, num_walks):
+    """Property: fixed-length walks take exactly walks*length steps."""
+    walk_pool = options["walk_pool_walks"]
+    if walk_pool is not None:
+        walk_pool = max(walk_pool, options["batch_walks"])
+        options = dict(options, walk_pool_walks=walk_pool)
+    config = EngineConfig(**options)
+    stats = run_walks(GRAPH, UniformSampling(length=6), num_walks, config)
+    assert stats.total_steps == num_walks * 6
+    assert stats.total_time > 0
+    assert stats.iterations >= 1
+    # Timeline sanity: makespan within [max category, sum of categories].
+    assert stats.total_time <= sum(stats.breakdown.values()) + 1e-12
+    assert stats.total_time >= max(stats.breakdown.values()) - 1e-12
+
+
+@given(options=config_strategy)
+@settings(max_examples=25, deadline=None)
+def test_ppr_conserves_visits(options):
+    """Property: PPR visit counts equal processed moves + starts."""
+    walk_pool = options["walk_pool_walks"]
+    if walk_pool is not None:
+        walk_pool = max(walk_pool, options["batch_walks"])
+        options = dict(options, walk_pool_walks=walk_pool)
+    config = EngineConfig(**options)
+    algo = PersonalizedPageRank(stop_prob=0.25)
+    num_walks = 120
+    stats = run_walks(GRAPH, algo, num_walks, config)
+    moves = int(algo.visit_counts.sum()) - num_walks  # minus start visits
+    assert 0 <= moves <= stats.total_steps
+    assert stats.total_steps >= num_walks  # every walk processed >= 1 step
+
+
+@given(
+    seed=st.integers(0, 1000),
+    copy_mode=st.sampled_from([COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO]),
+)
+@settings(max_examples=15, deadline=None)
+def test_copy_mode_changes_time_not_results(seed, copy_mode):
+    """Property: copy mode affects only the schedule, never trajectories.
+
+    Preemption is disabled because it changes the *order* batches are
+    processed (and therefore RNG stream consumption); with a fixed order,
+    how the graph reaches the GPU cannot change where walks go.
+    """
+    base = EngineConfig(
+        partition_bytes=2048,
+        batch_walks=32,
+        graph_pool_partitions=4,
+        preemptive=False,
+        seed=seed,
+    )
+    reference_algo = PageRank(length=8)
+    run_walks(GRAPH, reference_algo, 150, base.with_options(copy_mode=COPY_EXPLICIT))
+    algo = PageRank(length=8)
+    run_walks(GRAPH, algo, 150, base.with_options(copy_mode=copy_mode))
+    assert np.array_equal(algo.visit_counts, reference_algo.visit_counts)

@@ -1,0 +1,73 @@
+"""Tests for the multi-epoch driver."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, UniformSampling
+from repro.core.epochs import run_epochs
+
+
+class TestRunEpochs:
+    def test_aggregates(self, small_graph, tiny_config):
+        result = run_epochs(
+            small_graph,
+            lambda: UniformSampling(length=5),
+            epochs=3,
+            num_walks=60,
+            config=tiny_config,
+        )
+        assert result.epochs == 3
+        assert result.total_steps == 3 * 60 * 5
+        assert len(result.per_epoch) == 3
+        assert result.total_time == pytest.approx(
+            sum(s.total_time for s in result.per_epoch)
+        )
+        assert result.mean_epoch_time > 0
+        assert result.throughput > 0
+
+    def test_default_walk_count_is_v(self, small_graph, tiny_config):
+        result = run_epochs(
+            small_graph, lambda: UniformSampling(length=2), epochs=1,
+            config=tiny_config,
+        )
+        assert result.num_walks_per_epoch == small_graph.num_vertices
+
+    def test_epochs_draw_independent_trajectories(self, small_graph, tiny_config):
+        result = run_epochs(
+            small_graph,
+            lambda: PageRank(length=6),
+            epochs=2,
+            num_walks=100,
+            config=tiny_config,
+        )
+        a, b = result.algorithms
+        assert not np.array_equal(a.visit_counts, b.visit_counts)
+
+    def test_keep_algorithms_false(self, small_graph, tiny_config):
+        result = run_epochs(
+            small_graph,
+            lambda: UniformSampling(length=3),
+            epochs=2,
+            num_walks=40,
+            config=tiny_config,
+            keep_algorithms=False,
+        )
+        assert result.algorithms == []
+
+    def test_invalid_epochs(self, small_graph, tiny_config):
+        with pytest.raises(ValueError):
+            run_epochs(
+                small_graph, lambda: PageRank(3), epochs=0, config=tiny_config
+            )
+
+    def test_deterministic_given_seed(self, small_graph, tiny_config):
+        def run():
+            return run_epochs(
+                small_graph,
+                lambda: UniformSampling(length=4),
+                epochs=2,
+                num_walks=50,
+                config=tiny_config,
+            )
+
+        assert run().total_time == run().total_time

@@ -1,0 +1,82 @@
+"""Tests for CUDA-event-like synchronization primitives."""
+
+import pytest
+
+from repro.gpu.events import Event, StreamGroup, elapsed_between
+from repro.gpu.timeline import Stream, Timeline
+
+
+class TestEvent:
+    def test_records_completion_frontier(self):
+        s = Stream("s")
+        s.schedule(2.0, "op")
+        event = Event(s)
+        assert event.time == 2.0
+        assert event.is_recorded
+
+    def test_unrecorded_raises(self):
+        event = Event()
+        assert not event.is_recorded
+        with pytest.raises(RuntimeError):
+            event.time
+
+    def test_wait_gates_dependent_stream(self):
+        tl = Timeline()
+        tl.load.schedule(5.0, "graph_load")
+        event = Event(tl.load)
+        start, __ = tl.compute.schedule(1.0, "k", earliest=event.wait())
+        assert start == 5.0
+
+    def test_re_record_updates(self):
+        s = Stream("s")
+        event = Event(s)
+        assert event.time == 0.0
+        s.schedule(3.0, "op")
+        event.record(s)
+        assert event.time == 3.0
+
+    def test_query(self):
+        s = Stream("s")
+        s.schedule(2.0, "op")
+        event = Event(s)
+        assert event.query(2.0)
+        assert not event.query(1.0)
+        assert not Event().query(10.0)
+
+
+class TestElapsed:
+    def test_elapsed_between(self):
+        s = Stream("s")
+        start = Event(s)
+        s.schedule(4.0, "op")
+        end = Event(s)
+        assert elapsed_between(start, end) == 4.0
+
+    def test_reversed_raises(self):
+        s = Stream("s")
+        start = Event(s)
+        s.schedule(1.0, "op")
+        end = Event(s)
+        with pytest.raises(ValueError):
+            elapsed_between(end, start)
+
+
+class TestStreamGroup:
+    def test_synchronize_is_max(self):
+        tl = Timeline()
+        tl.load.schedule(7.0, "a")
+        tl.compute.schedule(3.0, "b")
+        group = StreamGroup(tl.streams)
+        assert group.synchronize() == 7.0
+
+    def test_barrier_gates_all_streams(self):
+        tl = Timeline()
+        tl.load.schedule(7.0, "a")
+        tl.compute.schedule(3.0, "b")
+        StreamGroup(tl.streams).barrier()
+        start, __ = tl.compute.schedule(1.0, "c")
+        assert start == 7.0  # compute may not run before the barrier
+
+    def test_empty_group(self):
+        with pytest.raises(ValueError):
+            StreamGroup([])

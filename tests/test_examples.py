@@ -1,0 +1,41 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the two fastest also execute end to
+end (the dataset-driven ones run in the benchmark suite's time budget, not
+here).
+"""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "name",
+    sorted(p.name for p in EXAMPLES.glob("*.py")),
+)
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+def run_example(name, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_executes(monkeypatch, capsys):
+    out = run_example("quickstart.py", monkeypatch, capsys)
+    assert "top-5 PageRank vertices" in out
+    assert "pool hit rate" in out
+
+
+def test_pagerank_ranking_executes(monkeypatch, capsys):
+    out = run_example("pagerank_ranking.py", monkeypatch, capsys)
+    assert "total-variation distance" in out
+    assert "top-10 overlap" in out

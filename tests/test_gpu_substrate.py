@@ -1,0 +1,121 @@
+"""Unit tests for the simulated GPU substrate: device, calibration, PCIe."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.gpu.device import A100, DeviceSpec, RTX3090
+from repro.gpu.pcie import (
+    NVLINK2,
+    PCIE3,
+    PCIE4,
+    PCIeSpec,
+    interconnect_by_name,
+)
+
+
+class TestDeviceSpec:
+    def test_presets_sane(self):
+        for spec in (RTX3090, A100):
+            assert spec.total_cores == spec.num_sms * spec.cores_per_sm
+            assert spec.mem_bytes > spec.l2_bytes > 0
+
+    def test_cycles_to_seconds(self):
+        assert RTX3090.cycles_to_seconds(RTX3090.clock_hz) == pytest.approx(1.0)
+
+    def test_with_memory(self):
+        capped = A100.with_memory(1 << 30)
+        assert capped.mem_bytes == 1 << 30
+        assert capped.num_sms == A100.num_sms
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(RTX3090, num_sms=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(RTX3090, clock_hz=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(RTX3090, mem_bytes=0)
+
+
+class TestCalibration:
+    def test_default_validates(self):
+        DEFAULT_CALIBRATION.validate()
+
+    def test_sim_scale_scales_fixed_costs(self):
+        cal = Calibration(sim_scale=0.5)
+        assert cal.scaled_kernel_launch_seconds == pytest.approx(
+            cal.kernel_launch_seconds / 2
+        )
+        assert cal.scaled_memcpy_call_seconds == pytest.approx(
+            cal.memcpy_call_seconds / 2
+        )
+
+    def test_invalid_sim_scale(self):
+        with pytest.raises(ValueError):
+            Calibration(sim_scale=0.0).validate()
+        with pytest.raises(ValueError):
+            Calibration(sim_scale=2.0).validate()
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            Calibration(zero_copy_bandwidth_fraction=0.0).validate()
+        with pytest.raises(ValueError):
+            Calibration(random_access_efficiency=1.5).validate()
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Calibration(kernel_launch_seconds=-1.0).validate()
+
+
+class TestPCIe:
+    def test_explicit_copy_bandwidth(self):
+        # 128 "MB" over PCIe3 at 12 GB/s: the paper's ~10.4 ms anchor.
+        t = PCIE3.explicit_copy_time(128 * (1 << 20))
+        assert t == pytest.approx(128 * (1 << 20) / 12e9 + PCIE3.latency_seconds)
+        assert 0.010 < t < 0.012
+
+    def test_explicit_copy_zero_bytes(self):
+        assert PCIE3.explicit_copy_time(0) == 0.0
+
+    def test_explicit_copy_negative(self):
+        with pytest.raises(ValueError):
+            PCIE3.explicit_copy_time(-1)
+
+    def test_pcie4_doubles_bandwidth(self):
+        big = 1 << 26
+        assert PCIE4.explicit_copy_time(big) < PCIE3.explicit_copy_time(big)
+        assert PCIE4.bandwidth == pytest.approx(2 * PCIE3.bandwidth)
+
+    def test_zero_copy_rounds_to_cachelines(self):
+        cal = DEFAULT_CALIBRATION
+        one_byte = PCIE3.zero_copy_time(1, cal)
+        full_line = PCIE3.zero_copy_time(cal.cacheline_bytes, cal)
+        assert one_byte == pytest.approx(full_line)
+        two_lines = PCIE3.zero_copy_time(cal.cacheline_bytes + 1, cal)
+        assert two_lines == pytest.approx(2 * full_line)
+
+    def test_zero_copy_slower_than_dma_per_byte(self):
+        nbytes = 1 << 20
+        assert PCIE3.zero_copy_time(nbytes) > nbytes / PCIE3.bandwidth
+
+    def test_zero_copy_zero_bytes(self):
+        assert PCIE3.zero_copy_time(0) == 0.0
+
+    def test_lookup_by_name(self):
+        assert interconnect_by_name("pcie3") is PCIE3
+        assert interconnect_by_name("nvlink2") is NVLINK2
+        with pytest.raises(KeyError, match="unknown interconnect"):
+            interconnect_by_name("pcie5")
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            PCIeSpec(name="bad", bandwidth=0)
+        with pytest.raises(ValueError):
+            PCIeSpec(name="bad", bandwidth=1e9, latency_seconds=-1)
+
+    def test_nvlink_fastest(self):
+        nbytes = 1 << 26
+        assert NVLINK2.explicit_copy_time(nbytes) < PCIE4.explicit_copy_time(
+            nbytes
+        )

@@ -1,0 +1,116 @@
+"""Schema/consistency tests for the benchmark harness (smallest dataset).
+
+The heavy sweeps run under `benchmarks/`; here we validate the row schemas
+and basic invariants on the cheapest dataset so `pytest tests/` stays fast.
+"""
+
+import pytest
+
+from repro.bench import harness
+
+
+class TestAlgorithmFactory:
+    def test_known_algorithms(self):
+        for name in ("uniform", "pagerank", "ppr"):
+            algo = harness.make_algorithm(name)
+            assert algo.name == name
+
+    def test_fresh_instances(self):
+        assert harness.make_algorithm("pagerank") is not harness.make_algorithm(
+            "pagerank"
+        )
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            harness.make_algorithm("metropolis")
+
+
+class TestSmallDatasetRuns:
+    def test_fig3_schema(self):
+        rows = harness.fig3_active_ratio(datasets=("lj-sim",), sample_every=4)
+        assert rows
+        for row in rows:
+            assert row["dataset"] == "lj-sim"
+            assert 0 <= row["active_vertex_pct"] <= 100
+            assert 0 <= row["used_edge_pct"] <= 100
+
+    def test_table1_schema(self):
+        rows = harness.table1_subway_breakdown(datasets=("lj-sim",))
+        (row,) = rows
+        total = (
+            row["computation_pct"]
+            + row["transmission_pct"]
+            + row["subgraph_pct"]
+        )
+        assert total == pytest.approx(100.0)
+
+    def test_fig9_schema_one_dataset(self):
+        rows = harness.fig9_cpu_comparison(
+            datasets=("lj-sim",), algorithms=("pagerank",)
+        )
+        systems = {r["system"] for r in rows}
+        assert systems == {"thunderrw", "flashmob", "lt-pcie3", "lt-pcie4"}
+        speedups = harness.fig9_speedups(rows)
+        assert {s["vs"] for s in speedups} == {"flashmob", "thunderrw"}
+        for s in speedups:
+            assert s["speedup"] > 0
+
+    def test_fig12_schema(self):
+        rows = harness.fig12_reshuffle(
+            partition_kib=(16,), dataset="lj-sim"
+        )
+        (row,) = rows
+        assert row["two_level_reshuffle_time"] <= row["direct_reshuffle_time"]
+
+    def test_fig13_and_table3(self):
+        rows = harness.fig13_pipeline(
+            pool_partitions=(4,), dataset="lj-sim"
+        )
+        assert {r["variant"] for r in rows} == {
+            "baseline",
+            "ps",
+            "ss",
+            "ps+ss",
+        }
+        t3 = harness.table3_scheduling(pool_partitions=4, dataset="lj-sim")
+        assert len(t3) == 4
+
+    def test_fig17_schema(self):
+        rows = harness.fig17_partition_size(
+            partition_kib=(16, 64), dataset="lj-sim"
+        )
+        assert rows[0]["num_partitions"] > rows[1]["num_partitions"]
+
+
+class TestMoreHarnessRunners:
+    def test_fig14_schema(self):
+        rows = harness.fig14_adaptive(
+            datasets=("lj-sim",), algorithms=("ppr",)
+        )
+        (row,) = rows
+        assert row["adaptive_speedup"] > 0
+        assert row["zero_copy_speedup"] > 0
+
+    def test_fig11_schema(self):
+        rows = harness.fig11_nextdoor(
+            datasets=("lj-sim",), algorithms=("pagerank",)
+        )
+        (row,) = rows
+        assert row["lt_throughput"] > 0
+        assert row["nextdoor_throughput"] > 0
+
+    def test_fig10_schema(self):
+        rows = harness.fig10_subway_comparison(
+            datasets=("lj-sim",), algorithms=("pagerank",)
+        )
+        (row,) = rows
+        assert row["total_speedup"] > 0
+
+    def test_fig18_schema(self):
+        rows = harness.fig18_scalability(
+            densities=(0.25,), datasets=("lj-sim",), walk_length=4
+        )
+        assert rows
+        for row in rows:
+            assert row["theory_throughput"] > 0
+            assert row["throughput"] > 0

@@ -1,0 +1,87 @@
+"""Unit tests for graph IO (edge lists, binary CSR)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.builders import from_edges
+from repro.graph.io import load_csr, load_edge_list, save_csr, save_edge_list
+
+
+class TestEdgeListRoundtrip:
+    def test_unweighted(self, tmp_path, small_graph):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded == small_graph
+
+    def test_weighted(self, tmp_path):
+        g = from_edges([(0, 1), (1, 0)], num_vertices=2, weights=[0.25, 4.0])
+        path = tmp_path / "w.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.is_weighted
+        assert loaded == g
+
+    def test_header_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# comment\n% other comment\n0 1\n1 0\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_no_header(self, tmp_path, line_graph):
+        path = tmp_path / "nh.txt"
+        save_edge_list(line_graph, path, header=False)
+        assert not path.read_text().startswith("#")
+        assert load_edge_list(path) == line_graph
+
+    def test_undirected_load(self, tmp_path):
+        path = tmp_path / "d.txt"
+        path.write_text("0 1\n")
+        g = load_edge_list(path, undirected=True)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_preprocess_load(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("5 5\n5 9\n9 5\n")
+        g = load_edge_list(path, preprocess=True)
+        # Self loop dropped, dedup, ids compacted, undirected.
+        assert g.num_vertices == 2
+        assert g.num_edges == 2
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        g = load_edge_list(path)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+
+class TestBinaryCSRRoundtrip:
+    def test_unweighted(self, tmp_path, small_graph):
+        path = tmp_path / "g.npz"
+        save_csr(small_graph, path)
+        loaded = load_csr(path)
+        assert loaded == small_graph
+        assert loaded.name == small_graph.name
+
+    def test_weighted(self, tmp_path):
+        g = generators.with_random_weights(generators.ring(8), seed=1)
+        path = tmp_path / "w.npz"
+        save_csr(g, path)
+        loaded = load_csr(path)
+        assert loaded.is_weighted
+        assert np.allclose(loaded.weights, g.weights)
+
+    def test_bit_exact(self, tmp_path, medium_graph):
+        path = tmp_path / "m.npz"
+        save_csr(medium_graph, path)
+        loaded = load_csr(path)
+        assert np.array_equal(loaded.offsets, medium_graph.offsets)
+        assert np.array_equal(loaded.targets, medium_graph.targets)

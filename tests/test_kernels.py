@@ -1,0 +1,142 @@
+"""Unit tests for the kernel cost models."""
+
+import pytest
+
+from repro.gpu.calibration import Calibration
+from repro.gpu.device import RTX3090
+from repro.gpu.kernels import DIRECT_WRITE, TWO_LEVEL, KernelModel
+
+
+@pytest.fixture()
+def model():
+    return KernelModel(RTX3090)
+
+
+class TestLocality:
+    def test_factor_bounds(self, model):
+        cal = model.calibration
+        low = model.locality_factor(1)
+        high = model.locality_factor(10 ** 12)
+        assert low == pytest.approx(1.0, abs=0.01)
+        assert high == pytest.approx(
+            1.0 + cal.step_cycles_locality / cal.step_cycles_base
+        )
+
+    def test_factor_monotone(self, model):
+        sizes = [1 << 10, 1 << 16, 1 << 22, 1 << 28]
+        factors = [model.locality_factor(s) for s in sizes]
+        assert factors == sorted(factors)
+
+    def test_steps_per_second_decreases_with_size(self, model):
+        assert model.steps_per_second(1 << 10) > model.steps_per_second(1 << 30)
+
+
+class TestUpdateTime:
+    def test_zero_steps(self, model):
+        assert model.update_time(0, 0, 1 << 20) == 0.0
+
+    def test_throughput_bound_dominates_wide_batches(self, model):
+        # Many walks, one step each: time ~ steps / rate.
+        t = model.update_time(10_000_000, 1, 1 << 20)
+        assert t == pytest.approx(
+            10_000_000 / model.steps_per_second(1 << 20)
+        )
+
+    def test_latency_bound_dominates_long_serial_chains(self, model):
+        t = model.update_time(1_000, 1_000, 1 << 20)
+        expected = model.device.cycles_to_seconds(
+            1_000 * model.step_cycles(1 << 20)
+        )
+        assert t == pytest.approx(expected)
+
+    def test_sim_scale_shrinks_latency_bound_only(self):
+        scaled = KernelModel(RTX3090, Calibration(sim_scale=0.01))
+        full = KernelModel(RTX3090)
+        # Latency-bound case shrinks ~100x.
+        assert scaled.update_time(100, 100, 1 << 20) == pytest.approx(
+            full.update_time(100, 100, 1 << 20) * 0.01
+        )
+        # Throughput-bound case unchanged.
+        assert scaled.update_time(10**7, 1, 1 << 20) == pytest.approx(
+            full.update_time(10**7, 1, 1 << 20)
+        )
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.update_time(-1, 0, 1024)
+
+
+class TestReshuffle:
+    def test_two_level_beats_direct_at_many_partitions(self, model):
+        for partitions in (64, 128, 256, 512):
+            direct = model.reshuffle_time(10_000, partitions, DIRECT_WRITE)
+            two = model.reshuffle_time(10_000, partitions, TWO_LEVEL)
+            assert two < direct
+
+    def test_reduction_grows_with_partitions(self, model):
+        def reduction(p):
+            direct = model.reshuffle_time(10_000, p, DIRECT_WRITE)
+            two = model.reshuffle_time(10_000, p, TWO_LEVEL)
+            return 1 - two / direct
+
+        assert reduction(256) > reduction(8)
+        # Fig 12: up to ~73% reduction.
+        assert reduction(256) > 0.6
+
+    def test_zero_walks(self, model):
+        assert model.reshuffle_time(0, 16) == 0.0
+
+    def test_unknown_mode(self, model):
+        with pytest.raises(ValueError, match="unknown reshuffle mode"):
+            model.reshuffle_time(10, 4, "bogus")
+
+    def test_invalid_args(self, model):
+        with pytest.raises(ValueError):
+            model.reshuffle_time(-1, 4)
+        with pytest.raises(ValueError):
+            model.reshuffle_time(1, 0)
+
+    def test_parallel_scaling_saturates(self, model):
+        lanes = model.calibration.reshuffle_parallel_lanes
+        below = model.reshuffle_time(lanes // 2, 16)
+        above = model.reshuffle_time(lanes * 4, 16)
+        # Beyond the lane count, time grows linearly with walks.
+        assert above == pytest.approx(
+            model.reshuffle_time(lanes * 2, 16) * 2
+        )
+        assert below > 0
+
+
+class TestKernelCost:
+    def test_composition(self, model):
+        cost = model.kernel_cost(
+            total_steps=1000,
+            longest_run=10,
+            num_walks=500,
+            num_partitions=32,
+            partition_bytes=1 << 20,
+        )
+        assert cost.total_seconds == pytest.approx(
+            cost.update_seconds + cost.reshuffle_seconds + cost.other_seconds
+        )
+        assert cost.other_seconds == pytest.approx(
+            model.calibration.scaled_kernel_launch_seconds
+        )
+
+
+class TestVertexCentric:
+    def test_imbalance_dominates(self, model):
+        balanced = model.vertex_centric_time(10_000, max_walks_per_vertex=1)
+        skewed = model.vertex_centric_time(10_000, max_walks_per_vertex=5_000)
+        assert skewed > balanced
+
+    def test_zero_steps(self, model):
+        assert model.vertex_centric_time(0, 0) == 0.0
+
+    def test_throughput_bound(self, model):
+        cal = model.calibration
+        t = model.vertex_centric_time(10**7, max_walks_per_vertex=1)
+        expected = model.device.cycles_to_seconds(
+            10**7 * cal.subway_step_cycles / cal.subway_lane_count
+        )
+        assert t == pytest.approx(expected)

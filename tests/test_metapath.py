@@ -1,0 +1,97 @@
+"""Tests for the metapath-walk extension (heterogeneous graphs)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.metapath import MetapathWalk, random_vertex_types
+from repro.baselines.inmemory_cpu import execute_in_memory
+from repro.core.engine import run_walks
+from repro.graph import generators
+
+
+@pytest.fixture()
+def typed_graph():
+    graph = generators.rmat(scale=10, edge_factor=8, seed=13, name="hetero")
+    types = random_vertex_types(graph.num_vertices, num_types=3, seed=4)
+    return graph, types
+
+
+class TestMetapathSemantics:
+    def test_starts_have_start_type(self, typed_graph, rng):
+        graph, types = typed_graph
+        algo = MetapathWalk(types, metapath=[0, 1, 2], length=6)
+        starts = algo.start_vertices(graph, 50, rng)
+        assert np.all(types[starts] == 0)
+
+    def test_steps_follow_pattern(self, typed_graph):
+        graph, types = typed_graph
+        rng = np.random.default_rng(8)
+        algo = MetapathWalk(types, metapath=[0, 1, 2], length=9)
+        from repro.baselines.inmemory_cpu import whole_graph_partition
+        from repro.walks.state import WalkArrays
+
+        starts = algo.start_vertices(graph, 40, rng)
+        walks = WalkArrays.fresh(starts)
+        part = whole_graph_partition(graph)
+        alive = np.ones(40, dtype=bool)
+        for step in range(9):
+            idx = np.nonzero(alive)[0]
+            if idx.size == 0:
+                break
+            new_v, term = algo.step_once(
+                walks.vertices[idx], walks.steps[idx], walks.ids[idx],
+                part, rng, graph,
+            )
+            moved = ~term | (walks.steps[idx] + 1 >= 9)
+            wanted = (step + 1) % 3
+            # Every walk that actually moved landed on the required type.
+            actually_moved = new_v != walks.vertices[idx]
+            assert np.all(types[new_v[actually_moved]] == wanted)
+            walks.vertices[idx] = new_v
+            walks.steps[idx] += 1
+            alive[idx] = ~term
+
+    def test_runs_through_engine(self, typed_graph, tiny_config):
+        graph, types = typed_graph
+        algo = MetapathWalk(types, metapath=[0, 1], length=8)
+        stats = run_walks(graph, algo, 100, tiny_config)
+        assert 0 < stats.total_steps <= 800
+
+    def test_early_termination_counted(self, typed_graph, rng):
+        graph, types = typed_graph
+        # Type 9 never exists: every walk terminates on its first step.
+        algo = MetapathWalk(types, metapath=[0, 9], length=5)
+        steps = execute_in_memory(graph, algo, 30, rng)
+        assert steps == 30
+        assert algo.early_terminations == 30
+
+
+class TestValidation:
+    def test_bad_metapath(self, typed_graph):
+        __, types = typed_graph
+        with pytest.raises(ValueError, match="two types"):
+            MetapathWalk(types, metapath=[0])
+        with pytest.raises(ValueError, match="length"):
+            MetapathWalk(types, metapath=[0, 1], length=0)
+
+    def test_types_must_cover_graph(self, typed_graph, rng):
+        graph, __ = typed_graph
+        algo = MetapathWalk(np.zeros(3), metapath=[0, 0])
+        with pytest.raises(ValueError, match="cover"):
+            algo.start_vertices(graph, 5, rng)
+
+    def test_missing_start_type(self, typed_graph, rng):
+        graph, types = typed_graph
+        algo = MetapathWalk(types, metapath=[7, 0])
+        with pytest.raises(ValueError, match="start type"):
+            algo.start_vertices(graph, 5, rng)
+
+    def test_random_vertex_types_validation(self):
+        with pytest.raises(ValueError):
+            random_vertex_types(10, 0)
+        types = random_vertex_types(100, 4, seed=1)
+        assert set(np.unique(types)) <= {0, 1, 2, 3}
+
+    def test_bytes_per_walk(self, typed_graph):
+        __, types = typed_graph
+        assert MetapathWalk(types, metapath=[0, 1]).bytes_per_walk == 16

@@ -1,0 +1,102 @@
+"""Fast-scale versions of the paper's headline claims.
+
+The full-scale versions live in `benchmarks/`; these run the same
+comparisons on the smallest registry dataset so `pytest tests/` alone
+exercises every claim end to end (in seconds, not minutes).
+"""
+
+import pytest
+
+from repro.algorithms import PageRank
+from repro.baselines import SubwayConfig, SubwayEngine, ThunderRWEngine
+from repro.bench.workloads import (
+    default_platform,
+    load_dataset,
+    standard_config,
+    standard_walks,
+)
+from repro.core.config import COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO
+from repro.core.engine import LightTrafficEngine
+from repro.core.stats import CAT_RESHUFFLE
+from repro.gpu.kernels import DIRECT_WRITE, TWO_LEVEL
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return default_platform()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("lj-sim")
+
+
+def lt_run(graph, platform, **overrides):
+    config = standard_config(graph, platform, **overrides)
+    algo = PageRank(length=20)
+    return LightTrafficEngine(graph, algo, config).run(
+        standard_walks(graph)
+    )
+
+
+class TestHeadlineClaims:
+    def test_lighttraffic_beats_cpu_baseline(self, graph, platform):
+        lt = lt_run(graph, platform, interconnect="pcie4")
+        cpu = ThunderRWEngine(
+            graph, PageRank(length=20), cpu=platform.cpu
+        ).run(standard_walks(graph))
+        assert lt.total_time < cpu.total_time
+
+    def test_lighttraffic_beats_subway(self, graph, platform):
+        lt = lt_run(graph, platform)
+        subway = SubwayEngine(
+            graph,
+            PageRank(length=20),
+            SubwayConfig(
+                device=platform.device,
+                interconnect=platform.pcie3,
+                calibration=platform.calibration,
+                gpu_memory_bytes=platform.gpu_memory_bytes,
+            ),
+        ).run(standard_walks(graph))
+        assert subway.total_time > 2 * lt.total_time
+
+    def test_two_level_reshuffle_cheaper(self, graph, platform):
+        # Force multiple partitions so reshuffle scatter matters.
+        two = lt_run(
+            graph, platform, partition_bytes=16 * 1024,
+            reshuffle_mode=TWO_LEVEL,
+        )
+        direct = lt_run(
+            graph, platform, partition_bytes=16 * 1024,
+            reshuffle_mode=DIRECT_WRITE,
+        )
+        assert two.time(CAT_RESHUFFLE) < direct.time(CAT_RESHUFFLE)
+
+    def test_scheduling_reduces_copies(self, graph, platform):
+        # Constrain the pool so eviction pressure exists on the tiny graph.
+        base = dict(
+            partition_bytes=16 * 1024,
+            graph_pool_partitions=8,
+            copy_mode=COPY_EXPLICIT,
+        )
+        naive = lt_run(
+            graph, platform, preemptive=False, selective=False, **base
+        )
+        full = lt_run(graph, platform, preemptive=True, selective=True, **base)
+        assert full.explicit_copies < naive.explicit_copies
+        assert full.total_time < naive.total_time
+
+    def test_adaptive_never_loses_to_pure_policies(self, graph, platform):
+        times = {}
+        for mode in (COPY_EXPLICIT, COPY_ZERO, COPY_ADAPTIVE):
+            times[mode] = lt_run(
+                graph, platform, partition_bytes=16 * 1024, copy_mode=mode
+            ).total_time
+        assert times[COPY_ADAPTIVE] <= times[COPY_EXPLICIT] * 1.02
+        assert times[COPY_ADAPTIVE] <= times[COPY_ZERO] * 1.02
+
+    def test_pcie4_helps(self, graph, platform):
+        pcie3 = lt_run(graph, platform, interconnect="pcie3")
+        pcie4 = lt_run(graph, platform, interconnect="pcie4")
+        assert pcie4.total_time <= pcie3.total_time * 1.001

@@ -1,0 +1,57 @@
+"""Tests for sampled-path shipping (paper §IV-A assumption, modeled)."""
+
+import pytest
+
+from repro.algorithms import PageRank, UniformSampling
+from repro.core.engine import run_walks
+from repro.core.stats import CAT_PATH_SHIP
+
+
+class TestPathShipping:
+    def test_off_by_default(self, small_graph, tiny_config):
+        stats = run_walks(small_graph, UniformSampling(length=6), 100, tiny_config)
+        assert stats.time(CAT_PATH_SHIP) == 0.0
+
+    def test_charged_for_id_carrying_walks(self, small_graph, tiny_config):
+        config = tiny_config.with_options(ship_paths=True)
+        stats = run_walks(small_graph, UniformSampling(length=6), 100, config)
+        assert stats.time(CAT_PATH_SHIP) > 0.0
+        # Shipping is counted as transmission.
+        assert stats.transmission_time >= stats.time(CAT_PATH_SHIP)
+
+    def test_not_charged_without_walk_id(self, small_graph, tiny_config):
+        # PageRank carries no walk_id: nothing to attribute, nothing shipped
+        # (the paper stores visit frequencies in GPU memory instead).
+        config = tiny_config.with_options(ship_paths=True)
+        stats = run_walks(small_graph, PageRank(length=6), 100, config)
+        assert stats.time(CAT_PATH_SHIP) == 0.0
+
+    def test_shipping_does_not_change_results(self, small_graph, tiny_config):
+        base = run_walks(
+            small_graph, UniformSampling(length=6), 100, tiny_config
+        )
+        shipped = run_walks(
+            small_graph,
+            UniformSampling(length=6),
+            100,
+            tiny_config.with_options(ship_paths=True),
+        )
+        assert base.total_steps == shipped.total_steps
+        assert base.iterations == shipped.iterations
+
+    def test_faster_ship_link_cheaper(self, small_graph, tiny_config):
+        slow = run_walks(
+            small_graph,
+            UniformSampling(length=6),
+            200,
+            tiny_config.with_options(ship_paths=True, ship_interconnect="pcie3"),
+        )
+        fast = run_walks(
+            small_graph,
+            UniformSampling(length=6),
+            200,
+            tiny_config.with_options(
+                ship_paths=True, ship_interconnect="nvlink2"
+            ),
+        )
+        assert fast.time(CAT_PATH_SHIP) < slow.time(CAT_PATH_SHIP)

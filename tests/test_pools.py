@@ -1,0 +1,240 @@
+"""Unit and property tests for the host and device walk pools.
+
+The central invariant is *walk conservation*: no walk is ever lost or
+duplicated by loading, eviction, frontier rollover, or scatter insertion.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.walks.batch import WalkBatch
+from repro.walks.pool import DeviceWalkPool, HostWalkPool
+from repro.walks.state import WalkArrays
+
+
+def walks(*vertices, first_id=0):
+    return WalkArrays.fresh(np.asarray(vertices, dtype=np.int64), first_id)
+
+
+class TestHostWalkPool:
+    def test_append_and_counts(self):
+        pool = HostWalkPool(num_partitions=4, batch_capacity=2)
+        pool.append_walks(1, walks(10, 11, 12))
+        assert pool.counts[1] == 3
+        assert pool.total_walks == 3
+        assert pool.has_walks(1)
+        assert not pool.has_walks(0)
+        assert pool.num_batches(1) == 2
+        assert pool.num_batches(0) == 0
+
+    def test_pop_decrements(self):
+        pool = HostWalkPool(4, 2)
+        pool.append_walks(0, walks(1, 2, 3))
+        batch = pool.pop_batch(0)
+        assert batch.size == 2
+        assert pool.counts[0] == 1
+
+    def test_push_batch(self):
+        pool = HostWalkPool(4, 2)
+        batch = WalkBatch(capacity=2, partition=2)
+        batch.append(walks(5))
+        pool.push_batch(batch)
+        assert pool.counts[2] == 1
+
+    def test_partitions_with_walks(self):
+        pool = HostWalkPool(4, 2)
+        pool.append_walks(3, walks(1))
+        assert pool.partitions_with_walks().tolist() == [3]
+
+    def test_partition_out_of_range(self):
+        pool = HostWalkPool(2, 2)
+        with pytest.raises(IndexError):
+            pool.append_walks(5, walks(1))
+
+    def test_iter_walks_conservation(self):
+        pool = HostWalkPool(4, 2)
+        pool.append_walks(0, walks(1, 2, first_id=0))
+        pool.append_walks(1, walks(3, first_id=2))
+        ids = set()
+        for chunk in pool.iter_walks():
+            ids |= chunk.id_set()
+        assert ids == {0, 1, 2}
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            HostWalkPool(0, 2)
+
+
+class TestDeviceWalkPool:
+    def make(self, partitions=4, capacity=4, walks_cap=100):
+        return DeviceWalkPool(partitions, capacity, walks_cap)
+
+    def test_append_and_accounting(self):
+        pool = self.make(capacity=4)
+        pool.append_walks(0, walks(1, 2, 3, 4, 5))
+        assert pool.num_walks(0) == 5
+        assert pool.full_batches(0) == 1
+        assert pool.frontier_size(0) == 1
+        assert pool.has_cached_batches(0)
+        assert pool.cached_walks == 5
+
+    def test_pop_all_drains(self):
+        pool = self.make()
+        pool.append_walks(2, walks(1, 2, 3, first_id=5))
+        out = pool.pop_all(2)
+        assert out.id_set() == {5, 6, 7}
+        assert pool.num_walks(2) == 0
+        assert len(pool.pop_all(2)) == 0
+
+    def test_fifo_order(self):
+        pool = self.make(capacity=2)
+        pool.append_walks(0, walks(1, 2))
+        pool.append_walks(0, walks(3, 4))
+        first = pool.pop_full_batches(0)
+        assert first.vertices.tolist() == [1, 2, 3, 4]
+
+    def test_pop_full_batches_leaves_frontier(self):
+        pool = self.make(capacity=2)
+        pool.append_walks(0, walks(1, 2, 3))
+        out = pool.pop_full_batches(0)
+        assert len(out) == 2
+        assert pool.frontier_size(0) == 1
+        assert not pool.has_cached_batches(0)
+
+    def test_pop_full_batches_requires_full(self):
+        pool = self.make(capacity=4)
+        pool.append_walks(0, walks(1))
+        with pytest.raises(IndexError):
+            pool.pop_full_batches(0)
+
+    def test_pop_preemptible_prefers_full(self):
+        pool = self.make(capacity=2)
+        pool.append_walks(0, walks(1, 2, 3))
+        out = pool.pop_preemptible(0)
+        assert len(out) == 2  # full batch only, frontier stays
+        assert pool.num_walks(0) == 1
+
+    def test_pop_preemptible_falls_back_to_frontier(self):
+        pool = self.make(capacity=4)
+        pool.append_walks(0, walks(1))
+        out = pool.pop_preemptible(0)
+        assert len(out) == 1
+        assert pool.num_walks(0) == 0
+
+    def test_evict_batch(self):
+        pool = self.make(capacity=2, walks_cap=4)
+        pool.append_walks(1, walks(1, 2, 3, first_id=0))
+        batch = pool.evict_batch(1)
+        assert batch.partition == 1
+        assert batch.size == 2
+        assert pool.num_walks(1) == 1
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(IndexError):
+            self.make().evict_batch(0)
+
+    def test_overflow_accounting(self):
+        pool = self.make(capacity=2, walks_cap=4)
+        pool.append_walks(0, walks(1, 2, 3, 4, 5, 6))
+        assert pool.overflow == 2
+        assert pool.free_capacity() == 0
+        pool.evict_batch(0)
+        assert pool.overflow == 0
+
+    def test_load_batch(self):
+        pool = self.make(capacity=4)
+        batch = WalkBatch(capacity=4, partition=3)
+        batch.append(walks(9, 8))
+        pool.load_batch(batch)
+        assert pool.num_walks(3) == 2
+
+    def test_load_empty_batch_noop(self):
+        pool = self.make()
+        pool.load_batch(WalkBatch(capacity=4, partition=0))
+        assert pool.cached_walks == 0
+
+    def test_reserved_bytes_bound(self):
+        pool = self.make(partitions=10, capacity=8)
+        # (2P + 1) * B * S_w — the paper's §III-B reservation bound.
+        assert pool.reserved_bytes(8) == (2 * 10 + 1) * 8 * 8
+
+    def test_buffer_growth_and_compaction(self):
+        pool = self.make(capacity=2, walks_cap=10_000)
+        # Interleave inserts and pops to force head movement + compaction.
+        next_id = 0
+        popped = 0
+        for round_idx in range(50):
+            pool.append_walks(0, walks(*range(3), first_id=next_id))
+            next_id += 3
+            if round_idx % 2:
+                popped += len(pool.pop_full_batches(0))
+        assert pool.num_walks(0) == next_id - popped
+        pool.append_walks(0, walks(7, first_id=next_id))
+        assert pool.num_walks(0) == next_id - popped + 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DeviceWalkPool(0, 2, 10)
+        with pytest.raises(ValueError):
+            DeviceWalkPool(2, 0, 10)
+        with pytest.raises(ValueError):
+            DeviceWalkPool(2, 8, 4)
+
+    def test_partition_range_checked(self):
+        with pytest.raises(IndexError):
+            self.make(partitions=2).append_walks(5, walks(1))
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["append", "pop_all", "preempt", "evict"]),
+            st.integers(0, 3),
+            st.integers(1, 7),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_device_pool_conserves_walks(ops):
+    """Property: ids in = ids out + ids still cached, under any op mix."""
+    pool = DeviceWalkPool(num_partitions=4, batch_capacity=3, capacity_walks=10_000)
+    next_id = 0
+    inserted = set()
+    removed = set()
+    for op, part, count in ops:
+        if op == "append":
+            w = WalkArrays.fresh(
+                np.full(count, part, dtype=np.int64), first_id=next_id
+            )
+            inserted |= set(range(next_id, next_id + count))
+            next_id += count
+            pool.append_walks(part, w)
+        elif op == "pop_all":
+            removed |= pool.pop_all(part).id_set()
+        elif op == "preempt":
+            if pool.full_batches(part) or pool.num_walks(part):
+                removed |= pool.pop_preemptible(part).id_set()
+        elif op == "evict":
+            if pool.num_walks(part):
+                removed |= pool.evict_batch(part).contents().id_set()
+        # Global accounting always consistent.
+        cached = set()
+        for chunk in pool.iter_walks():
+            cached |= chunk.id_set()
+        assert cached | removed == inserted
+        assert not (cached & removed)
+        assert pool.cached_walks == len(cached)
+
+
+class TestFrontierAccounting:
+    def test_frontier_size_tracks_modulo(self):
+        pool = DeviceWalkPool(2, batch_capacity=4, capacity_walks=100)
+        pool.append_walks(0, walks(1, 2, 3, 4, 5, 6))
+        assert pool.full_batches(0) == 1
+        assert pool.frontier_size(0) == 2
+        pool.pop_full_batches(0)
+        assert pool.full_batches(0) == 0
+        assert pool.frontier_size(0) == 2

@@ -1,0 +1,208 @@
+"""Tests for counter-based per-walk randomness (scheduling-independent)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    Node2Vec,
+    PageRank,
+    PersonalizedPageRank,
+    UniformSampling,
+)
+from repro.core.config import COPY_EXPLICIT, COPY_ZERO, EngineConfig
+from repro.core.engine import run_walks
+from repro.core.prng import CounterRNG, splitmix64
+from repro.graph import generators
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        x = np.arange(10, dtype=np.uint64)
+        assert np.array_equal(splitmix64(x), splitmix64(x))
+
+    def test_avalanche(self):
+        a = splitmix64(np.array([1], dtype=np.uint64))[0]
+        b = splitmix64(np.array([2], dtype=np.uint64))[0]
+        assert bin(int(a) ^ int(b)).count("1") > 16
+
+    def test_input_unchanged(self):
+        x = np.array([7], dtype=np.uint64)
+        splitmix64(x)
+        assert x[0] == 7
+
+
+class TestCounterRNG:
+    def make(self, seed=1, n=8):
+        rng = CounterRNG(seed)
+        rng.set_context(
+            np.arange(n, dtype=np.int64), np.zeros(n, dtype=np.int32)
+        )
+        return rng
+
+    def test_random_range(self):
+        values = self.make().random(8)
+        assert np.all((values >= 0) & (values < 1))
+
+    def test_draw_counter_advances(self):
+        rng = self.make()
+        a = rng.random(8)
+        b = rng.random(8)
+        assert not np.array_equal(a, b)
+
+    def test_context_reset_replays(self):
+        rng = self.make()
+        a = rng.random(8)
+        rng.set_context(
+            np.arange(8, dtype=np.int64), np.zeros(8, dtype=np.int32)
+        )
+        b = rng.random(8)
+        assert np.array_equal(a, b)
+
+    def test_per_walk_independence(self):
+        """A walk's draw is a function of its id, not its lane position."""
+        rng = CounterRNG(3)
+        rng.set_context(
+            np.array([5, 9], dtype=np.int64), np.zeros(2, dtype=np.int32)
+        )
+        both = rng.random(2)
+        rng.set_context(np.array([9], dtype=np.int64), np.zeros(1, dtype=np.int32))
+        alone = rng.random(1)
+        assert both[1] == alone[0]
+
+    def test_step_changes_stream(self):
+        rng = CounterRNG(3)
+        rng.set_context(np.array([1], dtype=np.int64), np.array([0], dtype=np.int32))
+        a = rng.random(1)
+        rng.set_context(np.array([1], dtype=np.int64), np.array([1], dtype=np.int32))
+        b = rng.random(1)
+        assert a[0] != b[0]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="context lanes"):
+            self.make(n=8).random(4)
+
+    def test_integers_bounds(self):
+        rng = self.make(n=1000)
+        rng._ids = np.arange(1000, dtype=np.uint64)
+        rng._steps = np.zeros(1000, dtype=np.uint64)
+        values = rng.integers(0, 7, size=1000)
+        assert values.min() >= 0 and values.max() <= 6
+        assert len(np.unique(values)) == 7  # all buckets hit
+
+    def test_integers_invalid_span(self):
+        with pytest.raises(ValueError):
+            self.make().integers(5, 5, size=8)
+
+    def test_no_context_falls_back(self):
+        rng = CounterRNG(1)
+        assert rng.random(4).shape == (4,)
+        assert rng.integers(0, 10, size=4).shape == (4,)
+
+    def test_uniformity_rough(self):
+        rng = CounterRNG(11)
+        rng.set_context(
+            np.arange(20000, dtype=np.int64), np.zeros(20000, dtype=np.int32)
+        )
+        values = rng.random(20000)
+        assert abs(values.mean() - 0.5) < 0.02
+        hist, __ = np.histogram(values, bins=10, range=(0, 1))
+        assert hist.min() > 1600
+
+
+class TestSchedulingIndependence:
+    """The headline property: trajectories identical under any schedule."""
+
+    GRAPH = generators.rmat(scale=9, edge_factor=5, seed=23, name="ctr")
+
+    def run_counts(self, **options):
+        defaults = dict(
+            partition_bytes=2048,
+            batch_walks=32,
+            graph_pool_partitions=4,
+            seed=13,
+            rng_mode="counter",
+        )
+        defaults.update(options)
+        config = EngineConfig(**defaults)
+        algo = PageRank(length=9)
+        run_walks(self.GRAPH, algo, 200, config)
+        return algo.visit_counts
+
+    def test_identical_across_all_schedules(self):
+        reference = self.run_counts()
+        for options in (
+            dict(preemptive=False),
+            dict(selective=False),
+            dict(pipeline=False),
+            dict(copy_mode=COPY_ZERO),
+            dict(copy_mode=COPY_EXPLICIT),
+            dict(batch_walks=8),
+            dict(graph_pool_partitions=2),
+            dict(walk_pool_walks=64),
+        ):
+            assert np.array_equal(reference, self.run_counts(**options)), options
+
+    def test_sequential_mode_differs_across_schedules(self):
+        """Contrast: the default shared stream is order-dependent."""
+
+        def counts(**options):
+            config = EngineConfig(
+                partition_bytes=2048,
+                batch_walks=32,
+                graph_pool_partitions=4,
+                seed=13,
+                **options,
+            )
+            algo = PageRank(length=9)
+            run_walks(self.GRAPH, algo, 200, config)
+            return algo.visit_counts
+
+        assert not np.array_equal(
+            counts(), counts(preemptive=False)
+        )
+
+    def test_all_supported_algorithms_run(self):
+        config = EngineConfig(
+            partition_bytes=2048,
+            batch_walks=32,
+            graph_pool_partitions=4,
+            rng_mode="counter",
+        )
+        for algo in (
+            UniformSampling(length=5),
+            PageRank(length=5),
+            PersonalizedPageRank(stop_prob=0.3),
+        ):
+            stats = run_walks(self.GRAPH, algo, 80, config)
+            assert stats.total_steps > 0
+
+    def test_node2vec_rejected(self):
+        config = EngineConfig(rng_mode="counter")
+        with pytest.raises(ValueError, match="subset redraws"):
+            run_walks(self.GRAPH, Node2Vec(length=4), 10, config)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="rng_mode"):
+            EngineConfig(rng_mode="quantum")
+
+
+def test_rejection_weighted_rejected_in_counter_mode():
+    from repro.graph import generators as gen
+
+    graph = gen.with_random_weights(gen.ring(16), seed=1)
+    config = EngineConfig(rng_mode="counter", partition_bytes=1024,
+                          batch_walks=8, graph_pool_partitions=2)
+    algo = UniformSampling(length=3, weighted=True, sampler="rejection")
+    with pytest.raises(ValueError, match="subset redraws"):
+        run_walks(graph, algo, 10, config)
+
+
+def test_alias_weighted_supported_in_counter_mode():
+    from repro.graph import generators as gen
+
+    graph = gen.with_random_weights(gen.ring(16), seed=1)
+    config = EngineConfig(rng_mode="counter", partition_bytes=1024,
+                          batch_walks=8, graph_pool_partitions=2)
+    algo = UniformSampling(length=3, weighted=True, sampler="alias")
+    stats = run_walks(graph, algo, 10, config)
+    assert stats.total_steps == 30

@@ -1,0 +1,71 @@
+"""Model-based property tests: BatchQueue against a reference deque model."""
+
+from collections import deque
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.walks.queue import BatchQueue
+from repro.walks.state import WalkArrays
+
+
+@given(
+    capacity=st.integers(1, 6),
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("append"), st.integers(1, 9)),
+            st.tuples(st.just("pop"), st.just(0)),
+        ),
+        max_size=60,
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_queue_matches_fifo_model(capacity, ops):
+    """Property: batch queue pops walks in exact FIFO order, none lost."""
+    queue = BatchQueue(partition=0, batch_capacity=capacity)
+    model = deque()  # expected walk ids, FIFO
+    next_id = 0
+    for op, count in ops:
+        if op == "append":
+            walks = WalkArrays.fresh(
+                np.zeros(count, dtype=np.int64), first_id=next_id
+            )
+            model.extend(range(next_id, next_id + count))
+            next_id += count
+            queue.append_walks(walks)
+        else:
+            if not model:
+                continue
+            batch = queue.pop_batch()
+            ids = batch.ids[: batch.size].tolist()
+            expected = [model.popleft() for __ in range(len(ids))]
+            assert ids == expected
+        assert queue.num_walks == len(model)
+    # Drain the remainder and verify total conservation.
+    drained = []
+    for batch in queue.pop_all():
+        drained.extend(batch.ids[: batch.size].tolist())
+    assert drained == list(model)
+
+
+@given(
+    chunks=st.lists(st.integers(1, 7), min_size=1, max_size=20),
+    capacity=st.integers(1, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_rollover_batch_count(chunks, capacity):
+    """Property: batches used = ceil(total / capacity) under append-only."""
+    queue = BatchQueue(partition=0, batch_capacity=capacity)
+    total = 0
+    for count in chunks:
+        queue.append_walks(
+            WalkArrays.fresh(np.zeros(count, dtype=np.int64), first_id=total)
+        )
+        total += count
+    expected_batches = -(-total // capacity)  # ceil division
+    assert queue.num_batches == expected_batches
+    assert queue.num_walks == total
+    # Frontier is the only batch allowed to be partially full.
+    for batch in queue.batches()[:-1]:
+        assert batch.is_full

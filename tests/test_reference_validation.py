@@ -1,0 +1,105 @@
+"""Validation against independent reference implementations (networkx).
+
+These tests guard the *semantics* of the reproduction with third-party
+references: PageRank scores against ``networkx.pagerank``, simple-walk
+stationary behaviour against the degree distribution, and graph conversion
+consistency.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, UniformSampling
+from repro.algorithms.pagerank import power_iteration_pagerank
+from repro.baselines.inmemory_cpu import execute_in_memory
+from repro.core.config import EngineConfig
+from repro.core.engine import run_walks
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+
+
+def to_networkx(graph: CSRGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(graph.iter_edges())
+    return g
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.rmat(scale=10, edge_factor=7, seed=3, name="ref")
+
+
+class TestPowerIterationVsNetworkx:
+    def test_pagerank_vectors_agree(self, graph):
+        ours = power_iteration_pagerank(graph, damping=0.85, iterations=200)
+        nx_scores = nx.pagerank(to_networkx(graph), alpha=0.85, tol=1e-12)
+        theirs = np.array([nx_scores[v] for v in range(graph.num_vertices)])
+        assert np.abs(ours - theirs).max() < 1e-6
+
+    def test_ranking_identical(self, graph):
+        ours = power_iteration_pagerank(graph, damping=0.85, iterations=200)
+        nx_scores = nx.pagerank(to_networkx(graph), alpha=0.85, tol=1e-12)
+        theirs = np.array([nx_scores[v] for v in range(graph.num_vertices)])
+        top_ours = np.argsort(ours)[-25:]
+        top_theirs = np.argsort(theirs)[-25:]
+        assert set(top_ours.tolist()) == set(top_theirs.tolist())
+
+
+class TestEngineVsNetworkx:
+    def test_monte_carlo_pagerank_tracks_networkx(self, graph):
+        algo = PageRank(length=50, restart_prob=0.15)
+        config = EngineConfig(
+            partition_bytes=8 * 1024,
+            batch_walks=64,
+            graph_pool_partitions=6,
+            seed=31,
+        )
+        run_walks(graph, algo, 6 * graph.num_vertices, config)
+        estimated = algo.pagerank_scores()
+        nx_scores = nx.pagerank(to_networkx(graph), alpha=0.85)
+        theirs = np.array([nx_scores[v] for v in range(graph.num_vertices)])
+        tv = 0.5 * np.abs(estimated - theirs).sum()
+        assert tv < 0.08
+        top_est = set(np.argsort(estimated)[-15:].tolist())
+        top_ref = set(np.argsort(theirs)[-15:].tolist())
+        assert len(top_est & top_ref) >= 10
+
+
+class TestStationaryDistribution:
+    def test_simple_walk_visits_proportional_to_degree(self, graph):
+        """On an undirected graph the simple walk's stationary distribution
+        is degree/2|E| — long uniform walks must converge to it."""
+
+        class VisitCountingWalk(UniformSampling):
+            def __init__(self, length):
+                super().__init__(length)
+                self.visit_counts = None
+
+            def start_vertices(self, g, n, rng):
+                self.visit_counts = np.zeros(g.num_vertices, dtype=np.int64)
+                return super().start_vertices(g, n, rng)
+
+            def observe(self, vertices, ids, terminated):
+                np.add.at(self.visit_counts, vertices, 1)
+
+        rng = np.random.default_rng(12)
+        algo = VisitCountingWalk(length=200)
+        execute_in_memory(graph, algo, 2 * graph.num_vertices, rng)
+        measured = algo.visit_counts / algo.visit_counts.sum()
+        stationary = graph.degrees() / graph.num_edges
+        tv = 0.5 * np.abs(measured - stationary).sum()
+        assert tv < 0.05
+
+
+class TestGraphConversion:
+    def test_edge_sets_match(self, graph):
+        nx_graph = to_networkx(graph)
+        assert nx_graph.number_of_nodes() == graph.num_vertices
+        assert nx_graph.number_of_edges() == graph.num_edges
+
+    def test_degrees_match(self, graph):
+        nx_graph = to_networkx(graph)
+        for v in range(0, graph.num_vertices, 53):
+            assert nx_graph.out_degree(v) == graph.degree(v)

@@ -1,0 +1,73 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.bench.report import (
+    experiment_registry,
+    generate_report,
+    rows_to_markdown,
+    write_report,
+)
+
+
+def fake_registry():
+    return {
+        "alpha": (lambda: [{"x": 1, "y": 2.5}], "first experiment"),
+        "beta": (lambda: [{"a": "b"}], "second experiment"),
+        "empty": (lambda: [], "nothing"),
+    }
+
+
+class TestRowsToMarkdown:
+    def test_table_shape(self):
+        text = rows_to_markdown([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_missing_keys_blank(self):
+        text = rows_to_markdown([{"x": 1, "y": 2}, {"x": 3}])
+        assert text.splitlines()[-1] == "| 3 |  |"
+
+    def test_empty(self):
+        assert rows_to_markdown([]) == "_no rows_"
+
+
+class TestGenerateReport:
+    def test_all_sections(self):
+        text = generate_report(registry=fake_registry())
+        assert "## alpha — first experiment" in text
+        assert "## beta — second experiment" in text
+        assert "_no rows_" in text
+        assert "| x | y |" in text
+
+    def test_only_subset(self):
+        text = generate_report(only=["beta"], registry=fake_registry())
+        assert "beta" in text
+        assert "alpha" not in text
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiments"):
+            generate_report(only=["gamma"], registry=fake_registry())
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "r.md"
+        text = write_report(str(path), registry=fake_registry())
+        assert path.read_text() == text
+
+
+class TestRealRegistry:
+    def test_covers_all_paper_experiments(self):
+        names = set(experiment_registry())
+        assert {"table1", "table2", "table3"} <= names
+        assert {f"fig{i}" for i in (3, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18)} <= names
+
+
+class TestRealTable2:
+    def test_table2_through_real_registry(self, tmp_path):
+        """Integration: the lightest real experiment end to end."""
+        text = write_report(str(tmp_path / "t2.md"), only=["table2"])
+        assert "## table2 — dataset statistics" in text
+        for name in ("lj-sim", "uk-sim", "cw-sim"):
+            assert name in text

@@ -1,0 +1,157 @@
+"""Unit and property tests for walk reshuffling (§III-C, Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import RTX3090
+from repro.gpu.kernels import KernelModel
+from repro.walks.pool import DeviceWalkPool
+from repro.walks.reshuffle import (
+    DirectWriteReshuffler,
+    LocalIndex,
+    TwoLevelReshuffler,
+    group_by_partition,
+)
+from repro.walks.state import WalkArrays
+
+
+class TestLocalIndex:
+    def test_atomic_counter_semantics(self):
+        idx = LocalIndex(num_partitions=3)
+        assert idx.add(1, tid=0) == 0
+        assert idx.add(1, tid=1) == 1
+        assert idx.add(0, tid=2) == 0
+        assert idx.local_len.tolist() == [1, 2, 0]
+        assert len(idx) == 3
+
+    def test_counting_sort_groups_partitions(self):
+        idx = LocalIndex(num_partitions=3)
+        order = [(2, 0), (0, 1), (2, 2), (1, 3), (0, 4)]
+        for part, tid in order:
+            idx.add(part, tid)
+        entries = idx.sorted_entries()
+        parts = [e[0] for e in entries]
+        assert parts == sorted(parts)  # coalesced per partition
+        # Within a partition, positions are 0..len-1 in insertion order.
+        for part in range(3):
+            positions = [pos for p, pos, __ in entries if p == part]
+            assert positions == list(range(len(positions)))
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            LocalIndex(2).add(5, 0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LocalIndex(0)
+
+
+class TestGroupByPartition:
+    def test_basic_grouping(self):
+        w = WalkArrays.fresh(np.array([10, 20, 30, 40]))
+        parts = np.array([1, 0, 1, 2])
+        groups = group_by_partition(w, parts)
+        assert set(groups) == {0, 1, 2}
+        assert groups[1].vertices.tolist() == [10, 30]
+        assert groups[0].vertices.tolist() == [20]
+
+    def test_empty(self):
+        assert group_by_partition(WalkArrays.empty(), np.array([], dtype=int)) == {}
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            group_by_partition(WalkArrays.fresh(np.array([1])), np.array([0, 1]))
+
+    def test_stable_within_group(self):
+        w = WalkArrays.fresh(np.array([5, 6, 7]), first_id=0)
+        groups = group_by_partition(w, np.array([0, 0, 0]))
+        assert groups[0].ids.tolist() == [0, 1, 2]
+
+
+class TestReshufflers:
+    def make_pool(self, partitions=8):
+        return DeviceWalkPool(partitions, batch_capacity=4, capacity_walks=1000)
+
+    def test_semantics_identical_across_modes(self):
+        model = KernelModel(RTX3090)
+        for cls in (TwoLevelReshuffler, DirectWriteReshuffler):
+            pool = self.make_pool()
+            shuffler = cls(model, num_partitions=8)
+            w = WalkArrays.fresh(np.arange(20), first_id=0)
+            parts = np.arange(20) % 8
+            seconds, touched = shuffler.reshuffle(pool, w, parts)
+            assert touched == 8
+            assert seconds > 0
+            assert pool.cached_walks == 20
+            for p in range(8):
+                for chunk in [pool.pop_all(p)]:
+                    assert np.all(parts[np.isin(w.ids, chunk.ids)] == p)
+
+    def test_two_level_faster(self):
+        model = KernelModel(RTX3090)
+        two = TwoLevelReshuffler(model, num_partitions=128)
+        direct = DirectWriteReshuffler(model, num_partitions=128)
+        assert two.seconds_for(10_000) < direct.seconds_for(10_000)
+
+    def test_seconds_match_kernel_model(self):
+        model = KernelModel(RTX3090)
+        shuffler = TwoLevelReshuffler(model, num_partitions=64)
+        assert shuffler.seconds_for(5_000) == pytest.approx(
+            model.reshuffle_time(5_000, 64, "two_level"), rel=1e-9
+        )
+
+    def test_zero_walks(self):
+        model = KernelModel(RTX3090)
+        shuffler = TwoLevelReshuffler(model, num_partitions=4)
+        seconds, touched = shuffler.reshuffle(
+            self.make_pool(4), WalkArrays.empty(), np.array([], dtype=int)
+        )
+        assert seconds == 0.0 and touched == 0
+
+
+@given(
+    n=st.integers(1, 200),
+    partitions=st.integers(1, 16),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=60, deadline=None)
+def test_reshuffle_conserves_and_places_walks(n, partitions, seed):
+    """Property: every walk lands in exactly the partition it was assigned."""
+    rng = np.random.default_rng(seed)
+    w = WalkArrays.fresh(rng.integers(0, 1000, size=n), first_id=0)
+    parts = rng.integers(0, partitions, size=n)
+    pool = DeviceWalkPool(partitions, batch_capacity=3, capacity_walks=10**6)
+    shuffler = TwoLevelReshuffler(KernelModel(RTX3090), partitions)
+    shuffler.reshuffle(pool, w, parts)
+    assert pool.cached_walks == n
+    seen = set()
+    for p in range(partitions):
+        chunk = pool.pop_all(p)
+        for wid in chunk.ids:
+            assert parts[int(wid)] == p
+            seen.add(int(wid))
+    assert seen == set(range(n))
+
+
+class TestBoundsGuard:
+    def test_negative_partition_rejected(self):
+        from repro.gpu.device import RTX3090
+        from repro.gpu.kernels import KernelModel
+
+        pool = DeviceWalkPool(4, batch_capacity=4, capacity_walks=100)
+        shuffler = TwoLevelReshuffler(KernelModel(RTX3090), 4)
+        w = WalkArrays.fresh(np.array([1, 2]))
+        with pytest.raises(ValueError, match="out of range"):
+            shuffler.reshuffle(pool, w, np.array([-1, 2]))
+
+    def test_overflow_partition_rejected(self):
+        from repro.gpu.device import RTX3090
+        from repro.gpu.kernels import KernelModel
+
+        pool = DeviceWalkPool(4, batch_capacity=4, capacity_walks=100)
+        shuffler = TwoLevelReshuffler(KernelModel(RTX3090), 4)
+        w = WalkArrays.fresh(np.array([1]))
+        with pytest.raises(ValueError, match="out of range"):
+            shuffler.reshuffle(pool, w, np.array([4]))

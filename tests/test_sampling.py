@@ -1,0 +1,120 @@
+"""Unit tests for alias tables and rejection sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sampling import (
+    AliasTable,
+    PartitionAliasSampler,
+    rejection_sample,
+)
+
+
+class TestAliasTable:
+    def test_uniform_weights(self, rng):
+        table = AliasTable(np.ones(4))
+        samples = table.sample(rng, 8000)
+        counts = np.bincount(samples, minlength=4)
+        assert np.all(np.abs(counts / 8000 - 0.25) < 0.03)
+
+    def test_skewed_weights(self, rng):
+        weights = np.array([8.0, 1.0, 1.0])
+        table = AliasTable(weights)
+        samples = table.sample(rng, 20000)
+        freq = np.bincount(samples, minlength=3) / 20000
+        expected = weights / weights.sum()
+        assert np.all(np.abs(freq - expected) < 0.02)
+
+    def test_single_entry(self, rng):
+        table = AliasTable(np.array([3.0]))
+        assert np.all(table.sample(rng, 10) == 0)
+
+    def test_zero_weight_entries_never_sampled(self, rng):
+        table = AliasTable(np.array([0.0, 1.0, 0.0, 1.0]))
+        samples = table.sample(rng, 5000)
+        assert set(np.unique(samples)) <= {1, 3}
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([0.0, 0.0]))
+        with pytest.raises(ValueError):
+            AliasTable(np.array([np.inf]))
+
+    def test_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            AliasTable(np.ones(2)).sample(rng, -1)
+
+    def test_sample_zero(self, rng):
+        assert AliasTable(np.ones(2)).sample(rng, 0).size == 0
+
+
+@given(
+    weights=st.lists(
+        st.floats(0.01, 100.0, allow_nan=False), min_size=1, max_size=12
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_alias_table_probabilities_consistent(weights):
+    """Property: the alias construction preserves total probability mass."""
+    table = AliasTable(np.asarray(weights))
+    n = len(weights)
+    # Reconstruct per-index probability from the (prob, alias) arrays.
+    mass = np.zeros(n)
+    for slot in range(n):
+        mass[slot] += table.prob[slot] / n
+        mass[table.alias[slot]] += (1.0 - table.prob[slot]) / n
+    expected = np.asarray(weights) / np.sum(weights)
+    assert np.allclose(mass, expected, atol=1e-9)
+
+
+class TestPartitionAliasSampler:
+    def test_samples_respect_weights(self, rng):
+        offsets = np.array([0, 2, 2, 5])
+        weights = np.array([1.0, 9.0, 2.0, 2.0, 2.0])
+        sampler = PartitionAliasSampler(offsets, weights)
+        picks = sampler.sample_local(np.zeros(5000, dtype=np.int64), rng)
+        freq1 = np.mean(picks == 1)
+        assert 0.85 < freq1 < 0.95  # weight 9 of 10
+
+    def test_dead_end_vertex(self, rng):
+        sampler = PartitionAliasSampler(np.array([0, 0]), np.array([]))
+        assert sampler.sample_local(np.array([0]), rng).tolist() == [-1]
+
+    def test_requires_weights(self):
+        with pytest.raises(ValueError):
+            PartitionAliasSampler(np.array([0, 1]), None)
+
+
+class TestRejectionSample:
+    def test_accept_all(self, rng):
+        def propose(k):
+            n = 5 if k == -1 else k
+            return np.arange(n), np.ones(n)
+
+        assert rejection_sample(rng, propose).tolist() == [0, 1, 2, 3, 4]
+
+    def test_eventually_accepts(self, rng):
+        calls = {"n": 0}
+
+        def propose(k):
+            n = 8 if k == -1 else k
+            calls["n"] += 1
+            return np.full(n, calls["n"]), np.full(n, 0.5)
+
+        out = rejection_sample(rng, propose)
+        assert out.size == 8
+        assert calls["n"] > 1  # some slots re-proposed
+
+    def test_round_cap(self, rng):
+        def propose(k):
+            n = 4 if k == -1 else k
+            return np.zeros(n), np.zeros(n)  # never accept
+
+        out = rejection_sample(rng, propose, max_rounds=3)
+        assert out.size == 4  # falls back to the last candidate

@@ -1,0 +1,193 @@
+"""Unit tests for the scheduling policies (§III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import Scheduler
+from repro.gpu.memory import BlockPool
+from repro.walks.pool import DeviceWalkPool, HostWalkPool
+from repro.walks.state import WalkArrays
+
+
+def walks(n, first_id=0):
+    return WalkArrays.fresh(np.zeros(n, dtype=np.int64), first_id)
+
+
+@pytest.fixture()
+def pools():
+    host = HostWalkPool(num_partitions=6, batch_capacity=4)
+    device = DeviceWalkPool(6, batch_capacity=4, capacity_walks=10_000)
+    return host, device
+
+
+class TestSelectPartition:
+    def test_selective_picks_most_walks(self, pools):
+        host, device = pools
+        host.append_walks(1, walks(3))
+        host.append_walks(4, walks(9))
+        device.append_walks(2, walks(5))
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.select_partition(host, device) == 4
+
+    def test_selective_counts_host_plus_device(self, pools):
+        host, device = pools
+        host.append_walks(1, walks(3))
+        device.append_walks(1, walks(3))
+        host.append_walks(2, walks(5))
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.select_partition(host, device) == 1
+
+    def test_round_robin_cycles_nonempty(self, pools):
+        host, device = pools
+        for p in (0, 2, 5):
+            host.append_walks(p, walks(2))
+        sched = Scheduler(6, selective=False, preemptive=False)
+        order = [sched.select_partition(host, device) for __ in range(4)]
+        assert order == [0, 2, 5, 0]
+
+    def test_none_when_empty(self, pools):
+        host, device = pools
+        for selective in (True, False):
+            sched = Scheduler(6, selective=selective, preemptive=False)
+            assert sched.select_partition(host, device) is None
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            Scheduler(0, True, True)
+
+
+class TestGraphVictim:
+    def test_fifo_when_not_selective(self, pools):
+        host, device = pools
+        pool = BlockPool(3)
+        for key in (4, 1, 2):
+            pool.insert(key, key)
+        sched = Scheduler(6, selective=False, preemptive=False)
+        assert sched.graph_victim(pool, host, device) == 4
+
+    def test_selective_evicts_fewest_walks(self, pools):
+        host, device = pools
+        pool = BlockPool(3)
+        for key in (0, 1, 2):
+            pool.insert(key, key)
+        host.append_walks(0, walks(9))
+        host.append_walks(1, walks(1))
+        host.append_walks(2, walks(5))
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.graph_victim(pool, host, device) == 1
+
+    def test_protect_excluded(self, pools):
+        host, device = pools
+        pool = BlockPool(2)
+        pool.insert(0, 0)
+        pool.insert(1, 1)
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.graph_victim(pool, host, device, protect=0) == 1
+
+    def test_no_candidates(self, pools):
+        host, device = pools
+        pool = BlockPool(1)
+        pool.insert(0, 0)
+        sched = Scheduler(6, selective=True, preemptive=True)
+        with pytest.raises(KeyError):
+            sched.graph_victim(pool, host, device, protect=0)
+
+
+class TestPreemptivePick:
+    def test_requires_cached_graph_and_full_batch(self, pools):
+        host, device = pools
+        pool = BlockPool(4)
+        pool.insert(1, 1)
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.pick_preemptive_partition(pool, host, device) is None
+        device.append_walks(1, walks(4))  # one full batch
+        assert sched.pick_preemptive_partition(pool, host, device) == 1
+
+    def test_uncached_graph_not_ready(self, pools):
+        host, device = pools
+        pool = BlockPool(4)
+        device.append_walks(2, walks(8))  # graph for 2 not cached
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.pick_preemptive_partition(pool, host, device) is None
+
+    def test_full_batches_prefer_fewest_total_walks(self, pools):
+        host, device = pools
+        pool = BlockPool(4)
+        pool.insert(1, 1)
+        pool.insert(2, 2)
+        device.append_walks(1, walks(4))
+        device.append_walks(2, walks(4))
+        host.append_walks(1, walks(10))  # partition 1 has more total
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.pick_preemptive_partition(pool, host, device) == 2
+
+    def test_partial_fallback_half_full(self, pools):
+        host, device = pools
+        pool = BlockPool(4)
+        pool.insert(3, 3)
+        device.append_walks(3, walks(1))  # < B/2: not worth preempting
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.pick_preemptive_partition(pool, host, device) is None
+        device.append_walks(3, walks(1))  # now B/2
+        assert sched.pick_preemptive_partition(pool, host, device) == 3
+
+    def test_exclude_selected(self, pools):
+        host, device = pools
+        pool = BlockPool(4)
+        pool.insert(1, 1)
+        device.append_walks(1, walks(4))
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert (
+            sched.pick_preemptive_partition(pool, host, device, exclude=1)
+            is None
+        )
+
+    def test_non_selective_takes_first(self, pools):
+        host, device = pools
+        pool = BlockPool(4)
+        pool.insert(2, 2)
+        pool.insert(1, 1)
+        device.append_walks(1, walks(4))
+        device.append_walks(2, walks(4))
+        sched = Scheduler(6, selective=False, preemptive=True)
+        assert sched.pick_preemptive_partition(pool, host, device) == 2
+
+
+class TestWalkEviction:
+    def test_prefers_uncached_graph_partitions(self, pools):
+        host, device = pools
+        pool = BlockPool(4)
+        pool.insert(1, 1)
+        device.append_walks(1, walks(2))
+        device.append_walks(3, walks(9))  # graph not cached
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.walk_evict_partition(pool, device) == 3
+
+    def test_fewest_walks_among_uncached(self, pools):
+        host, device = pools
+        pool = BlockPool(4)
+        device.append_walks(2, walks(9))
+        device.append_walks(3, walks(2))
+        sched = Scheduler(6, selective=True, preemptive=True)
+        assert sched.walk_evict_partition(pool, device) == 3
+
+    def test_protect_fallback(self, pools):
+        host, device = pools
+        pool = BlockPool(4)
+        device.append_walks(2, walks(5))
+        sched = Scheduler(6, selective=True, preemptive=True)
+        # Only the protected partition has walks: it is still returned.
+        assert sched.walk_evict_partition(pool, device, protect=2) == 2
+
+    def test_nothing_to_evict(self, pools):
+        host, device = pools
+        sched = Scheduler(6, selective=True, preemptive=True)
+        with pytest.raises(KeyError):
+            sched.walk_evict_partition(BlockPool(2), device)
+
+    def test_non_selective_first_candidate(self, pools):
+        host, device = pools
+        device.append_walks(4, walks(1))
+        device.append_walks(1, walks(9))
+        sched = Scheduler(6, selective=False, preemptive=False)
+        assert sched.walk_evict_partition(BlockPool(2), device) == 1

@@ -1,0 +1,51 @@
+"""Tests for the sparkline renderer."""
+
+import math
+
+import pytest
+
+from repro.bench.sparkline import series_line, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_flat_series(self):
+        line = sparkline([5, 5, 5])
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_width_shorter_than_data_keeps_data(self):
+        assert len(sparkline([1, 2], width=10)) == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1], width=0)
+
+    def test_nan_rendered_as_space(self):
+        line = sparkline([1.0, math.nan, 2.0])
+        assert line[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+
+class TestSeriesLine:
+    def test_label_and_range(self):
+        text = series_line("active%", [10, 20, 30])
+        assert text.startswith("active%: ")
+        assert "[10 .. 30]" in text
+
+    def test_empty_series(self):
+        assert "empty" in series_line("x", [])

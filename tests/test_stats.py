@@ -1,0 +1,69 @@
+"""Unit tests for run statistics."""
+
+import pytest
+
+from repro.core.stats import (
+    CAT_CPU_COMPUTE,
+    CAT_GRAPH_LOAD,
+    CAT_KERNEL_OTHER,
+    CAT_RESHUFFLE,
+    CAT_WALK_EVICT,
+    CAT_WALK_LOAD,
+    CAT_WALK_UPDATE,
+    CAT_ZERO_COPY,
+    RunStats,
+)
+
+
+def make_stats(**overrides):
+    defaults = dict(
+        system="lighttraffic",
+        algorithm="pagerank",
+        graph="g",
+        num_walks=10,
+    )
+    defaults.update(overrides)
+    return RunStats(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_throughput(self):
+        stats = make_stats(total_steps=1000, total_time=2.0)
+        assert stats.throughput == 500.0
+
+    def test_throughput_zero_time(self):
+        assert make_stats(total_steps=10).throughput == 0.0
+
+    def test_hit_rate(self):
+        stats = make_stats(graph_pool_hits=3, graph_pool_misses=1)
+        assert stats.graph_pool_hit_rate == 0.75
+
+    def test_hit_rate_no_probes(self):
+        assert make_stats().graph_pool_hit_rate == 0.0
+
+    def test_compute_vs_transmission_split(self):
+        stats = make_stats(
+            breakdown={
+                CAT_WALK_UPDATE: 1.0,
+                CAT_RESHUFFLE: 0.5,
+                CAT_KERNEL_OTHER: 0.25,
+                CAT_CPU_COMPUTE: 0.25,
+                CAT_GRAPH_LOAD: 2.0,
+                CAT_WALK_LOAD: 1.0,
+                CAT_ZERO_COPY: 0.5,
+                CAT_WALK_EVICT: 0.5,
+            }
+        )
+        assert stats.compute_time == pytest.approx(2.0)
+        assert stats.transmission_time == pytest.approx(4.0)
+
+    def test_time_lookup(self):
+        stats = make_stats(breakdown={CAT_GRAPH_LOAD: 1.5})
+        assert stats.time(CAT_GRAPH_LOAD) == 1.5
+        assert stats.time("nonexistent") == 0.0
+
+    def test_summary_fields(self):
+        stats = make_stats(total_steps=500, total_time=0.001, iterations=7)
+        text = stats.summary()
+        for token in ("lighttraffic/pagerank", "10 walks", "7 iters"):
+            assert token in text

@@ -1,0 +1,101 @@
+"""Tests for the §IV-D analytical model, including model-vs-engine checks."""
+
+import pytest
+
+from repro.core.theory import (
+    IterationModel,
+    throughput_ceiling,
+    transfer_bound_throughput,
+    walk_density,
+    zero_copy_density_threshold,
+)
+from repro.gpu.calibration import Calibration
+
+
+class TestFormulas:
+    def test_density(self):
+        # 1000 walks x 8 B in a 64 KiB partition.
+        assert walk_density(1000, 64 * 1024, 8) == pytest.approx(0.1220703125)
+
+    def test_throughput_matches_paper_formula(self):
+        # B = 12 GB/s, S_w = 8 B, D = 1 -> (1.5e9) / 2.
+        assert transfer_bound_throughput(12e9, 8, 1.0) == pytest.approx(0.75e9)
+
+    def test_throughput_monotone_in_density(self):
+        values = [
+            transfer_bound_throughput(12e9, 8, d)
+            for d in (0.01, 0.1, 1.0, 10.0)
+        ]
+        assert values == sorted(values)
+
+    def test_ceiling_is_limit(self):
+        ceiling = throughput_ceiling(12e9, 8)
+        nearly = transfer_bound_throughput(12e9, 8, 1e9)
+        assert nearly == pytest.approx(ceiling, rel=1e-6)
+        assert transfer_bound_throughput(12e9, 8, 0) == 0.0
+
+    def test_zero_copy_threshold(self):
+        cal = Calibration()
+        raw = zero_copy_density_threshold(8, cal, effective=False)
+        assert raw == pytest.approx(8 / 256)
+        effective = zero_copy_density_threshold(8, cal, effective=True)
+        assert effective == pytest.approx(raw / cal.zero_copy_cost_factor)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            walk_density(10, 0)
+        with pytest.raises(ValueError):
+            transfer_bound_throughput(0, 8, 1)
+
+
+class TestIterationModel:
+    def test_steps_per_visit(self):
+        model = IterationModel(num_partitions=100, walk_length=80)
+        assert model.steps_per_visit == pytest.approx(100 / 99)
+        assert model.visits_per_walk == pytest.approx(80 * 0.99)
+
+    def test_single_partition(self):
+        model = IterationModel(num_partitions=1, walk_length=80)
+        assert model.steps_per_visit == 80.0
+        assert model.visits_per_walk == pytest.approx(1.0)
+
+    def test_expected_iterations(self):
+        model = IterationModel(num_partitions=50, walk_length=10)
+        expected = model.expected_iterations(1000, walks_per_iteration=20)
+        assert expected == pytest.approx(1000 * model.visits_per_walk / 20)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            IterationModel(0, 10)
+        with pytest.raises(ValueError):
+            IterationModel(10, 10).expected_iterations(10, 0)
+
+
+class TestModelVsEngine:
+    def test_visits_per_walk_predicts_engine_steps(self, small_graph):
+        """The engine's measured steps-per-kernel-visit matches the
+        1/(1 - 1/P) prediction for uniform walks."""
+        from repro.algorithms import UniformSampling
+        from repro.core.config import EngineConfig
+        from repro.core.engine import LightTrafficEngine
+        from repro.core.trace import TraceRecorder
+
+        config = EngineConfig(
+            partition_bytes=2048,
+            batch_walks=32,
+            graph_pool_partitions=4,
+            seed=2,
+        )
+        trace = TraceRecorder()
+        engine = LightTrafficEngine(
+            small_graph, UniformSampling(length=20), config, trace=trace
+        )
+        stats = engine.run(400)
+        model = IterationModel(stats.num_partitions, walk_length=20)
+        visits = sum(it.walks_total for it in trace.iterations)
+        measured_steps_per_visit = stats.total_steps / visits
+        # Degree correlations across a range partition make the true stay
+        # probability a bit higher than 1/P; allow a loose band.
+        assert measured_steps_per_visit == pytest.approx(
+            model.steps_per_visit, rel=0.5
+        )

@@ -1,0 +1,145 @@
+"""Unit and property tests for the discrete-event timeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.timeline import Stream, TimeBreakdown, Timeline
+
+
+class TestStream:
+    def test_sequential_ops(self):
+        s = Stream("s")
+        assert s.schedule(1.0, "a") == (0.0, 1.0)
+        assert s.schedule(2.0, "a") == (1.0, 3.0)
+        assert s.busy_until == 3.0
+
+    def test_earliest_release(self):
+        s = Stream("s")
+        start, end = s.schedule(1.0, "a", earliest=5.0)
+        assert (start, end) == (5.0, 6.0)
+
+    def test_earliest_in_past_ignored(self):
+        s = Stream("s")
+        s.schedule(4.0, "a")
+        start, __ = s.schedule(1.0, "a", earliest=2.0)
+        assert start == 4.0
+
+    def test_zero_duration(self):
+        s = Stream("s")
+        start, end = s.schedule(0.0, "a")
+        assert start == end == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Stream("s").schedule(-1.0, "a")
+
+    def test_negative_earliest_rejected(self):
+        with pytest.raises(ValueError):
+            Stream("s").schedule(1.0, "a", earliest=-1.0)
+
+    def test_idle_before(self):
+        s = Stream("s")
+        s.schedule(1.0, "a")
+        assert s.idle_before(3.0) == 2.0
+        assert s.idle_before(0.5) == 0.0
+
+    def test_breakdown_recording(self):
+        bd = TimeBreakdown()
+        s = Stream("s", breakdown=bd)
+        s.schedule(1.0, "load")
+        s.schedule(2.0, "load")
+        s.schedule(0.5, "compute")
+        assert bd.get("load") == pytest.approx(3.0)
+        assert bd.get("compute") == pytest.approx(0.5)
+        assert bd.total() == pytest.approx(3.5)
+
+    def test_op_recording(self):
+        s = Stream("s", record_ops=True)
+        s.schedule(1.0, "a")
+        s.schedule(1.0, "b", earliest=4.0)
+        assert [op.category for op in s.ops] == ["a", "b"]
+        assert s.ops[1].start == 4.0
+        assert s.ops[1].duration == 1.0
+
+
+class TestTimeBreakdown:
+    def test_get_missing(self):
+        assert TimeBreakdown().get("nope") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("a", -1.0)
+
+    def test_merge(self):
+        a, b = TimeBreakdown(), TimeBreakdown()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.get("x") == 3.0 and a.get("y") == 3.0
+
+    def test_as_dict_copy(self):
+        bd = TimeBreakdown()
+        bd.add("x", 1.0)
+        d = bd.as_dict()
+        d["x"] = 99.0
+        assert bd.get("x") == 1.0
+
+
+class TestTimeline:
+    def test_streams_overlap(self):
+        tl = Timeline()
+        tl.load.schedule(10.0, "graph_load")
+        tl.compute.schedule(3.0, "compute")
+        tl.evict.schedule(2.0, "evict")
+        assert tl.now == 10.0  # overlapping, not summed
+
+    def test_cross_stream_dependency(self):
+        tl = Timeline()
+        __, load_end = tl.load.schedule(5.0, "graph_load")
+        start, __ = tl.compute.schedule(1.0, "compute", earliest=load_end)
+        assert start == 5.0
+
+    def test_validate_passes(self):
+        tl = Timeline(record_ops=True)
+        tl.load.schedule(1.0, "a")
+        tl.load.schedule(1.0, "b")
+        tl.compute.schedule(5.0, "c")
+        tl.validate()
+
+    def test_total_time(self):
+        tl = Timeline()
+        assert tl.total_time() == 0.0
+        tl.compute.schedule(2.5, "x")
+        assert tl.total_time() == 2.5
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["compute", "load", "evict"]),
+            st.floats(0.0, 10.0, allow_nan=False),
+            st.floats(0.0, 20.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_timeline_invariants(ops):
+    """Property: per-stream ops never overlap; makespan >= every stream."""
+    tl = Timeline(record_ops=True)
+    streams = {"compute": tl.compute, "load": tl.load, "evict": tl.evict}
+    total_by_cat = {}
+    for name, duration, earliest in ops:
+        start, end = streams[name].schedule(duration, name, earliest=earliest)
+        assert start >= earliest
+        assert end - start == pytest.approx(duration)
+        total_by_cat[name] = total_by_cat.get(name, 0.0) + duration
+    tl.validate()
+    for name, total in total_by_cat.items():
+        assert tl.breakdown.get(name) == pytest.approx(total)
+        # A stream's busy_until is at least its total busy time.
+        assert streams[name].busy_until >= total - 1e-9
+    assert tl.now == max(s.busy_until for s in tl.streams)

@@ -1,0 +1,76 @@
+"""Tests for the unified-virtual-memory baseline."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, UniformSampling
+from repro.baselines import UVMConfig, UVMEngine
+from repro.core.stats import CAT_GRAPH_LOAD, CAT_WALK_UPDATE
+from repro.gpu.device import RTX3090
+
+
+class TestSemantics:
+    def test_exact_step_count(self, small_graph):
+        stats = UVMEngine(small_graph, UniformSampling(length=6)).run(100)
+        assert stats.total_steps == 600
+        assert stats.iterations == 6
+
+    def test_visit_counts_populated(self, small_graph):
+        algo = PageRank(length=5)
+        UVMEngine(small_graph, algo).run(80)
+        assert algo.visit_counts.sum() == 80 * 6  # starts + steps
+
+    def test_invalid_walks(self, small_graph):
+        with pytest.raises(ValueError):
+            UVMEngine(small_graph, PageRank(3)).run(0)
+
+    def test_invalid_page_size(self, small_graph):
+        with pytest.raises(ValueError):
+            UVMEngine(small_graph, PageRank(3), UVMConfig(page_bytes=0))
+
+
+class TestPageCache:
+    def test_fitting_graph_faults_once(self, small_graph):
+        # Cache larger than the graph: every page faults exactly once.
+        config = UVMConfig(
+            page_bytes=1024,
+            gpu_memory_bytes=4 * small_graph.csr_bytes,
+        )
+        engine = UVMEngine(small_graph, PageRank(length=10), config)
+        engine.run(400)
+        total_pages = -(-small_graph.csr_bytes // 1024)
+        assert engine.faults <= total_pages + 1
+        assert engine.fault_rate < 0.2
+
+    def test_tiny_cache_thrashes(self, small_graph):
+        config = UVMConfig(page_bytes=1024, gpu_memory_bytes=4 * 1024)
+        engine = UVMEngine(small_graph, PageRank(length=10), config)
+        engine.run(400)
+        assert engine.fault_rate > 0.5
+
+    def test_more_memory_never_more_faults(self, small_graph):
+        def faults(budget):
+            engine = UVMEngine(
+                small_graph,
+                PageRank(length=8),
+                UVMConfig(page_bytes=2048, gpu_memory_bytes=budget, seed=3),
+            )
+            engine.run(200)
+            return engine.faults
+
+        small = faults(8 * 2048)
+        large = faults(small_graph.csr_bytes * 2)
+        assert large <= small
+
+    def test_breakdown_composition(self, small_graph):
+        stats = UVMEngine(small_graph, PageRank(length=4)).run(50)
+        assert stats.total_time == pytest.approx(
+            stats.time(CAT_GRAPH_LOAD) + stats.time(CAT_WALK_UPDATE)
+        )
+        assert "faults=" in stats.notes
+
+    def test_fault_rate_empty(self, small_graph):
+        engine = UVMEngine(small_graph, PageRank(length=4))
+        assert engine.fault_rate == 0.0

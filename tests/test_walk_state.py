@@ -1,0 +1,108 @@
+"""Unit tests for walk state arrays and batches."""
+
+import numpy as np
+import pytest
+
+from repro.walks.batch import WalkBatch
+from repro.walks.state import WalkArrays, index_bytes_per_walk
+
+
+class TestWalkArrays:
+    def test_fresh(self):
+        w = WalkArrays.fresh(np.array([3, 1, 4]), first_id=10)
+        assert w.vertices.tolist() == [3, 1, 4]
+        assert w.steps.tolist() == [0, 0, 0]
+        assert w.ids.tolist() == [10, 11, 12]
+
+    def test_empty(self):
+        assert len(WalkArrays.empty()) == 0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError, match="aligned"):
+            WalkArrays(np.array([1, 2]), np.array([0]), np.array([0]))
+
+    def test_concat(self):
+        a = WalkArrays.fresh(np.array([1]), first_id=0)
+        b = WalkArrays.fresh(np.array([2, 3]), first_id=1)
+        c = WalkArrays.concat([a, WalkArrays.empty(), b])
+        assert c.vertices.tolist() == [1, 2, 3]
+        assert c.ids.tolist() == [0, 1, 2]
+
+    def test_concat_empty(self):
+        assert len(WalkArrays.concat([])) == 0
+
+    def test_select_by_mask(self):
+        w = WalkArrays.fresh(np.array([5, 6, 7]))
+        sel = w.select(np.array([True, False, True]))
+        assert sel.vertices.tolist() == [5, 7]
+        # Copies: mutating the selection does not touch the original.
+        sel.vertices[0] = 99
+        assert w.vertices[0] == 5
+
+    def test_slice_copies(self):
+        w = WalkArrays.fresh(np.array([5, 6, 7]))
+        s = w.slice(1, 3)
+        s.vertices[0] = 42
+        assert w.vertices[1] == 6
+
+    def test_copy_and_id_set(self):
+        w = WalkArrays.fresh(np.array([1, 2]), first_id=7)
+        assert w.copy().id_set() == {7, 8}
+
+    def test_index_bytes(self):
+        assert index_bytes_per_walk(False) == 8
+        assert index_bytes_per_walk(True) == 16
+
+
+class TestWalkBatch:
+    def test_append_until_full(self):
+        batch = WalkBatch(capacity=3, partition=0)
+        walks = WalkArrays.fresh(np.array([1, 2, 3, 4]))
+        written = batch.append(walks)
+        assert written == 3
+        assert batch.is_full
+        assert batch.free_space == 0
+
+    def test_append_with_start(self):
+        batch = WalkBatch(capacity=4, partition=0)
+        walks = WalkArrays.fresh(np.array([1, 2, 3]))
+        assert batch.append(walks, start=2) == 1
+        assert batch.vertices[0] == 3
+
+    def test_append_start_beyond_end(self):
+        batch = WalkBatch(capacity=4, partition=0)
+        with pytest.raises(ValueError):
+            batch.append(WalkArrays.fresh(np.array([1])), start=5)
+
+    def test_drain_transfers_ownership(self):
+        batch = WalkBatch(capacity=4, partition=2)
+        batch.append(WalkArrays.fresh(np.array([7, 8])))
+        drained = batch.drain()
+        assert drained.vertices.tolist() == [7, 8]
+        assert batch.is_empty
+
+    def test_contents_copies(self):
+        batch = WalkBatch(capacity=4, partition=0)
+        batch.append(WalkArrays.fresh(np.array([7])))
+        contents = batch.contents()
+        contents.vertices[0] = 99
+        assert batch.vertices[0] == 7
+        assert batch.size == 1  # contents() does not drain
+
+    def test_nbytes(self):
+        batch = WalkBatch(capacity=8, partition=0)
+        batch.append(WalkArrays.fresh(np.array([1, 2, 3])))
+        assert batch.nbytes(8) == 24
+        assert batch.nbytes(16) == 48
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            WalkBatch(capacity=0, partition=0)
+        with pytest.raises(ValueError):
+            WalkBatch(capacity=4, partition=-1)
+
+    def test_len(self):
+        batch = WalkBatch(capacity=4, partition=0)
+        assert len(batch) == 0
+        batch.append(WalkArrays.fresh(np.array([1])))
+        assert len(batch) == 1
