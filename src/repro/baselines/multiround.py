@@ -6,17 +6,24 @@ run the sets sequentially with the partition-based engine.  Every round
 re-streams the graph partitions, so total graph traffic grows roughly
 linearly with the number of rounds — the effect Fig 16 measures (up to
 ~3.5x slowdown at 25 cached partitions).
+
+Aggregation rides the event bus: every round's engine emits onto one
+shared :class:`~repro.core.events.EventBus`, and a single
+:class:`~repro.core.stats.StatsCollector` subscription accumulates the
+cross-round totals (each round contributes one ``RunCompleted``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.algorithms.base import RandomWalkAlgorithm
 from repro.core.config import EngineConfig
 from repro.core.engine import LightTrafficEngine
-from repro.core.stats import RunStats
+from repro.core.events import EventBus
+from repro.core.metrics import MetricsCollector
+from repro.core.stats import RunStats, StatsCollector
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import PartitionedGraph
 
@@ -32,7 +39,9 @@ class MultiRoundEngine:
         algorithm_factory: Callable[[], RandomWalkAlgorithm],
         config: EngineConfig = EngineConfig(),
         rounds: int = 2,
-        partitioned: PartitionedGraph = None,
+        partitioned: Optional[PartitionedGraph] = None,
+        bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsCollector] = None,
     ) -> None:
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
@@ -42,46 +51,44 @@ class MultiRoundEngine:
         # Within a round all walks fit in GPU memory: no walk-pool cap.
         self.config = config.with_options(walk_pool_walks=None)
         self.partitioned = partitioned
+        self.bus = bus
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     def run(self, num_walks: int) -> RunStats:
         if num_walks < self.rounds:
             raise ValueError("need at least one walk per round")
         per_round = math.ceil(num_walks / self.rounds)
-        aggregate = None
         remaining = num_walks
-        sample_algorithm = self.algorithm_factory()
-        for round_index in range(self.rounds):
-            walks_this_round = min(per_round, remaining)
-            remaining -= walks_this_round
-            algorithm = self.algorithm_factory()
-            engine = LightTrafficEngine(
-                self.graph,
-                algorithm,
-                self.config.with_options(
-                    seed=(self.config.seed or 0) + round_index
-                ),
-                partitioned=self.partitioned,
-            )
-            stats = engine.run(walks_this_round)
-            if aggregate is None:
-                aggregate = stats
-            else:
-                aggregate.total_steps += stats.total_steps
-                aggregate.iterations += stats.iterations
-                aggregate.explicit_copies += stats.explicit_copies
-                aggregate.zero_copy_iterations += stats.zero_copy_iterations
-                aggregate.graph_pool_hits += stats.graph_pool_hits
-                aggregate.graph_pool_misses += stats.graph_pool_misses
-                aggregate.walk_batches_loaded += stats.walk_batches_loaded
-                aggregate.walk_batches_evicted += stats.walk_batches_evicted
-                aggregate.total_time += stats.total_time
-                for key, value in stats.breakdown.items():
-                    aggregate.breakdown[key] = (
-                        aggregate.breakdown.get(key, 0.0) + value
-                    )
-        aggregate.system = self.system
-        aggregate.algorithm = sample_algorithm.name
-        aggregate.num_walks = num_walks
+        aggregate = RunStats(
+            system=self.system,
+            algorithm=self.algorithm_factory().name,
+            graph=self.graph.name or "graph",
+            num_walks=num_walks,
+        )
+        bus = self.bus if self.bus is not None else EventBus()
+        observers = [
+            bus.attach(StatsCollector(aggregate, metrics=self.metrics))
+        ]
+        if self.metrics is not None:
+            observers.append(bus.attach(self.metrics))
+        try:
+            for round_index in range(self.rounds):
+                walks_this_round = min(per_round, remaining)
+                remaining -= walks_this_round
+                engine = LightTrafficEngine(
+                    self.graph,
+                    self.algorithm_factory(),
+                    self.config.with_options(
+                        seed=(self.config.seed or 0) + round_index
+                    ),
+                    partitioned=self.partitioned,
+                    bus=bus,
+                )
+                round_stats = engine.run(walks_this_round)
+                aggregate.num_partitions = round_stats.num_partitions
+        finally:
+            for observer in observers:
+                bus.detach(observer)
         aggregate.notes = f"rounds={self.rounds}"
         return aggregate

@@ -28,11 +28,22 @@ import numpy as np
 
 from repro.algorithms.base import RandomWalkAlgorithm
 from repro.baselines.inmemory_cpu import whole_graph_partition
+from repro.core.events import (
+    SERVED_EXPLICIT,
+    EventBus,
+    GraphServed,
+    IterationStarted,
+    KernelDispatched,
+    RunCompleted,
+    WalkFinished,
+)
+from repro.core.metrics import MetricsCollector
 from repro.core.stats import (
     CAT_GRAPH_LOAD,
     CAT_SUBGRAPH,
     CAT_WALK_UPDATE,
     RunStats,
+    StatsCollector,
 )
 from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.gpu.device import DeviceSpec, RTX3090
@@ -82,10 +93,14 @@ class SubwayEngine:
         graph: CSRGraph,
         algorithm: RandomWalkAlgorithm,
         config: SubwayConfig = SubwayConfig(),
+        bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsCollector] = None,
     ) -> None:
         self.graph = graph
         self.algorithm = algorithm
         self.config = config
+        self.bus = bus
+        self.metrics = metrics
         self.kernel_model = KernelModel(config.device, config.calibration)
         if isinstance(config.interconnect, PCIeSpec):
             self.pcie = config.interconnect
@@ -136,76 +151,117 @@ class SubwayEngine:
             graph=graph.name or "graph",
             num_walks=num_walks,
         )
+        bus = self.bus if self.bus is not None else EventBus()
+        observers = [bus.attach(StatsCollector(stats, metrics=self.metrics))]
+        if self.metrics is not None:
+            observers.append(bus.attach(self.metrics))
         breakdown = {CAT_SUBGRAPH: 0.0, CAT_GRAPH_LOAD: 0.0, CAT_WALK_UPDATE: 0.0}
         self.records = []
         cal = cfg.calibration
+        iteration = 0
 
-        while alive.any():
-            stats.iterations += 1
-            if stats.iterations > cfg.max_iterations:
-                raise RuntimeError("Subway baseline exceeded max_iterations")
-            idx = np.nonzero(alive)[0]
-            vertices = walks.vertices[idx]
+        try:
+            while alive.any():
+                iteration += 1
+                if iteration > cfg.max_iterations:
+                    raise RuntimeError(
+                        "Subway baseline exceeded max_iterations"
+                    )
+                idx = np.nonzero(alive)[0]
+                vertices = walks.vertices[idx]
+                # Subway is unpartitioned — events carry partition 0 (the
+                # whole-graph active subgraph).
+                bus.emit(IterationStarted(iteration, 0, int(idx.size)))
 
-            # --- (1) active subgraph generation on the CPU --------------
-            active_vertices, per_vertex = np.unique(
-                vertices, return_counts=True
-            )
-            active_edges = int(degrees[active_vertices].sum())
-            scan_cost = (
-                (active_vertices.size + active_edges)
-                * cal.subway_subgraph_cycles_per_edge
-                / cal.cpu_clock_hz
-            )
-            breakdown[CAT_SUBGRAPH] += scan_cost
+                # --- (1) active subgraph generation on the CPU ----------
+                active_vertices, per_vertex = np.unique(
+                    vertices, return_counts=True
+                )
+                active_edges = int(degrees[active_vertices].sum())
+                scan_cost = (
+                    (active_vertices.size + active_edges)
+                    * cal.subway_subgraph_cycles_per_edge
+                    / cal.cpu_clock_hz
+                )
+                breakdown[CAT_SUBGRAPH] += scan_cost
 
-            # --- (2) transfer (chunked when exceeding GPU memory) -------
-            subgraph_bytes = (
-                VERTEX_ENTRY_BYTES * (active_vertices.size + 1)
-                + EDGE_ENTRY_BYTES * active_edges
-            )
-            chunks = max(1, math.ceil(subgraph_bytes / gpu_budget))
-            for c in range(chunks):
-                chunk_bytes = subgraph_bytes // chunks
-                breakdown[CAT_GRAPH_LOAD] += self.pcie.explicit_copy_time(
-                    chunk_bytes
-                ) + cal.scaled_memcpy_call_seconds
-            stats.explicit_copies += chunks
+                # --- (2) transfer (chunked when exceeding GPU memory) ---
+                subgraph_bytes = (
+                    VERTEX_ENTRY_BYTES * (active_vertices.size + 1)
+                    + EDGE_ENTRY_BYTES * active_edges
+                )
+                chunks = max(1, math.ceil(subgraph_bytes / gpu_budget))
+                for c in range(chunks):
+                    chunk_bytes = subgraph_bytes // chunks
+                    copy_t = (
+                        self.pcie.explicit_copy_time(chunk_bytes)
+                        + cal.scaled_memcpy_call_seconds
+                    )
+                    breakdown[CAT_GRAPH_LOAD] += copy_t
+                    bus.emit(
+                        GraphServed(
+                            iteration=iteration,
+                            partition=0,
+                            mode=SERVED_EXPLICIT,
+                            copy_seconds=copy_t,
+                        )
+                    )
 
-            # --- (3) vertex-centric kernel: one step per active walk ----
-            new_v, terminated = self.algorithm.step_once(
-                vertices, walks.steps[idx], walks.ids[idx], partition, rng, graph
-            )
-            walks.vertices[idx] = new_v
-            walks.steps[idx] += 1
-            self.algorithm.observe(new_v, walks.ids[idx], terminated)
-            alive[idx] = ~terminated
-            steps_this_iter = int(idx.size)
-            stats.total_steps += steps_this_iter
-            max_group = int(per_vertex.max())
-            kernel_time = self.kernel_model.vertex_centric_time(
-                steps_this_iter, max_group
-            )
-            kernel_time += cal.scaled_kernel_launch_seconds * chunks
-            breakdown[CAT_WALK_UPDATE] += kernel_time
+                # --- (3) vertex-centric kernel: one step per walk -------
+                new_v, terminated = self.algorithm.step_once(
+                    vertices, walks.steps[idx], walks.ids[idx], partition,
+                    rng, graph,
+                )
+                walks.vertices[idx] = new_v
+                walks.steps[idx] += 1
+                self.algorithm.observe(new_v, walks.ids[idx], terminated)
+                alive[idx] = ~terminated
+                steps_this_iter = int(idx.size)
+                max_group = int(per_vertex.max())
+                kernel_time = self.kernel_model.vertex_centric_time(
+                    steps_this_iter, max_group
+                )
+                kernel_time += cal.scaled_kernel_launch_seconds * chunks
+                breakdown[CAT_WALK_UPDATE] += kernel_time
+                bus.emit(
+                    KernelDispatched(
+                        partition=0,
+                        walks=steps_this_iter,
+                        steps=steps_this_iter,
+                        seconds=kernel_time,
+                    )
+                )
+                finished_now = int(terminated.sum())
+                if finished_now:
+                    bus.emit(WalkFinished(partition=0, count=finished_now))
 
-            self.records.append(
-                IterationRecord(
-                    iteration=stats.iterations,
-                    active_walks=steps_this_iter,
-                    active_vertex_fraction=(
-                        active_vertices.size / graph.num_vertices
-                    ),
-                    active_edge_fraction=(
-                        active_edges / graph.num_edges if graph.num_edges else 0.0
-                    ),
-                    used_edge_fraction=(
-                        steps_this_iter / active_edges if active_edges else 0.0
-                    ),
+                self.records.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        active_walks=steps_this_iter,
+                        active_vertex_fraction=(
+                            active_vertices.size / graph.num_vertices
+                        ),
+                        active_edge_fraction=(
+                            active_edges / graph.num_edges
+                            if graph.num_edges else 0.0
+                        ),
+                        used_edge_fraction=(
+                            steps_this_iter / active_edges
+                            if active_edges else 0.0
+                        ),
+                    )
+                )
+
+            # Subway's phases are effectively serial (Table I ~100%).
+            bus.emit(
+                RunCompleted(
+                    total_time=sum(breakdown.values()),
+                    breakdown=breakdown,
+                    finished_walks=num_walks,
                 )
             )
-
-        # Subway's phases are effectively serial (Table I sums to ~100%).
-        stats.breakdown = breakdown
-        stats.total_time = sum(breakdown.values())
+        finally:
+            for observer in observers:
+                bus.detach(observer)
         return stats

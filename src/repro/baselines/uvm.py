@@ -29,7 +29,22 @@ import numpy as np
 
 from repro.algorithms.base import RandomWalkAlgorithm
 from repro.baselines.inmemory_cpu import whole_graph_partition
-from repro.core.stats import CAT_GRAPH_LOAD, CAT_WALK_UPDATE, RunStats
+from repro.core.events import (
+    SERVED_EXPLICIT,
+    EventBus,
+    GraphServed,
+    IterationStarted,
+    KernelDispatched,
+    RunCompleted,
+    WalkFinished,
+)
+from repro.core.metrics import MetricsCollector
+from repro.core.stats import (
+    CAT_GRAPH_LOAD,
+    CAT_WALK_UPDATE,
+    RunStats,
+    StatsCollector,
+)
 from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.gpu.device import DeviceSpec, RTX3090
 from repro.gpu.kernels import KernelModel
@@ -65,12 +80,16 @@ class UVMEngine:
         graph: CSRGraph,
         algorithm: RandomWalkAlgorithm,
         config: UVMConfig = UVMConfig(),
+        bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsCollector] = None,
     ) -> None:
         if config.page_bytes < 1:
             raise ValueError("page_bytes must be positive")
         self.graph = graph
         self.algorithm = algorithm
         self.config = config
+        self.bus = bus
+        self.metrics = metrics
         self.kernel_model = KernelModel(config.device, config.calibration)
         if isinstance(config.interconnect, PCIeSpec):
             self.pcie = config.interconnect
@@ -114,60 +133,99 @@ class UVMEngine:
             graph=graph.name or "graph",
             num_walks=num_walks,
         )
+        bus = self.bus if self.bus is not None else EventBus()
+        observers = [bus.attach(StatsCollector(stats, metrics=self.metrics))]
+        if self.metrics is not None:
+            observers.append(bus.attach(self.metrics))
         migration_time = 0.0
         compute_time = 0.0
         steps_rate = self.kernel_model.steps_per_second(graph.csr_bytes)
         page_copy = self.pcie.explicit_copy_time(cfg.page_bytes)
+        fault_cost = cfg.fault_latency_seconds * cal.sim_scale + page_copy
         self.faults = 0
         self.page_hits = 0
+        iteration = 0
 
-        while alive.any():
-            stats.iterations += 1
-            if stats.iterations > cfg.max_iterations:
-                raise RuntimeError("UVM baseline exceeded max_iterations")
-            idx = np.nonzero(alive)[0]
+        try:
+            while alive.any():
+                iteration += 1
+                if iteration > cfg.max_iterations:
+                    raise RuntimeError("UVM baseline exceeded max_iterations")
+                idx = np.nonzero(alive)[0]
+                # UVM is unpartitioned — events carry partition 0 (the
+                # managed allocation); each page fault is one explicit
+                # page-group migration.
+                bus.emit(IterationStarted(iteration, 0, int(idx.size)))
 
-            # --- fault accounting for this step's accesses ---------------
-            pages = self._touched_pages(walks.vertices[idx])
-            iteration_faults = 0
-            for pid in pages.tolist():
-                if pid in resident:
-                    resident.move_to_end(pid)
-                    self.page_hits += 1
-                else:
-                    iteration_faults += 1
-                    if len(resident) >= cache_pages:
-                        resident.popitem(last=False)
-                    resident[pid] = None
-            self.faults += iteration_faults
-            migration_time += iteration_faults * (
-                cfg.fault_latency_seconds * cal.sim_scale + page_copy
+                # --- fault accounting for this step's accesses -----------
+                pages = self._touched_pages(walks.vertices[idx])
+                iteration_faults = 0
+                for pid in pages.tolist():
+                    if pid in resident:
+                        resident.move_to_end(pid)
+                        self.page_hits += 1
+                    else:
+                        iteration_faults += 1
+                        if len(resident) >= cache_pages:
+                            resident.popitem(last=False)
+                        resident[pid] = None
+                        bus.emit(
+                            GraphServed(
+                                iteration=iteration,
+                                partition=0,
+                                mode=SERVED_EXPLICIT,
+                                copy_seconds=fault_cost,
+                            )
+                        )
+                self.faults += iteration_faults
+                migration_time += iteration_faults * fault_cost
+
+                # --- one real walk step ----------------------------------
+                new_v, terminated = self.algorithm.step_once(
+                    walks.vertices[idx],
+                    walks.steps[idx],
+                    walks.ids[idx],
+                    partition,
+                    rng,
+                    graph,
+                )
+                walks.vertices[idx] = new_v
+                walks.steps[idx] += 1
+                self.algorithm.observe(new_v, walks.ids[idx], terminated)
+                alive[idx] = ~terminated
+                kernel_time = (
+                    cal.scaled_kernel_launch_seconds + idx.size / steps_rate
+                )
+                compute_time += kernel_time
+                bus.emit(
+                    KernelDispatched(
+                        partition=0,
+                        walks=int(idx.size),
+                        steps=int(idx.size),
+                        seconds=kernel_time,
+                    )
+                )
+                finished_now = int(terminated.sum())
+                if finished_now:
+                    bus.emit(WalkFinished(partition=0, count=finished_now))
+
+            # Faulting warps stall: migrations serialize with compute; the
+            # page cache plays the graph pool's role in hit accounting.
+            bus.emit(
+                RunCompleted(
+                    total_time=migration_time + compute_time,
+                    breakdown={
+                        CAT_GRAPH_LOAD: migration_time,
+                        CAT_WALK_UPDATE: compute_time,
+                    },
+                    graph_pool_hits=self.page_hits,
+                    graph_pool_misses=self.faults,
+                    finished_walks=num_walks,
+                )
             )
-
-            # --- one real walk step ---------------------------------------
-            new_v, terminated = self.algorithm.step_once(
-                walks.vertices[idx],
-                walks.steps[idx],
-                walks.ids[idx],
-                partition,
-                rng,
-                graph,
-            )
-            walks.vertices[idx] = new_v
-            walks.steps[idx] += 1
-            self.algorithm.observe(new_v, walks.ids[idx], terminated)
-            alive[idx] = ~terminated
-            stats.total_steps += int(idx.size)
-            compute_time += (
-                cal.scaled_kernel_launch_seconds + idx.size / steps_rate
-            )
-
-        # Faulting warps stall: migrations serialize with compute.
-        stats.breakdown = {
-            CAT_GRAPH_LOAD: migration_time,
-            CAT_WALK_UPDATE: compute_time,
-        }
-        stats.total_time = migration_time + compute_time
+        finally:
+            for observer in observers:
+                bus.detach(observer)
         stats.notes = f"faults={self.faults} hits={self.page_hits}"
         return stats
 

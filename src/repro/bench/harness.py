@@ -20,6 +20,8 @@ from repro.baselines import (
     SubwayConfig,
     SubwayEngine,
     ThunderRWEngine,
+    UVMConfig,
+    UVMEngine,
 )
 from repro.bench.workloads import (
     DATASETS,
@@ -33,6 +35,8 @@ from repro.bench.workloads import (
 )
 from repro.core.config import COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO
 from repro.core.engine import LightTrafficEngine
+from repro.core.events import EventBus
+from repro.core.metrics import MetricsCollector
 from repro.core.stats import (
     CAT_GRAPH_LOAD,
     CAT_KERNEL_OTHER,
@@ -619,4 +623,96 @@ def fig18_scalability(
                     "theory_throughput": theory,
                 }
             )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Metrics observatory — every system observed through one event bus
+# ----------------------------------------------------------------------
+def metrics_observatory(
+    dataset: str = "lj-sim",
+    algorithm: str = "pagerank",
+    platform: Optional[SimPlatform] = None,
+) -> List[dict]:
+    """Run each system with a :class:`MetricsCollector` on a shared-schema bus.
+
+    One observation layer covers every engine: the partition-based
+    LightTraffic engine, the Subway and UVM baselines, and the multi-round
+    variant all publish the same event vocabulary, so a single collector
+    yields comparable serve-mode/preemption/eviction columns per system.
+    """
+    platform = platform or default_platform()
+    graph = load_dataset(dataset)
+    walks = standard_walks(graph)
+
+    def build(system: str):
+        bus = EventBus()
+        metrics = MetricsCollector()
+        if system == "lighttraffic":
+            engine = LightTrafficEngine(
+                graph,
+                make_algorithm(algorithm),
+                standard_config(graph, platform),
+                bus=bus,
+                metrics=metrics,
+            )
+        elif system == "subway":
+            engine = SubwayEngine(
+                graph,
+                make_algorithm(algorithm),
+                SubwayConfig(
+                    device=platform.device,
+                    interconnect=platform.pcie3,
+                    calibration=platform.calibration,
+                    gpu_memory_bytes=platform.gpu_memory_bytes,
+                ),
+                bus=bus,
+                metrics=metrics,
+            )
+        elif system == "uvm":
+            engine = UVMEngine(
+                graph,
+                make_algorithm(algorithm),
+                UVMConfig(
+                    device=platform.device,
+                    interconnect=platform.pcie3,
+                    calibration=platform.calibration,
+                    gpu_memory_bytes=platform.gpu_memory_bytes,
+                ),
+                bus=bus,
+                metrics=metrics,
+            )
+        else:  # multiround
+            engine = MultiRoundEngine(
+                graph,
+                ALGORITHM_FACTORIES[algorithm],
+                standard_config(graph, platform),
+                rounds=2,
+                bus=bus,
+                metrics=metrics,
+            )
+        return engine, metrics
+
+    rows = []
+    for system in ("lighttraffic", "subway", "uvm", "multiround"):
+        engine, metrics = build(system)
+        stats = engine.run(walks)
+        modes = metrics.serve_mode_totals()
+        rows.append(
+            {
+                "dataset": dataset,
+                "algorithm": algorithm,
+                "system": system,
+                "total_time": stats.total_time,
+                "throughput": stats.throughput,
+                "iterations": metrics.iterations,
+                "served_hit": modes["hit"],
+                "served_explicit": modes["explicit"],
+                "served_zero_copy": modes["zero_copy"],
+                "preemption_pct": 100 * metrics.preemption_fraction,
+                "batches_evicted": sum(
+                    p.batches_evicted for p in metrics.partitions.values()
+                ),
+            }
+        )
     return rows

@@ -20,6 +20,7 @@ Examples
     python -m repro datasets
     python -m repro run --dataset uk-sim --algorithm pagerank --system lighttraffic
     python -m repro run --graph mygraph.npz --algorithm ppr --walks 100000
+    python -m repro run --dataset lj-sim --metrics-json metrics.json
     python -m repro experiment table3
     python -m repro generate --kind rmat --scale 14 --edge-factor 8 --out g.npz
 """
@@ -27,6 +28,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -39,9 +41,20 @@ from repro.bench.workloads import (
     standard_walks,
 )
 from repro.core.engine import LightTrafficEngine
+from repro.core.metrics import MetricsCollector
 from repro.core.stats import RunStats
 
-SYSTEMS = ("lighttraffic", "thunderrw", "flashmob", "subway", "nextdoor")
+SYSTEMS = (
+    "lighttraffic",
+    "thunderrw",
+    "flashmob",
+    "subway",
+    "nextdoor",
+    "uvm",
+    "multiround",
+)
+#: systems whose engines publish on the event bus (support --metrics-json).
+BUS_SYSTEMS = ("lighttraffic", "subway", "uvm", "multiround")
 
 EXPERIMENTS = {
     "table1": (harness.table1_subway_breakdown, ()),
@@ -58,6 +71,7 @@ EXPERIMENTS = {
     "fig16": (harness.fig16_multiround, ()),
     "fig17": (harness.fig17_partition_size, ()),
     "fig18": (harness.fig18_scalability, ()),
+    "metrics": (harness.metrics_observatory, ()),
 }
 
 
@@ -85,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--interconnect", choices=("pcie3", "pcie4", "nvlink2"),
                      default="pcie3")
     run.add_argument("--seed", type=int, default=42)
+    run.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="dump per-partition metrics as JSON ('-' for stdout); "
+             f"supported for {', '.join(BUS_SYSTEMS)}",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -121,14 +140,19 @@ def _load_graph(args) -> "CSRGraph":
     return load_edge_list(args.graph, preprocess=True, name=args.graph)
 
 
-def _run_system(args, graph) -> RunStats:
+def _run_system(
+    args, graph, metrics: Optional[MetricsCollector] = None
+) -> RunStats:
     from repro.baselines import (
         FlashMobEngine,
+        MultiRoundEngine,
         NextDoorConfig,
         NextDoorEngine,
         SubwayConfig,
         SubwayEngine,
         ThunderRWEngine,
+        UVMConfig,
+        UVMEngine,
     )
 
     platform = default_platform()
@@ -138,7 +162,17 @@ def _run_system(args, graph) -> RunStats:
         config = standard_config(
             graph, platform, interconnect=args.interconnect, seed=args.seed
         )
-        return LightTrafficEngine(graph, algorithm, config).run(walks)
+        return LightTrafficEngine(
+            graph, algorithm, config, metrics=metrics
+        ).run(walks)
+    if args.system == "multiround":
+        config = standard_config(
+            graph, platform, interconnect=args.interconnect, seed=args.seed
+        )
+        factory = harness.ALGORITHM_FACTORIES[args.algorithm]
+        return MultiRoundEngine(
+            graph, factory, config, rounds=2, metrics=metrics
+        ).run(walks)
     if args.system == "thunderrw":
         return ThunderRWEngine(graph, algorithm, cpu=platform.cpu,
                                seed=args.seed).run(walks)
@@ -153,7 +187,18 @@ def _run_system(args, graph) -> RunStats:
             gpu_memory_bytes=platform.gpu_memory_bytes,
             seed=args.seed,
         )
-        return SubwayEngine(graph, algorithm, config).run(walks)
+        return SubwayEngine(
+            graph, algorithm, config, metrics=metrics
+        ).run(walks)
+    if args.system == "uvm":
+        config = UVMConfig(
+            device=platform.device,
+            interconnect=platform.interconnect(args.interconnect),
+            calibration=platform.calibration,
+            gpu_memory_bytes=platform.gpu_memory_bytes,
+            seed=args.seed,
+        )
+        return UVMEngine(graph, algorithm, config, metrics=metrics).run(walks)
     config = NextDoorConfig(
         device=platform.device,
         interconnect=platform.interconnect(args.interconnect),
@@ -185,8 +230,31 @@ def cmd_datasets() -> int:
 
 
 def cmd_run(args) -> int:
+    metrics: Optional[MetricsCollector] = None
+    if args.metrics_json is not None:
+        if args.system not in BUS_SYSTEMS:
+            print(
+                f"--metrics-json requires a bus-routed system "
+                f"({', '.join(BUS_SYSTEMS)}), not {args.system!r}",
+                file=sys.stderr,
+            )
+            return 2
+        metrics = MetricsCollector()
     graph = _load_graph(args)
-    stats = _run_system(args, graph)
+    stats = _run_system(args, graph, metrics=metrics)
+    if metrics is not None:
+        payload = json.dumps(metrics.snapshot(), indent=2, sort_keys=True)
+        if args.metrics_json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.metrics_json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+            except OSError as exc:
+                print(f"cannot write metrics to {args.metrics_json}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"wrote metrics to {args.metrics_json}")
     print(stats.summary())
     print(f"  iterations      : {stats.iterations}")
     print(f"  explicit copies : {stats.explicit_copies}")

@@ -18,12 +18,24 @@ Table III, Fig 14) can run the exact baselines the paper compares against.
 """
 
 from repro.core.config import EngineConfig
-from repro.core.stats import RunStats
+from repro.core.stats import RunStats, StatsCollector
 from repro.core.scheduler import Scheduler
 from repro.core.adaptive import AdaptivePolicy
 from repro.core.engine import LightTrafficEngine, run_walks
 from repro.core.epochs import EpochResult, run_epochs
-from repro.core.trace import TraceRecorder
+from repro.core.events import (
+    BatchEvicted,
+    BatchLoaded,
+    EventBus,
+    GraphServed,
+    IterationStarted,
+    KernelDispatched,
+    Reshuffled,
+    RunCompleted,
+    WalkFinished,
+)
+from repro.core.metrics import MetricsCollector
+from repro.core.trace import TraceRecorder, TraceSubscriber
 from repro.core.prng import CounterRNG
 from repro.core.theory import (
     IterationModel,
@@ -34,13 +46,25 @@ from repro.core.theory import (
 __all__ = [
     "EngineConfig",
     "RunStats",
+    "StatsCollector",
     "Scheduler",
     "AdaptivePolicy",
     "LightTrafficEngine",
     "run_walks",
     "EpochResult",
     "run_epochs",
+    "EventBus",
+    "IterationStarted",
+    "GraphServed",
+    "BatchLoaded",
+    "KernelDispatched",
+    "Reshuffled",
+    "BatchEvicted",
+    "WalkFinished",
+    "RunCompleted",
+    "MetricsCollector",
     "TraceRecorder",
+    "TraceSubscriber",
     "CounterRNG",
     "IterationModel",
     "transfer_bound_throughput",

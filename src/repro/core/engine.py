@@ -4,53 +4,56 @@ Semantics (which vertex every walk visits) are executed exactly with NumPy;
 the simulated timeline answers how long each phase would take on the modeled
 GPU and how phases overlap across the compute / load / evict streams.
 
-One iteration of :meth:`LightTrafficEngine.run`:
+The engine is a thin orchestrator over the pipeline stages in
+:mod:`repro.core.stages`.  One iteration of :meth:`LightTrafficEngine.run`:
 
 1. the scheduler selects a partition ``i`` (selective: most walks);
-2. if partition ``i``'s graph is not cached, either schedule an explicit
-   copy on the load stream (evicting a victim if the graph pool is full) or
-   mark the iteration zero-copy (adaptive rule ``alpha * w < S_p``);
-3. while the load stream is busy, preemptively compute ready batches of
-   *other* partitions whose graph + walks are both cached;
-4. load partition ``i``'s host-resident walk batches one by one and compute
-   each as soon as it lands; then compute the device-cached batches
-   (including the frontier);
-5. after each kernel, surviving walks are reshuffled into the device
-   frontiers of their new partitions; if the walk pool exceeds ``m_w``,
-   batches are evicted to the host over the full-duplex evict stream.
+2. :class:`~repro.core.stages.GraphServer` serves partition ``i``'s graph
+   data — cache hit, explicit copy on the load stream (evicting a victim
+   if the graph pool is full), or zero copy under the adaptive rule
+   ``alpha * w < S_p``;
+3. :class:`~repro.core.stages.PreemptiveDispatcher` computes ready batches
+   of *other* cached partitions while the load stream is busy;
+4. :class:`~repro.core.stages.WalkLoader` streams partition ``i``'s host
+   batches, then :class:`~repro.core.stages.ComputeDispatcher` runs the
+   merged kernel and the device-cached batches (including the frontier);
+5. survivors are reshuffled into the device frontiers of their new
+   partitions; if the walk pool exceeds ``m_w``, batches are evicted to
+   the host over the full-duplex evict stream.
+
+Every observable fact of a run — iterations, serve modes, loads, kernels,
+reshuffles, evictions, finishes — is emitted as a typed event on an
+:class:`~repro.core.events.EventBus`; statistics
+(:class:`~repro.core.stats.StatsCollector`), traces
+(:class:`~repro.core.trace.TraceSubscriber`) and per-partition metrics
+(:class:`~repro.core.metrics.MetricsCollector`) are plain subscribers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.algorithms.base import RandomWalkAlgorithm
 from repro.core.adaptive import AdaptivePolicy
 from repro.core.config import EngineConfig
+from repro.core.events import EventBus, IterationStarted, RunCompleted
+from repro.core.metrics import MetricsCollector
 from repro.core.scheduler import Scheduler
-from repro.core.trace import (
-    SERVED_EXPLICIT,
-    SERVED_HIT,
-    SERVED_ZERO_COPY,
-    TraceRecorder,
+from repro.core.stages import (
+    ComputeDispatcher,
+    GraphServer,
+    PreemptiveDispatcher,
+    StageContext,
+    WalkLoader,
 )
-from repro.core.stats import (
-    CAT_GRAPH_LOAD,
-    CAT_PATH_SHIP,
-    CAT_KERNEL_OTHER,
-    CAT_RESHUFFLE,
-    CAT_WALK_EVICT,
-    CAT_WALK_LOAD,
-    CAT_WALK_UPDATE,
-    CAT_ZERO_COPY,
-    RunStats,
-)
+from repro.core.stats import RunStats, StatsCollector
+from repro.core.trace import TraceRecorder, TraceSubscriber
 from repro.gpu.kernels import DIRECT_WRITE, KernelModel
 from repro.gpu.memory import BlockPool
 from repro.gpu.pcie import PCIeSpec, interconnect_by_name
-from repro.gpu.timeline import Stream, Timeline
+from repro.gpu.timeline import Timeline
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import PartitionedGraph, partition_by_range
 from repro.walks.pool import DeviceWalkPool, HostWalkPool
@@ -69,14 +72,19 @@ class LightTrafficEngine:
         self,
         graph: CSRGraph,
         algorithm: RandomWalkAlgorithm,
-        config: EngineConfig = EngineConfig(),
+        config: Optional[EngineConfig] = None,
         partitioned: Optional[PartitionedGraph] = None,
         trace: Optional[TraceRecorder] = None,
+        bus: Optional[EventBus] = None,
+        metrics: Optional[MetricsCollector] = None,
     ) -> None:
+        config = config if config is not None else EngineConfig()
         self.graph = graph
         self.algorithm = algorithm
         self.config = config
         self.trace = trace
+        self.bus = bus
+        self.metrics = metrics
         self.partitioned = partitioned or partition_by_range(
             graph, config.partition_bytes
         )
@@ -92,17 +100,9 @@ class LightTrafficEngine:
             self.ship_link = interconnect_by_name(config.ship_interconnect)
 
     # ------------------------------------------------------------------
-    def run(self, num_walks: int) -> RunStats:
-        """Run ``num_walks`` walks to completion; returns the statistics."""
-        if num_walks < 1:
-            raise ValueError("num_walks must be >= 1")
+    def _make_rng(self):
+        """The run's RNG (sequential stream or counter-based Philox)."""
         cfg = self.config
-        pgraph = self.partitioned
-        num_partitions = pgraph.num_partitions
-        batch_cap = cfg.resolved_batch_walks()
-        capacity = cfg.walk_pool_walks
-        if capacity is None:
-            capacity = max(num_walks, batch_cap)
         if cfg.rng_mode == "counter":
             from repro.core.prng import CounterRNG
 
@@ -115,265 +115,143 @@ class LightTrafficEngine:
                     "rng_mode='counter' does not support algorithms with "
                     "subset redraws (node2vec, rejection-sampled weights)"
                 )
-            rng = CounterRNG(cfg.seed)
-        else:
-            rng = np.random.default_rng(cfg.seed)
+            return CounterRNG(cfg.seed)
+        return np.random.default_rng(cfg.seed)
 
-        host = HostWalkPool(num_partitions, batch_cap)
-        device = DeviceWalkPool(num_partitions, batch_cap, capacity)
-        graph_pool: BlockPool = BlockPool(
-            cfg.graph_pool_partitions,
-            name="graph-pool",
-            track_recency=(cfg.eviction_policy == "lru"),
-        )
-        timeline = Timeline(record_ops=cfg.record_ops)
-        scheduler = Scheduler(
-            num_partitions,
-            cfg.selective,
-            cfg.preemptive,
-            eviction_policy=cfg.eviction_policy,
-        )
+    def _build_context(self, num_walks: int, bus: EventBus) -> StageContext:
+        """Assemble pools, timeline, scheduler and policies for one run."""
+        cfg = self.config
+        num_partitions = self.partitioned.num_partitions
+        batch_cap = cfg.resolved_batch_walks()
+        capacity = cfg.walk_pool_walks
+        if capacity is None:
+            capacity = max(num_walks, batch_cap)
         reshuffler_cls = (
             DirectWriteReshuffler
             if cfg.reshuffle_mode == DIRECT_WRITE
             else TwoLevelReshuffler
         )
-        reshuffler = reshuffler_cls(self.kernel_model, num_partitions)
+        return StageContext(
+            config=cfg,
+            graph=self.graph,
+            algorithm=self.algorithm,
+            pgraph=self.partitioned,
+            rng=self._make_rng(),
+            scheduler=Scheduler(
+                num_partitions,
+                cfg.selective,
+                cfg.preemptive,
+                eviction_policy=cfg.eviction_policy,
+            ),
+            host=HostWalkPool(num_partitions, batch_cap),
+            device=DeviceWalkPool(num_partitions, batch_cap, capacity),
+            graph_pool=BlockPool(
+                cfg.graph_pool_partitions,
+                name="graph-pool",
+                track_recency=(cfg.eviction_policy == "lru"),
+            ),
+            timeline=Timeline(record_ops=cfg.record_ops),
+            bus=bus,
+            reshuffler=reshuffler_cls(self.kernel_model, num_partitions),
+            kernel_model=self.kernel_model,
+            pcie=self.pcie,
+            ship_link=self.ship_link,
+            bytes_per_walk=self.algorithm.bytes_per_walk,
+            adaptive=self.adaptive,
+        )
 
+    def _seed_walks(self, ctx: StageContext, num_walks: int) -> None:
+        """Initialize all walks into the host pool, grouped by partition."""
+        starts = self.algorithm.start_vertices(self.graph, num_walks, ctx.rng)
+        walks = WalkArrays.fresh(starts)
+        self.algorithm.on_start(walks, self.graph)
+        start_parts = ctx.pgraph.find_partitions(walks.vertices)
+        for part, group in group_by_partition(walks, start_parts).items():
+            ctx.host.append_walks(part, group)
+
+    # ------------------------------------------------------------------
+    def run(self, num_walks: int) -> RunStats:
+        """Run ``num_walks`` walks to completion; returns the statistics."""
+        if num_walks < 1:
+            raise ValueError("num_walks must be >= 1")
+        cfg = self.config
+        bus = self.bus if self.bus is not None else EventBus()
+        ctx = self._build_context(num_walks, bus)
         stats = RunStats(
             system="lighttraffic",
             algorithm=self.algorithm.name,
             graph=self.graph.name or "graph",
             num_walks=num_walks,
-            num_partitions=num_partitions,
+            num_partitions=ctx.pgraph.num_partitions,
         )
-        bytes_per_walk = self.algorithm.bytes_per_walk
-        graph_ready: Dict[int, float] = {}
-        finished = 0
+        observers = [bus.attach(StatsCollector(stats, metrics=self.metrics))]
+        if self.metrics is not None:
+            observers.append(bus.attach(self.metrics))
+        if self.trace is not None:
+            observers.append(bus.attach(TraceSubscriber(self.trace)))
 
-        # ----- initialize walks into the host pool ---------------------
-        starts = self.algorithm.start_vertices(self.graph, num_walks, rng)
-        walks = WalkArrays.fresh(starts)
-        self.algorithm.on_start(walks, self.graph)
-        start_parts = pgraph.find_partitions(walks.vertices)
-        for part, group in group_by_partition(walks, start_parts).items():
-            host.append_walks(part, group)
-
-        # Per-partition kernel coefficients (latency per round, 1/steprate),
-        # cached because partition sizes are static.
-        kernel_coeff: Dict[int, tuple] = {}
-
-        def update_time(part_idx: int, steps: int, rounds: int) -> float:
-            if steps == 0:
-                return 0.0
-            coeff = kernel_coeff.get(part_idx)
-            if coeff is None:
-                nbytes = pgraph.partitions[part_idx].nbytes
-                lat = cfg.calibration.sim_scale * self.kernel_model.device.cycles_to_seconds(
-                    self.kernel_model.step_cycles(nbytes)
-                )
-                inv_rate = 1.0 / self.kernel_model.steps_per_second(nbytes)
-                kernel_coeff[part_idx] = coeff = (lat, inv_rate)
-            return max(rounds * coeff[0], steps * coeff[1])
-
-        # ----- helpers --------------------------------------------------
-        def sched(
-            stream: Stream, duration: float, category: str, earliest: float
-        ) -> float:
-            """Schedule one op, serializing everything when pipelining is off."""
-            if not cfg.pipeline:
-                earliest = max(earliest, timeline.now)
-            __, end = stream.schedule(duration, category, earliest=earliest)
-            return end
-
-        def enforce_walk_capacity(protect: int) -> None:
-            while device.overflow > 0:
-                victim_part = scheduler.walk_evict_partition(
-                    graph_pool, device, protect=protect
-                )
-                batch = device.evict_batch(victim_part)
-                copy_t = (
-                    self.pcie.explicit_copy_time(batch.nbytes(bytes_per_walk))
-                    + cfg.calibration.scaled_memcpy_call_seconds
-                )
-                sched(timeline.evict, copy_t, CAT_WALK_EVICT, 0.0)
-                host.push_batch(batch)
-                stats.walk_batches_evicted += 1
-                if self.trace is not None:
-                    self.trace.record_eviction()
-
-        def process_walks(
-            part_idx: int,
-            contents,
-            earliest: float,
-            zero_copy: bool,
-            preemptive: bool = False,
-        ) -> None:
-            nonlocal finished
-            if not len(contents):
-                return
-            partition = pgraph.partitions[part_idx]
-            result = self.algorithm.advance_in_partition(
-                partition, contents, rng, self.graph
-            )
-            stats.total_steps += result.total_steps
-            if self.trace is not None:
-                self.trace.record_compute(
-                    part_idx, len(contents), result.total_steps, preemptive
-                )
-
-            update_t = update_time(
-                part_idx, result.total_steps, result.longest_run
-            )
-            if zero_copy:
-                zc_bytes = result.total_steps * 2 * cfg.calibration.cacheline_bytes
-                zc_time = self.pcie.zero_copy_time(zc_bytes, cfg.calibration)
-                kernel_dur = max(update_t, zc_time)
-            else:
-                zc_time = 0.0
-                kernel_dur = update_t
-            k_end = sched(
-                timeline.compute, kernel_dur, CAT_WALK_UPDATE, earliest
-            )
-            if zero_copy and zc_time > 0:
-                sched(
-                    timeline.load,
-                    zc_time,
-                    CAT_ZERO_COPY,
-                    max(0.0, k_end - kernel_dur),
-                )
-
-            if cfg.ship_paths and self.algorithm.carries_walk_id:
-                # Each executed step emits one (walk_id, vertex) pair to the
-                # consumer GPU over the ship link (paper §IV-A assumption).
-                ship_t = self.ship_link.explicit_copy_time(
-                    result.total_steps * 16
-                )
-                sched(timeline.evict, ship_t, CAT_PATH_SHIP, 0.0)
-
-            active = contents.select(result.active)
-            finished += len(contents) - len(active)
-            if len(active):
-                new_parts = pgraph.find_partitions(active.vertices)
-                reshuffle_t, __ = reshuffler.reshuffle(
-                    device, active, new_parts
-                )
-                sched(timeline.compute, reshuffle_t, CAT_RESHUFFLE, 0.0)
-            sched(
-                timeline.compute,
-                cfg.calibration.scaled_kernel_launch_seconds,
-                CAT_KERNEL_OTHER,
-                0.0,
-            )
-            enforce_walk_capacity(protect=part_idx)
-
-        # ----- main loop (Algorithm 2) ----------------------------------
-        while host.total_walks + device.cached_walks > 0:
-            stats.iterations += 1
-            if (
-                cfg.max_iterations is not None
-                and stats.iterations > cfg.max_iterations
-            ):
-                raise RuntimeError(
-                    f"exceeded max_iterations={cfg.max_iterations} with "
-                    f"{host.total_walks + device.cached_walks} walks left"
-                )
-            selected = scheduler.select_partition(host, device)
-            if selected is None:  # pragma: no cover - guarded by loop cond
-                break
-            partition = pgraph.partitions[selected]
-            part_walks = int(host.counts[selected] + device.counts[selected])
-
-            zero_copy = False
-            served = SERVED_EXPLICIT
-            if graph_pool.lookup(selected) is not None:
-                graph_t = graph_ready.get(selected, 0.0)
-                served = SERVED_HIT
-            elif self.adaptive.should_zero_copy(partition.nbytes, part_walks):
-                zero_copy = True
-                graph_t = 0.0
-                stats.zero_copy_iterations += 1
-                served = SERVED_ZERO_COPY
-            else:
-                if graph_pool.is_full:
-                    victim = scheduler.graph_victim(
-                        graph_pool, host, device, protect=selected
+        graph_server = GraphServer(ctx)
+        loader = WalkLoader(ctx)
+        compute = ComputeDispatcher(ctx)
+        preemptive = PreemptiveDispatcher(ctx, compute)
+        host, device, scheduler = ctx.host, ctx.device, ctx.scheduler
+        try:
+            self._seed_walks(ctx, num_walks)
+            while host.total_walks + device.cached_walks > 0:
+                ctx.iteration += 1
+                if (
+                    cfg.max_iterations is not None
+                    and ctx.iteration > cfg.max_iterations
+                ):
+                    raise RuntimeError(
+                        f"exceeded max_iterations={cfg.max_iterations} with "
+                        f"{ctx.pending_walks} walks left"
                     )
-                    graph_pool.evict(victim)
-                    graph_ready.pop(victim, None)
-                copy_t = (
-                    self.pcie.explicit_copy_time(partition.nbytes)
-                    + cfg.calibration.scaled_memcpy_call_seconds
-                )
-                graph_t = sched(timeline.load, copy_t, CAT_GRAPH_LOAD, 0.0)
-                graph_pool.insert(selected, partition)
-                graph_ready[selected] = graph_t
-                stats.explicit_copies += 1
-            if self.trace is not None:
-                self.trace.begin_iteration(stats.iterations, selected, served)
-
-            # Preemptive scheduling: keep the GPU busy while loading.
-            if cfg.preemptive and cfg.pipeline:
-                while timeline.load.busy_until > timeline.compute.busy_until:
-                    ready = scheduler.pick_preemptive_partition(
-                        graph_pool, host, device, exclude=selected
+                selected = scheduler.select_partition(host, device)
+                if selected is None:  # pragma: no cover - guarded by loop
+                    break
+                bus.emit(
+                    IterationStarted(
+                        ctx.iteration, selected, ctx.partition_walks(selected)
                     )
-                    if ready is None:
-                        break
-                    # A preemptive dispatch is by construction served from
-                    # the graph pool — count it as a cache hit (Table III).
-                    graph_pool.lookup(ready)
-                    contents = device.pop_preemptible(ready)
-                    process_walks(
-                        ready,
+                )
+                served = graph_server.serve(selected)
+                preemptive.fill(exclude=selected)
+                contents, batch_t = loader.stream(selected)
+                if contents is not None:
+                    compute.dispatch(
+                        selected,
                         contents,
-                        earliest=graph_ready.get(ready, 0.0),
-                        zero_copy=False,
-                        preemptive=True,
+                        earliest=max(served.ready_time, batch_t),
+                        zero_copy=served.zero_copy,
                     )
-
-            # Walk loading: host batches of the selected partition.  Each
-            # batch is one transfer on the load stream; their computation is
-            # modeled as one merged kernel dependent on the last transfer.
-            batch_t = 0.0
-            host_chunks = []
-            while host.has_walks(selected):
-                batch = host.pop_batch(selected)
-                load_t = (
-                    self.pcie.explicit_copy_time(batch.nbytes(bytes_per_walk))
-                    + cfg.calibration.scaled_memcpy_call_seconds
-                )
-                batch_t = sched(timeline.load, load_t, CAT_WALK_LOAD, 0.0)
-                stats.walk_batches_loaded += 1
-                host_chunks.append(batch.drain())
-            if host_chunks:
-                process_walks(
+                compute.dispatch(
                     selected,
-                    WalkArrays.concat(host_chunks),
-                    earliest=max(graph_t, batch_t),
-                    zero_copy=zero_copy,
+                    device.pop_all(selected),
+                    earliest=served.ready_time,
+                    zero_copy=served.zero_copy,
                 )
 
-            # Device-cached batches (including the write frontier).
-            process_walks(
-                selected,
-                device.pop_all(selected),
-                earliest=graph_t,
-                zero_copy=zero_copy,
+            if ctx.finished != num_walks:
+                raise RuntimeError(
+                    f"walk conservation violated: finished {ctx.finished} "
+                    f"of {num_walks}"
+                )
+            bus.emit(
+                RunCompleted(
+                    total_time=ctx.timeline.total_time(),
+                    breakdown=ctx.timeline.breakdown.as_dict(),
+                    graph_pool_hits=ctx.graph_pool.hits,
+                    graph_pool_misses=ctx.graph_pool.misses,
+                    finished_walks=ctx.finished,
+                )
             )
-
-        if finished != num_walks:
-            raise RuntimeError(
-                f"walk conservation violated: finished {finished} of "
-                f"{num_walks}"
-            )
-        stats.graph_pool_hits = graph_pool.hits
-        stats.graph_pool_misses = graph_pool.misses
-        stats.total_time = timeline.total_time()
-        stats.breakdown = timeline.breakdown.as_dict()
+        finally:
+            for observer in observers:
+                bus.detach(observer)
         if cfg.record_ops:
-            timeline.validate()
-        self._timeline = timeline
+            ctx.timeline.validate()
+        self._timeline = ctx.timeline
         return stats
 
 
@@ -381,7 +259,7 @@ def run_walks(
     graph: CSRGraph,
     algorithm: RandomWalkAlgorithm,
     num_walks: int,
-    config: EngineConfig = EngineConfig(),
+    config: Optional[EngineConfig] = None,
 ) -> RunStats:
     """One-call convenience: build an engine and run it."""
     return LightTrafficEngine(graph, algorithm, config).run(num_walks)

@@ -1,0 +1,246 @@
+"""Typed engine events and the :class:`EventBus`.
+
+Every system in this repository (the LightTraffic engine, the out-of-memory
+baselines, the benchmark harness) reports what it is doing through one
+shared vocabulary of events instead of mutating counters inline.  The
+engine's main loop emits events at each phase boundary of Algorithm 2;
+observers — :class:`~repro.core.stats.StatsCollector`,
+:class:`~repro.core.trace.TraceSubscriber`,
+:class:`~repro.core.metrics.MetricsCollector`, or any user code — subscribe
+to the types they care about.  This keeps the hot loop free of observation
+logic and makes new instrumentation a subscriber away.
+
+Delivery semantics
+------------------
+* Events are delivered *synchronously*, in emission order.
+* Handlers for one event type run in subscription order.
+* :meth:`EventBus.emit` with no subscribers for the event's type is a
+  single dict lookup (the no-op fast path); emitters that want to skip
+  event construction entirely can guard with :meth:`EventBus.wants`.
+
+Event taxonomy (one engine iteration, in emission order)
+--------------------------------------------------------
+``IterationStarted``  → ``GraphServed`` (hit | explicit | zero_copy)
+→ preemptive ``KernelDispatched``\\ s → ``BatchLoaded``\\ s
+→ ``KernelDispatched`` → ``Reshuffled`` / ``WalkFinished`` /
+``BatchEvicted`` … and one final ``RunCompleted`` carrying the timeline
+totals.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Type
+
+#: How the selected partition's graph data was served (GraphServed.mode).
+SERVED_HIT = "hit"
+SERVED_EXPLICIT = "explicit"
+SERVED_ZERO_COPY = "zero_copy"
+
+SERVED_MODES = (SERVED_HIT, SERVED_EXPLICIT, SERVED_ZERO_COPY)
+
+
+@dataclass(frozen=True)
+class EngineEvent:
+    """Base class of every event carried by the :class:`EventBus`."""
+
+
+@dataclass(frozen=True)
+class IterationStarted(EngineEvent):
+    """One iteration of the engine's main loop began.
+
+    ``pending_walks`` is the number of walks (host + device) of the
+    selected partition at selection time.
+    """
+
+    iteration: int
+    partition: int
+    pending_walks: int = 0
+
+
+@dataclass(frozen=True)
+class GraphServed(EngineEvent):
+    """The selected partition's graph data was made available.
+
+    ``mode`` is one of :data:`SERVED_HIT` (graph-pool cache hit),
+    :data:`SERVED_EXPLICIT` (explicit copy on the load stream) or
+    :data:`SERVED_ZERO_COPY` (adaptive rule ``alpha * w < S_p``).
+    ``copy_seconds`` is the transfer cost paid this event (0 for hits and
+    zero-copy serves — zero-copy PCIe occupancy is accounted per kernel).
+    ``ready_time`` is the simulated time at which dependent kernels may
+    start.
+    """
+
+    iteration: int
+    partition: int
+    mode: str
+    copy_seconds: float = 0.0
+    ready_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class BatchLoaded(EngineEvent):
+    """One host-resident walk batch was streamed to the device."""
+
+    partition: int
+    walks: int
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class KernelDispatched(EngineEvent):
+    """One walk-update kernel was dispatched for a partition's walks."""
+
+    partition: int
+    walks: int
+    steps: int
+    preemptive: bool = False
+    zero_copy: bool = False
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class Reshuffled(EngineEvent):
+    """Surviving walks were reshuffled into their new partitions' frontiers."""
+
+    partition: int
+    walks: int
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class BatchEvicted(EngineEvent):
+    """One walk batch was evicted to the host (walk pool over ``m_w``)."""
+
+    partition: int
+    walks: int
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class WalkFinished(EngineEvent):
+    """``count`` walks terminated while computing ``partition``."""
+
+    partition: int
+    count: int
+
+
+@dataclass(frozen=True)
+class RunCompleted(EngineEvent):
+    """The run drained every walk; carries the end-of-run totals."""
+
+    total_time: float
+    breakdown: Mapping[str, float] = field(default_factory=dict)
+    graph_pool_hits: int = 0
+    graph_pool_misses: int = 0
+    finished_walks: int = 0
+
+
+#: Every event type, in rough emission order (drives subscriber binding).
+EVENT_TYPES = (
+    IterationStarted,
+    GraphServed,
+    BatchLoaded,
+    KernelDispatched,
+    Reshuffled,
+    BatchEvicted,
+    WalkFinished,
+    RunCompleted,
+)
+
+_SNAKE_RE = re.compile(r"(?<!^)(?=[A-Z])")
+
+
+def _handler_name(event_type: Type[EngineEvent]) -> str:
+    """``KernelDispatched`` → ``on_kernel_dispatched``."""
+    return "on_" + _SNAKE_RE.sub("_", event_type.__name__).lower()
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for :class:`EngineEvent` types.
+
+    Subscribe either per event type (:meth:`subscribe`) or by attaching an
+    object whose ``on_<event_name>`` methods are bound automatically
+    (:meth:`attach`) — e.g. ``on_graph_served`` receives every
+    :class:`GraphServed`.
+    """
+
+    __slots__ = ("_handlers",)
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Type[EngineEvent], List[Callable]] = {}
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+    def subscribe(
+        self, event_type: Type[EngineEvent], handler: Callable
+    ) -> Callable:
+        """Register ``handler`` for ``event_type``; returns the handler."""
+        if not (
+            isinstance(event_type, type)
+            and issubclass(event_type, EngineEvent)
+        ):
+            raise TypeError(f"not an EngineEvent type: {event_type!r}")
+        if not callable(handler):
+            raise TypeError("handler must be callable")
+        self._handlers.setdefault(event_type, []).append(handler)
+        return handler
+
+    def unsubscribe(
+        self, event_type: Type[EngineEvent], handler: Callable
+    ) -> None:
+        handlers = self._handlers.get(event_type)
+        if not handlers or handler not in handlers:
+            raise KeyError(
+                f"handler not subscribed to {event_type.__name__}"
+            )
+        handlers.remove(handler)
+        if not handlers:
+            del self._handlers[event_type]
+
+    def attach(self, subscriber):
+        """Bind every ``on_<event>`` method of ``subscriber``; returns it."""
+        bound = 0
+        for event_type in EVENT_TYPES:
+            method = getattr(subscriber, _handler_name(event_type), None)
+            if callable(method):
+                self.subscribe(event_type, method)
+                bound += 1
+        if not bound:
+            raise TypeError(
+                f"{type(subscriber).__name__} defines no on_<event> handler"
+            )
+        return subscriber
+
+    def detach(self, subscriber) -> None:
+        """Remove every handler previously bound by :meth:`attach`."""
+        for event_type in EVENT_TYPES:
+            method = getattr(subscriber, _handler_name(event_type), None)
+            if callable(method):
+                handlers = self._handlers.get(event_type)
+                if handlers and method in handlers:
+                    handlers.remove(method)
+                    if not handlers:
+                        del self._handlers[event_type]
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def wants(self, event_type: Type[EngineEvent]) -> bool:
+        """Whether any subscriber listens for ``event_type``."""
+        return event_type in self._handlers
+
+    @property
+    def active(self) -> bool:
+        """Whether any subscriber is attached at all."""
+        return bool(self._handlers)
+
+    def emit(self, event: EngineEvent) -> None:
+        """Deliver ``event`` to its subscribers (no-op when there are none)."""
+        handlers = self._handlers.get(type(event))
+        if handlers is None:
+            return
+        for handler in list(handlers):
+            handler(event)

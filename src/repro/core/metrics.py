@@ -1,0 +1,143 @@
+"""Per-partition metrics histograms collected from the event bus.
+
+A :class:`MetricsCollector` attached to any engine's
+:class:`~repro.core.events.EventBus` accumulates, per partition:
+
+* how its graph data was served (hit / explicit / zero-copy counts),
+* time spent loading (graph copies + walk batches), computing (kernels)
+  and evicting walk batches,
+* walks computed, walk steps executed, and walks finished,
+* how many of its computed walks were preemptive dispatches.
+
+The :meth:`snapshot` dict is what ``RunStats.metrics`` exposes and what
+``repro run --metrics-json`` serializes, giving every system — the
+LightTraffic engine and the baselines alike — one uniform observation
+format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.events import SERVED_MODES
+
+
+@dataclass
+class PartitionMetrics:
+    """Accumulated observations for one graph partition."""
+
+    serve_modes: Dict[str, int] = field(
+        default_factory=lambda: {mode: 0 for mode in SERVED_MODES}
+    )
+    load_seconds: float = 0.0
+    compute_seconds: float = 0.0
+    evict_seconds: float = 0.0
+    batches_loaded: int = 0
+    batches_evicted: int = 0
+    walks_computed: int = 0
+    walks_preempted: int = 0
+    steps: int = 0
+    walks_finished: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "serve_modes": dict(self.serve_modes),
+            "load_seconds": self.load_seconds,
+            "compute_seconds": self.compute_seconds,
+            "evict_seconds": self.evict_seconds,
+            "batches_loaded": self.batches_loaded,
+            "batches_evicted": self.batches_evicted,
+            "walks_computed": self.walks_computed,
+            "walks_preempted": self.walks_preempted,
+            "steps": self.steps,
+            "walks_finished": self.walks_finished,
+        }
+
+
+class MetricsCollector:
+    """Event-bus subscriber building per-partition histograms."""
+
+    def __init__(self) -> None:
+        self.partitions: Dict[int, PartitionMetrics] = {}
+        self.iterations = 0
+        self.runs_completed = 0
+        self.total_time = 0.0
+
+    def _partition(self, index: int) -> PartitionMetrics:
+        metrics = self.partitions.get(index)
+        if metrics is None:
+            metrics = self.partitions[index] = PartitionMetrics()
+        return metrics
+
+    # -- event handlers (bound by EventBus.attach) ----------------------
+    def on_iteration_started(self, event) -> None:
+        self.iterations += 1
+
+    def on_graph_served(self, event) -> None:
+        metrics = self._partition(event.partition)
+        metrics.serve_modes[event.mode] = (
+            metrics.serve_modes.get(event.mode, 0) + 1
+        )
+        metrics.load_seconds += event.copy_seconds
+
+    def on_batch_loaded(self, event) -> None:
+        metrics = self._partition(event.partition)
+        metrics.batches_loaded += 1
+        metrics.load_seconds += event.seconds
+
+    def on_kernel_dispatched(self, event) -> None:
+        metrics = self._partition(event.partition)
+        metrics.walks_computed += event.walks
+        metrics.steps += event.steps
+        metrics.compute_seconds += event.seconds
+        if event.preemptive:
+            metrics.walks_preempted += event.walks
+
+    def on_reshuffled(self, event) -> None:
+        self._partition(event.partition).compute_seconds += event.seconds
+
+    def on_batch_evicted(self, event) -> None:
+        metrics = self._partition(event.partition)
+        metrics.batches_evicted += 1
+        metrics.evict_seconds += event.seconds
+
+    def on_walk_finished(self, event) -> None:
+        self._partition(event.partition).walks_finished += event.count
+
+    def on_run_completed(self, event) -> None:
+        self.runs_completed += 1
+        self.total_time += event.total_time
+
+    # ------------------------------------------------------------------
+    @property
+    def preemption_fraction(self) -> float:
+        """Fraction of computed walks dispatched preemptively."""
+        total = sum(p.walks_computed for p in self.partitions.values())
+        if total == 0:
+            return 0.0
+        preempted = sum(
+            p.walks_preempted for p in self.partitions.values()
+        )
+        return preempted / total
+
+    def serve_mode_totals(self) -> Dict[str, int]:
+        totals = {mode: 0 for mode in SERVED_MODES}
+        for metrics in self.partitions.values():
+            for mode, count in metrics.serve_modes.items():
+                totals[mode] = totals.get(mode, 0) + count
+        return totals
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view (``RunStats.metrics`` / --metrics-json)."""
+        return {
+            "iterations": self.iterations,
+            "runs_completed": self.runs_completed,
+            "total_time": self.total_time,
+            "preemption_fraction": self.preemption_fraction,
+            "serve_mode_totals": self.serve_mode_totals(),
+            "partitions": {
+                str(index): metrics.as_dict()
+                for index, metrics in sorted(self.partitions.items())
+            },
+        }

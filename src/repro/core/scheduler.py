@@ -40,7 +40,7 @@ class Scheduler:
         num_partitions: int,
         selective: bool,
         preemptive: bool,
-        eviction_policy: str = None,
+        eviction_policy: Optional[str] = None,
     ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")

@@ -1,0 +1,34 @@
+"""Pipeline stages of the LightTraffic engine (Algorithm 2, decomposed).
+
+Each stage owns one phase of the paper's 3-phase pipeline and communicates
+only through the shared :class:`~repro.core.stages.context.StageContext`
+(scheduler, pools, timeline) and the
+:class:`~repro.core.events.EventBus`:
+
+* :class:`~repro.core.stages.graph_server.GraphServer` — graph-pool cache
+  lookup, adaptive zero-copy decision, explicit load + victim eviction;
+* :class:`~repro.core.stages.walk_loader.WalkLoader` — host walk-batch
+  streaming on the load stream;
+* :class:`~repro.core.stages.compute.ComputeDispatcher` — walk-update
+  kernels, reshuffling, walk-pool capacity enforcement;
+* :class:`~repro.core.stages.preemptive.PreemptiveDispatcher` — keeps the
+  compute stream busy with ready batches while loads are in flight.
+
+Stages mutate no statistics: every observable fact is emitted as a typed
+event, and observation lives entirely in bus subscribers.
+"""
+
+from repro.core.stages.context import StageContext
+from repro.core.stages.graph_server import GraphServer, ServeResult
+from repro.core.stages.walk_loader import WalkLoader
+from repro.core.stages.compute import ComputeDispatcher
+from repro.core.stages.preemptive import PreemptiveDispatcher
+
+__all__ = [
+    "StageContext",
+    "GraphServer",
+    "ServeResult",
+    "WalkLoader",
+    "ComputeDispatcher",
+    "PreemptiveDispatcher",
+]

@@ -1,0 +1,146 @@
+"""Compute stage: walk-update kernels, reshuffle, capacity enforcement.
+
+The :class:`ComputeDispatcher` advances a group of walks inside one graph
+partition (real NumPy semantics), schedules the corresponding kernel on the
+compute stream (overlapped with zero-copy PCIe occupancy when the partition
+is served that way), reshuffles survivors into their new partitions'
+frontiers, and evicts walk batches to the host whenever the device walk
+pool exceeds ``m_w`` — emitting one typed event per observable fact.
+"""
+
+from __future__ import annotations
+
+from repro.core.events import (
+    BatchEvicted,
+    KernelDispatched,
+    Reshuffled,
+    WalkFinished,
+)
+from repro.core.stages.context import StageContext
+from repro.core.stats import (
+    CAT_KERNEL_OTHER,
+    CAT_PATH_SHIP,
+    CAT_RESHUFFLE,
+    CAT_WALK_EVICT,
+    CAT_WALK_UPDATE,
+    CAT_ZERO_COPY,
+)
+from repro.walks.state import WalkArrays
+
+
+class ComputeDispatcher:
+    """Runs walk-update kernels and the post-kernel bookkeeping."""
+
+    def __init__(self, ctx: StageContext) -> None:
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    def enforce_walk_capacity(self, protect: int) -> None:
+        """Evict walk batches until the device pool fits ``m_w`` again."""
+        ctx = self.ctx
+        while ctx.device.overflow > 0:
+            victim_part = ctx.scheduler.walk_evict_partition(
+                ctx.graph_pool, ctx.device, protect=protect
+            )
+            batch = ctx.device.evict_batch(victim_part)
+            copy_t = (
+                ctx.pcie.explicit_copy_time(
+                    batch.nbytes(ctx.bytes_per_walk)
+                )
+                + ctx.config.calibration.scaled_memcpy_call_seconds
+            )
+            ctx.sched(ctx.timeline.evict, copy_t, CAT_WALK_EVICT, 0.0)
+            ctx.host.push_batch(batch)
+            ctx.bus.emit(
+                BatchEvicted(
+                    partition=victim_part,
+                    walks=batch.size,
+                    seconds=copy_t,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        part_idx: int,
+        contents: WalkArrays,
+        earliest: float,
+        zero_copy: bool,
+        preemptive: bool = False,
+    ) -> None:
+        """Advance ``contents`` inside partition ``part_idx`` once."""
+        ctx = self.ctx
+        if not len(contents):
+            return
+        cfg = ctx.config
+        partition = ctx.pgraph.partitions[part_idx]
+        result = ctx.algorithm.advance_in_partition(
+            partition, contents, ctx.rng, ctx.graph
+        )
+
+        update_t = ctx.update_time(
+            part_idx, result.total_steps, result.longest_run
+        )
+        if zero_copy:
+            zc_bytes = (
+                result.total_steps * 2 * cfg.calibration.cacheline_bytes
+            )
+            zc_time = ctx.pcie.zero_copy_time(zc_bytes, cfg.calibration)
+            kernel_dur = max(update_t, zc_time)
+        else:
+            zc_time = 0.0
+            kernel_dur = update_t
+        k_end = ctx.sched(
+            ctx.timeline.compute, kernel_dur, CAT_WALK_UPDATE, earliest
+        )
+        if zero_copy and zc_time > 0:
+            ctx.sched(
+                ctx.timeline.load,
+                zc_time,
+                CAT_ZERO_COPY,
+                max(0.0, k_end - kernel_dur),
+            )
+        ctx.bus.emit(
+            KernelDispatched(
+                partition=part_idx,
+                walks=len(contents),
+                steps=result.total_steps,
+                preemptive=preemptive,
+                zero_copy=zero_copy,
+                seconds=kernel_dur,
+            )
+        )
+
+        if cfg.ship_paths and ctx.algorithm.carries_walk_id:
+            # Each executed step emits one (walk_id, vertex) pair to the
+            # consumer GPU over the ship link (paper §IV-A assumption).
+            ship_t = ctx.ship_link.explicit_copy_time(
+                result.total_steps * 16
+            )
+            ctx.sched(ctx.timeline.evict, ship_t, CAT_PATH_SHIP, 0.0)
+
+        active = contents.select(result.active)
+        finished_now = len(contents) - len(active)
+        ctx.finished += finished_now
+        if finished_now:
+            ctx.bus.emit(WalkFinished(partition=part_idx, count=finished_now))
+        if len(active):
+            new_parts = ctx.pgraph.find_partitions(active.vertices)
+            reshuffle_t, __ = ctx.reshuffler.reshuffle(
+                ctx.device, active, new_parts
+            )
+            ctx.sched(ctx.timeline.compute, reshuffle_t, CAT_RESHUFFLE, 0.0)
+            ctx.bus.emit(
+                Reshuffled(
+                    partition=part_idx,
+                    walks=len(active),
+                    seconds=reshuffle_t,
+                )
+            )
+        ctx.sched(
+            ctx.timeline.compute,
+            cfg.calibration.scaled_kernel_launch_seconds,
+            CAT_KERNEL_OTHER,
+            0.0,
+        )
+        self.enforce_walk_capacity(protect=part_idx)

@@ -1,0 +1,98 @@
+"""Shared run state threaded through the pipeline stages.
+
+A :class:`StageContext` bundles everything one engine run owns — the
+partitioned graph, scheduler, host/device pools, graph pool, simulated
+timeline, RNG and event bus — so stages stay stateless policy objects.
+The context also centralizes the two cross-stage helpers the monolithic
+engine used as closures: pipeline-aware op scheduling (:meth:`sched`) and
+the cached per-partition kernel-time model (:meth:`update_time`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.algorithms.base import RandomWalkAlgorithm
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.config import EngineConfig
+from repro.core.events import EventBus
+from repro.core.scheduler import Scheduler
+from repro.gpu.kernels import KernelModel
+from repro.gpu.memory import BlockPool
+from repro.gpu.pcie import PCIeSpec
+from repro.gpu.timeline import Stream, Timeline
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import PartitionedGraph
+from repro.walks.pool import DeviceWalkPool, HostWalkPool
+
+
+@dataclass
+class StageContext:
+    """Everything one engine run shares across its pipeline stages."""
+
+    config: EngineConfig
+    graph: CSRGraph
+    algorithm: RandomWalkAlgorithm
+    pgraph: PartitionedGraph
+    rng: object
+    scheduler: Scheduler
+    host: HostWalkPool
+    device: DeviceWalkPool
+    graph_pool: BlockPool
+    timeline: Timeline
+    bus: EventBus
+    reshuffler: object
+    kernel_model: KernelModel
+    pcie: PCIeSpec
+    ship_link: PCIeSpec
+    bytes_per_walk: int
+    adaptive: AdaptivePolicy
+    #: completion time of each cached partition's last explicit load.
+    graph_ready: Dict[int, float] = field(default_factory=dict)
+    iteration: int = 0
+    finished: int = 0
+    _kernel_coeff: Dict[int, Tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    def sched(
+        self, stream: Stream, duration: float, category: str, earliest: float
+    ) -> float:
+        """Schedule one op, serializing everything when pipelining is off."""
+        if not self.config.pipeline:
+            earliest = max(earliest, self.timeline.now)
+        __, end = stream.schedule(duration, category, earliest=earliest)
+        return end
+
+    def update_time(self, part_idx: int, steps: int, rounds: int) -> float:
+        """Walk-update kernel duration for ``steps`` over ``rounds`` passes.
+
+        Per-partition coefficients (latency per round, 1/steprate) are
+        cached because partition sizes are static for the whole run.
+        """
+        if steps == 0:
+            return 0.0
+        coeff = self._kernel_coeff.get(part_idx)
+        if coeff is None:
+            nbytes = self.pgraph.partitions[part_idx].nbytes
+            cal = self.config.calibration
+            lat = cal.sim_scale * self.kernel_model.device.cycles_to_seconds(
+                self.kernel_model.step_cycles(nbytes)
+            )
+            inv_rate = 1.0 / self.kernel_model.steps_per_second(nbytes)
+            self._kernel_coeff[part_idx] = coeff = (lat, inv_rate)
+        return max(rounds * coeff[0], steps * coeff[1])
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_walks(self) -> int:
+        """Walks not yet finished, wherever they currently live."""
+        return self.host.total_walks + self.device.cached_walks
+
+    def partition_walks(self, part_idx: int) -> int:
+        """Current host + device walk count of one partition."""
+        return int(
+            self.host.counts[part_idx] + self.device.counts[part_idx]
+        )

@@ -1,0 +1,45 @@
+"""Preemptive scheduling stage (paper §III-D).
+
+While the load stream is busy bringing in the selected partition, the GPU
+would otherwise idle; the :class:`PreemptiveDispatcher` fills that window
+by computing ready batches of *other* partitions whose graph and walks are
+both already cached, as picked by the scheduler's batch-pick policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.stages.compute import ComputeDispatcher
+from repro.core.stages.context import StageContext
+
+
+class PreemptiveDispatcher:
+    """Keeps the compute stream busy while loads are in flight."""
+
+    def __init__(self, ctx: StageContext, compute: ComputeDispatcher) -> None:
+        self.ctx = ctx
+        self.compute = compute
+
+    def fill(self, exclude: int) -> None:
+        """Dispatch ready batches until compute catches up with load."""
+        ctx = self.ctx
+        cfg = ctx.config
+        if not (cfg.preemptive and cfg.pipeline):
+            return
+        timeline = ctx.timeline
+        while timeline.load.leads(timeline.compute):
+            ready = ctx.scheduler.pick_preemptive_partition(
+                ctx.graph_pool, ctx.host, ctx.device, exclude=exclude
+            )
+            if ready is None:
+                break
+            # A preemptive dispatch is by construction served from the
+            # graph pool — count it as a cache hit (Table III).
+            ctx.graph_pool.lookup(ready)
+            contents = ctx.device.pop_preemptible(ready)
+            self.compute.dispatch(
+                ready,
+                contents,
+                earliest=ctx.graph_ready.get(ready, 0.0),
+                zero_copy=False,
+                preemptive=True,
+            )

@@ -3,12 +3,17 @@
 :class:`RunStats` is the structured result every engine/baseline run
 returns; the benchmark harness turns these into the paper's tables and
 figure series.  Times are *simulated* seconds on the modeled hardware.
+
+Engines never mutate a :class:`RunStats` inline: they emit typed events on
+an :class:`~repro.core.events.EventBus` and a :class:`StatsCollector`
+subscription populates the counters, so the same observation layer covers
+the LightTraffic engine and every baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 #: breakdown categories used across engines (Fig 15 / Fig 17 / Table I).
 CAT_GRAPH_LOAD = "graph_load"
@@ -43,6 +48,9 @@ class RunStats:
     total_time: float = 0.0
     breakdown: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    #: per-partition observation histograms, populated when a
+    #: :class:`~repro.core.metrics.MetricsCollector` rides the run's bus.
+    metrics: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -92,3 +100,52 @@ class RunStats:
             f"{self.iterations} iters, {self.total_time * 1e3:.2f} ms sim, "
             f"{self.throughput / 1e6:.1f} Msteps/s"
         )
+
+
+class StatsCollector:
+    """Populates a :class:`RunStats` purely from event-bus subscriptions.
+
+    Attach to an :class:`~repro.core.events.EventBus` with ``bus.attach``.
+    Every counter *accumulates*, so one collector attached across several
+    runs on a shared bus (e.g. the multi-round baseline's rounds) yields
+    the aggregate statistics of all of them.
+    """
+
+    def __init__(self, stats: RunStats, metrics=None) -> None:
+        from repro.core.events import SERVED_EXPLICIT, SERVED_ZERO_COPY
+
+        self.stats = stats
+        self.metrics = metrics
+        self._explicit = SERVED_EXPLICIT
+        self._zero_copy = SERVED_ZERO_COPY
+
+    # -- event handlers (bound by EventBus.attach) ----------------------
+    def on_iteration_started(self, event) -> None:
+        self.stats.iterations += 1
+
+    def on_graph_served(self, event) -> None:
+        if event.mode == self._explicit:
+            self.stats.explicit_copies += 1
+        elif event.mode == self._zero_copy:
+            self.stats.zero_copy_iterations += 1
+
+    def on_batch_loaded(self, event) -> None:
+        self.stats.walk_batches_loaded += 1
+
+    def on_batch_evicted(self, event) -> None:
+        self.stats.walk_batches_evicted += 1
+
+    def on_kernel_dispatched(self, event) -> None:
+        self.stats.total_steps += event.steps
+
+    def on_run_completed(self, event) -> None:
+        stats = self.stats
+        stats.total_time += event.total_time
+        stats.graph_pool_hits += event.graph_pool_hits
+        stats.graph_pool_misses += event.graph_pool_misses
+        for category, seconds in event.breakdown.items():
+            stats.breakdown[category] = (
+                stats.breakdown.get(category, 0.0) + seconds
+            )
+        if self.metrics is not None:
+            stats.metrics = self.metrics.snapshot()

@@ -13,10 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-#: How the selected partition's graph data was served this iteration.
-SERVED_HIT = "hit"
-SERVED_EXPLICIT = "explicit"
-SERVED_ZERO_COPY = "zero_copy"
+# Canonical serve-mode constants live with the event taxonomy; re-exported
+# here because trace consumers historically import them from this module.
+from repro.core.events import (  # noqa: F401  (re-export)
+    SERVED_EXPLICIT,
+    SERVED_HIT,
+    SERVED_ZERO_COPY,
+)
 
 
 @dataclass
@@ -100,3 +103,30 @@ class TraceRecorder:
 
     def __len__(self) -> int:
         return len(self.iterations)
+
+
+class TraceSubscriber:
+    """Feeds a :class:`TraceRecorder` from event-bus subscriptions.
+
+    The engine no longer calls the recorder's hooks directly; it emits
+    typed events and this adapter (attached with ``bus.attach``) translates
+    them.  :class:`~repro.core.events.GraphServed` opens the iteration
+    record (it carries the served mode), kernel dispatches and batch
+    evictions fill it in.
+    """
+
+    def __init__(self, trace: TraceRecorder) -> None:
+        self.trace = trace
+
+    def on_graph_served(self, event) -> None:
+        self.trace.begin_iteration(
+            event.iteration, event.partition, event.mode
+        )
+
+    def on_kernel_dispatched(self, event) -> None:
+        self.trace.record_compute(
+            event.partition, event.walks, event.steps, event.preemptive
+        )
+
+    def on_batch_evicted(self, event) -> None:
+        self.trace.record_eviction()

@@ -102,6 +102,15 @@ class Stream:
         """How long this stream would sit idle until ``time`` (>= 0)."""
         return max(0.0, time - self.busy_until)
 
+    def leads(self, other: "Stream") -> bool:
+        """Whether this stream's completion frontier is ahead of ``other``.
+
+        The preemptive scheduler uses ``load.leads(compute)`` as its "the
+        GPU would idle" condition: as long as the load stream finishes
+        later than the compute stream, there is a window to fill.
+        """
+        return self.busy_until > other.busy_until
+
 
 class Timeline:
     """The engine's three streams plus shared accounting.

@@ -23,7 +23,7 @@ class TestParser:
             )
 
     def test_experiment_names_cover_all_figures(self):
-        expected = {"table1", "table2", "table3"} | {
+        expected = {"table1", "table2", "table3", "metrics"} | {
             f"fig{i}" for i in (3, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18)
         }
         assert set(EXPERIMENTS) == expected
@@ -78,7 +78,8 @@ class TestRun:
         assert "breakdown" in out
 
     @pytest.mark.parametrize(
-        "system", ["thunderrw", "flashmob", "subway", "nextdoor"]
+        "system",
+        ["thunderrw", "flashmob", "subway", "nextdoor", "uvm", "multiround"],
     )
     def test_run_baselines(self, graph_file, capsys, system):
         code = main(
@@ -87,6 +88,46 @@ class TestRun:
         )
         assert code == 0
         assert f"{system}/uniform" in capsys.readouterr().out
+
+    def test_metrics_json_stdout(self, graph_file, capsys):
+        import json
+
+        code = main(
+            ["run", "--graph", graph_file, "--algorithm", "pagerank",
+             "--walks", "300", "--metrics-json", "-"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # the JSON blob comes first, then the human-readable summary
+        payload = json.loads(out[: out.rindex("}") + 1])
+        assert payload["iterations"] > 0
+        assert set(payload["serve_mode_totals"]) == {
+            "hit", "explicit", "zero_copy"
+        }
+        assert payload["partitions"]
+
+    def test_metrics_json_file(self, graph_file, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        code = main(
+            ["run", "--graph", graph_file, "--algorithm", "uniform",
+             "--walks", "200", "--system", "subway",
+             "--metrics-json", str(out_path)]
+        )
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["runs_completed"] == 1
+        assert payload["serve_mode_totals"]["explicit"] > 0
+        assert "wrote metrics" in capsys.readouterr().out
+
+    def test_metrics_json_rejects_unrouted_system(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100",
+             "--system", "thunderrw", "--metrics-json", "-"]
+        )
+        assert code == 2
+        assert "bus-routed" in capsys.readouterr().err
 
     def test_run_ppr_rejected_by_flashmob(self, graph_file):
         with pytest.raises(ValueError, match="fixed-length"):

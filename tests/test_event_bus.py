@@ -1,0 +1,185 @@
+"""Tests for the engine event bus (repro.core.events)."""
+
+import pytest
+
+from repro.core.events import (
+    EVENT_TYPES,
+    SERVED_MODES,
+    BatchEvicted,
+    BatchLoaded,
+    EventBus,
+    GraphServed,
+    IterationStarted,
+    KernelDispatched,
+    Reshuffled,
+    RunCompleted,
+    WalkFinished,
+)
+
+
+class TestSubscribe:
+    def test_subscribe_and_emit(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(IterationStarted, seen.append)
+        event = IterationStarted(iteration=1, partition=3, pending_walks=7)
+        bus.emit(event)
+        assert seen == [event]
+
+    def test_emission_order_preserved(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(IterationStarted, seen.append)
+        bus.subscribe(KernelDispatched, seen.append)
+        events = [
+            IterationStarted(1, 0),
+            KernelDispatched(partition=0, walks=4, steps=4),
+            IterationStarted(2, 1),
+        ]
+        for event in events:
+            bus.emit(event)
+        assert seen == events
+
+    def test_handlers_run_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(WalkFinished, lambda e: order.append("first"))
+        bus.subscribe(WalkFinished, lambda e: order.append("second"))
+        bus.emit(WalkFinished(partition=0, count=1))
+        assert order == ["first", "second"]
+
+    def test_only_matching_type_delivered(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(BatchLoaded, seen.append)
+        bus.emit(BatchEvicted(partition=0, walks=8))
+        bus.emit(BatchLoaded(partition=0, walks=8))
+        assert [type(e) for e in seen] == [BatchLoaded]
+
+    def test_subscribe_rejects_non_event_type(self):
+        with pytest.raises(TypeError, match="not an EngineEvent"):
+            EventBus().subscribe(int, print)
+
+    def test_subscribe_rejects_non_callable(self):
+        with pytest.raises(TypeError, match="callable"):
+            EventBus().subscribe(IterationStarted, 42)
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        handler = bus.subscribe(Reshuffled, seen.append)
+        bus.unsubscribe(Reshuffled, handler)
+        bus.emit(Reshuffled(partition=0, walks=2))
+        assert seen == []
+        assert not bus.active
+
+    def test_unsubscribe_unknown_raises(self):
+        with pytest.raises(KeyError):
+            EventBus().unsubscribe(Reshuffled, print)
+
+
+class TestNoSubscriberFastPath:
+    def test_emit_without_subscribers_is_noop(self):
+        bus = EventBus()
+        bus.emit(RunCompleted(total_time=1.0))  # must not raise
+
+    def test_wants_and_active(self):
+        bus = EventBus()
+        assert not bus.active
+        assert not bus.wants(GraphServed)
+        handler = bus.subscribe(GraphServed, lambda e: None)
+        assert bus.active
+        assert bus.wants(GraphServed)
+        assert not bus.wants(RunCompleted)
+        bus.unsubscribe(GraphServed, handler)
+        assert not bus.active
+
+    def test_emit_skips_handler_lists_of_other_types(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe(IterationStarted, calls.append)
+        bus.emit(RunCompleted(total_time=0.0))
+        assert calls == []
+
+
+class TestAttach:
+    class Recorder:
+        def __init__(self):
+            self.events = []
+
+        def on_iteration_started(self, event):
+            self.events.append(event)
+
+        def on_graph_served(self, event):
+            self.events.append(event)
+
+        def on_run_completed(self, event):
+            self.events.append(event)
+
+    def test_attach_binds_on_methods(self):
+        bus = EventBus()
+        recorder = bus.attach(self.Recorder())
+        bus.emit(IterationStarted(1, 0))
+        bus.emit(GraphServed(iteration=1, partition=0, mode="hit"))
+        bus.emit(KernelDispatched(partition=0, walks=1, steps=1))  # unbound
+        bus.emit(RunCompleted(total_time=2.0))
+        assert [type(e).__name__ for e in recorder.events] == [
+            "IterationStarted", "GraphServed", "RunCompleted",
+        ]
+
+    def test_attach_requires_a_handler(self):
+        with pytest.raises(TypeError, match="no on_<event> handler"):
+            EventBus().attach(object())
+
+    def test_detach_removes_all_bound_handlers(self):
+        bus = EventBus()
+        recorder = bus.attach(self.Recorder())
+        bus.detach(recorder)
+        bus.emit(IterationStarted(1, 0))
+        bus.emit(RunCompleted(total_time=0.0))
+        assert recorder.events == []
+        assert not bus.active
+
+    def test_detach_leaves_other_subscribers(self):
+        bus = EventBus()
+        survivor = []
+        bus.subscribe(IterationStarted, survivor.append)
+        recorder = bus.attach(self.Recorder())
+        bus.detach(recorder)
+        bus.emit(IterationStarted(1, 0))
+        assert len(survivor) == 1
+
+    def test_every_event_type_is_attachable(self):
+        bus = EventBus()
+
+        class Everything:
+            pass
+
+        seen = []
+        for event_type in EVENT_TYPES:
+            name = "on_" + "".join(
+                ("_" + c.lower()) if c.isupper() else c
+                for c in event_type.__name__
+            ).lstrip("_")
+            setattr(Everything, name, lambda self, e, _s=seen: _s.append(e))
+        bus.attach(Everything())
+        bus.emit(IterationStarted(1, 0))
+        bus.emit(BatchLoaded(partition=0, walks=1))
+        bus.emit(WalkFinished(partition=0, count=1))
+        assert len(seen) == 3
+
+
+class TestEventShapes:
+    def test_events_are_frozen(self):
+        event = IterationStarted(1, 0)
+        with pytest.raises(AttributeError):
+            event.iteration = 2
+
+    def test_served_modes(self):
+        assert SERVED_MODES == ("hit", "explicit", "zero_copy")
+
+    def test_run_completed_defaults(self):
+        event = RunCompleted(total_time=1.5)
+        assert event.breakdown == {}
+        assert event.graph_pool_hits == 0
+        assert event.finished_walks == 0

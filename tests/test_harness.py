@@ -114,3 +114,28 @@ class TestMoreHarnessRunners:
         for row in rows:
             assert row["theory_throughput"] > 0
             assert row["throughput"] > 0
+
+
+class TestMetricsObservatory:
+    def test_all_systems_observed(self):
+        rows = harness.metrics_observatory(dataset="lj-sim")
+        assert [r["system"] for r in rows] == [
+            "lighttraffic", "subway", "uvm", "multiround",
+        ]
+        for row in rows:
+            assert row["total_time"] > 0
+            assert row["iterations"] > 0
+            served = (
+                row["served_hit"]
+                + row["served_explicit"]
+                + row["served_zero_copy"]
+            )
+            assert served > 0
+            assert 0 <= row["preemption_pct"] <= 100
+
+    def test_unpartitioned_baselines_never_hit_or_zero_copy(self):
+        rows = harness.metrics_observatory(dataset="lj-sim")
+        by_system = {r["system"]: r for r in rows}
+        assert by_system["subway"]["served_explicit"] > 0
+        assert by_system["subway"]["served_zero_copy"] == 0
+        assert by_system["uvm"]["served_explicit"] > 0
