@@ -79,6 +79,24 @@ class RandomWalkAlgorithm(abc.ABC):
     #: whether every walk has the same, known length (FlashMob supports only
     #: fixed-length walks, §IV-B).
     fixed_length: bool = True
+    #: cost-model key of the active next-hop sampling method
+    #: (:meth:`repro.gpu.calibration.Calibration.step_cycles_for`).
+    transition_sampler: str = "uniform"
+    #: whether stepping redraws data-dependent lane subsets — incompatible
+    #: with the counter RNG's all-lanes draw contract.
+    uses_subset_draws: bool = False
+
+    # ------------------------------------------------------------------
+    def set_transition_sampler(self, name: str) -> None:
+        """Select the transition sampler (``EngineConfig.sampler`` hook)."""
+        raise ValueError(
+            f"algorithm {self.name!r} does not support configurable "
+            f"transition samplers"
+        )
+
+    def consume_sampler_fallbacks(self) -> int:
+        """Return and clear rejection-saturation counts since the last call."""
+        return 0
 
     # ------------------------------------------------------------------
     @property

@@ -88,15 +88,43 @@ class MetapathWalk(RandomWalkAlgorithm):
         local = vertices - partition.start
         starts = partition.offsets[local]
         stops = partition.offsets[local + 1]
+        n = vertices.size
         new_v = vertices.copy()
-        stuck = np.zeros(vertices.size, dtype=bool)
-        for i in range(vertices.size):
-            neighbors = partition.targets[starts[i] : stops[i]]
-            typed = neighbors[self.vertex_types[neighbors] == wanted[i]]
-            if typed.size == 0:
-                stuck[i] = True
-            else:
-                new_v[i] = typed[rng.integers(0, typed.size)]
+        lengths = stops - starts
+        total = int(lengths.sum())
+        # One uniform per walk regardless of its typed-neighbor count keeps
+        # the draw shape data-independent (counter-RNG compatible).
+        u = rng.random(n)
+        if total == 0:
+            stuck = np.ones(n, dtype=bool)
+        else:
+            # Flatten every walk's neighbor list into one ragged gather.
+            walk_idx = np.repeat(np.arange(n, dtype=np.int64), lengths)
+            base = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+            pos = np.arange(total, dtype=np.int64) - base[walk_idx]
+            neighbors = partition.targets[starts[walk_idx] + pos]
+            if int(neighbors.max()) >= self.vertex_types.size:
+                raise ValueError(
+                    f"vertex_types covers {self.vertex_types.size} vertices "
+                    f"but the graph references vertex {int(neighbors.max())}"
+                )
+            typed = self.vertex_types[neighbors] == wanted[walk_idx]
+            counts = np.bincount(walk_idx, weights=typed, minlength=n).astype(
+                np.int64
+            )
+            stuck = counts == 0
+            # Pick the k-th typed neighbor of each walk by rank-selecting
+            # into the running count of typed entries.
+            k = np.minimum(
+                (u * counts).astype(np.int64), np.maximum(counts - 1, 0)
+            )
+            typed_csum = np.cumsum(typed)
+            base_count = np.concatenate(([0], typed_csum))[base]
+            flat_pick = np.searchsorted(
+                typed_csum, base_count + k + 1, side="left"
+            )
+            moved = ~stuck
+            new_v[moved] = neighbors[flat_pick[moved]]
         self.early_terminations += int(stuck.sum())
         terminated = stuck | (steps + 1 >= self.length)
         return new_v, terminated

@@ -8,6 +8,12 @@ previous vertex is weighted ``1/p``, distance 1 weighted ``1``, otherwise
 uniform neighbor, accept with the candidate's weight over ``max(1, 1/p,
 1/q)``.
 
+The acceptance classification runs vectorized through
+:class:`~repro.algorithms.transitions.secondorder.SecondOrderAcceptance`
+(binary search over sorted CSR adjacency); the historical per-candidate
+``graph.has_edge`` loop is kept as :meth:`Node2Vec._acceptance_loop` — the
+parity anchor and the ``repro bench samplers`` before/after baseline.
+
 Out-of-memory caveat (documented deviation): the distance test needs the
 *previous* vertex's adjacency, which may live in a different partition.
 True out-of-memory second-order walks need the I/O machinery of GraSorw;
@@ -23,6 +29,10 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.algorithms.base import RandomWalkAlgorithm, uniform_neighbors
+from repro.algorithms.transitions import (
+    SAMPLER_SECOND_ORDER,
+    SecondOrderAcceptance,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import GraphPartition
 
@@ -32,6 +42,8 @@ class Node2Vec(RandomWalkAlgorithm):
 
     name = "node2vec"
     carries_walk_id = True
+    transition_sampler = SAMPLER_SECOND_ORDER
+    uses_subset_draws = True  # rejection rounds redraw pending lanes only
 
     def __init__(
         self,
@@ -48,7 +60,11 @@ class Node2Vec(RandomWalkAlgorithm):
         self.return_param = return_param
         self.inout_param = inout_param
         self.max_reject_rounds = max_reject_rounds
+        self._acceptance_kernel = SecondOrderAcceptance(
+            return_param, inout_param
+        )
         self._prev: Optional[np.ndarray] = None
+        self._fallbacks = 0
 
     # ------------------------------------------------------------------
     @property
@@ -56,12 +72,35 @@ class Node2Vec(RandomWalkAlgorithm):
         # vertex + steps + walk_id + prev_vertex
         return 24
 
+    def consume_sampler_fallbacks(self) -> int:
+        count = self._fallbacks
+        self._fallbacks = 0
+        return count
+
     def start_vertices(
         self, graph: CSRGraph, num_walks: int, rng: np.random.Generator
     ) -> np.ndarray:
         starts = np.arange(num_walks, dtype=np.int64) % graph.num_vertices
         self._prev = np.full(num_walks, -1, dtype=np.int64)
         return starts
+
+    def _prev_table(self, ids: np.ndarray) -> np.ndarray:
+        """The previous-vertex side table, grown to cover ``ids``.
+
+        Engine reuse (multi-round runs, a second ``run`` with more walks)
+        can present walk ids beyond the table sized by ``start_vertices``;
+        growing on demand keeps those ids well-defined as fresh walks
+        (prev = -1) instead of surfacing a raw IndexError.
+        """
+        if self._prev is None:
+            raise RuntimeError("start_vertices must be called first")
+        if ids.size:
+            max_id = int(ids.max())
+            if max_id >= self._prev.size:
+                grown = np.full(max_id + 1, -1, dtype=np.int64)
+                grown[: self._prev.size] = self._prev
+                self._prev = grown
+        return self._prev
 
     # ------------------------------------------------------------------
     def _acceptance(
@@ -71,6 +110,15 @@ class Node2Vec(RandomWalkAlgorithm):
         candidates: np.ndarray,
     ) -> np.ndarray:
         """Acceptance probability of each candidate given previous vertices."""
+        return self._acceptance_kernel.acceptance(graph, prev, candidates)
+
+    def _acceptance_loop(
+        self,
+        graph: CSRGraph,
+        prev: np.ndarray,
+        candidates: np.ndarray,
+    ) -> np.ndarray:
+        """Per-candidate ``has_edge`` loop (parity/bench reference)."""
         w_return = 1.0 / self.return_param
         w_inout = 1.0 / self.inout_param
         ceiling = max(1.0, w_return, w_inout)
@@ -101,9 +149,8 @@ class Node2Vec(RandomWalkAlgorithm):
             raise RuntimeError(
                 "Node2Vec requires host-graph access for second-order checks"
             )
-        if self._prev is None:
-            raise RuntimeError("start_vertices must be called first")
-        prev = self._prev[ids]
+        prev_table = self._prev_table(ids)
+        prev = prev_table[ids]
         new_v, dead_end = uniform_neighbors(partition, vertices, rng)
         pending = ~dead_end
         rounds = 0
@@ -120,7 +167,10 @@ class Node2Vec(RandomWalkAlgorithm):
                 new_v[re_idx] = resampled
                 pending[re_idx[re_dead]] = False
             rounds += 1
-        self._prev[ids] = vertices
+        # Lanes still pending kept their last, unvetted candidate; count
+        # them so the event bus can surface the quality degradation.
+        self._fallbacks += int(pending.sum())
+        prev_table[ids] = vertices
         terminated = dead_end | (steps + 1 >= self.length)
         return new_v, terminated
 

@@ -7,11 +7,16 @@ sampling and alias sampling; both are provided here:
   weighted first-order walks.
 * :func:`rejection_sample` — generic accept/reject against per-candidate
   acceptance probabilities; used by second-order node2vec walks.
+
+These are the *loop reference* implementations: the production hot path
+lives in :mod:`repro.algorithms.transitions` (vectorized builds), and this
+module anchors its golden parity tests and the ``repro bench samplers``
+before/after comparison.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -113,6 +118,7 @@ def rejection_sample(
     rng: np.random.Generator,
     propose: Callable[[int], Tuple[np.ndarray, np.ndarray]],
     max_rounds: int = 64,
+    on_fallback: Optional[Callable[[int], None]] = None,
 ) -> np.ndarray:
     """Generic vectorized rejection sampler.
 
@@ -121,6 +127,10 @@ def rejection_sample(
     ``max_rounds`` (after which the last candidate is accepted — acceptance
     probabilities are assumed bounded away from 0, as in node2vec where the
     floor is ``min(1, 1/p, 1/q)``).
+
+    ``on_fallback`` is called with the number of slots that saturated the
+    round cap and kept an unvetted candidate, so callers can surface the
+    silent quality degradation (it is never called for a clean run).
     """
     candidates, accept_prob = propose(-1)  # -1 => all slots
     n = candidates.size
@@ -135,4 +145,7 @@ def rejection_sample(
         accepted = rng.random(k) < prob
         pending[idx[accepted]] = False
         rounds += 1
+    saturated = int(pending.sum())
+    if saturated and on_fallback is not None:
+        on_fallback(saturated)
     return result

@@ -1,0 +1,161 @@
+"""Weighted-alias sampling with a fully vectorized Vose build.
+
+:class:`repro.algorithms.sampling.AliasTable` builds one table per vertex
+with Python list stacks — O(E_p) *interpreter* operations per partition.
+:func:`build_alias_tables` runs the same Vose construction for every vertex
+of a partition simultaneously over the flattened edge array.
+
+The scalar algorithm's small/large stacks admit a lock-step treatment: the
+initial stacks are ascending index ranges consumed from the top, and the
+element pushed back after a pairing always sits on top of its stack, so it
+is consumed again in the *next* iteration (each iteration pops from both
+stacks).  Hence at most one "in-flight" element exists per vertex at any
+time, and the whole stack state is (pointer into the original small run,
+pointer into the original large run, the single pushed element).  Each
+vectorized round performs exactly one scalar-loop iteration for every
+still-active vertex, replicating the scalar operation order bit-for-bit;
+rounds are bounded by the maximum degree.
+
+Floating-point caveat: per-vertex weight totals come from one global
+``cumsum`` rather than per-slice ``np.sum`` (pairwise), so for general
+float weights the normalization may differ from the scalar build in the
+last ulp.  For integer-valued weights (exact in float64) the two builds are
+bit-identical — the golden parity tests pin exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.algorithms.transitions.base import TransitionSampler
+from repro.algorithms.transitions.registry import (
+    SAMPLER_ALIAS,
+    register_sampler,
+)
+from repro.graph.partition import GraphPartition
+
+
+def build_alias_tables(
+    offsets: np.ndarray, weights: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized per-vertex Vose tables over a flattened edge array.
+
+    Returns ``(prob_flat, alias_flat)`` matching
+    :class:`~repro.algorithms.sampling.PartitionAliasSampler`'s layout:
+    ``alias_flat`` holds *within-vertex* slot indices.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    num_edges = int(offsets[-1]) if offsets.size else 0
+    prob = np.ones(num_edges, dtype=np.float64)
+    alias = np.zeros(num_edges, dtype=np.int64)
+    if num_edges == 0:
+        return prob, alias
+    if weights.size != num_edges:
+        raise ValueError("weights must cover every edge of the partition")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ValueError("weights must be finite and non-negative")
+
+    num_vertices = offsets.size - 1
+    degrees = np.diff(offsets)
+    seg_id = np.repeat(np.arange(num_vertices, dtype=np.int64), degrees)
+    seg_start = np.repeat(offsets[:-1], degrees)
+    alias = np.arange(num_edges, dtype=np.int64) - seg_start
+
+    csum = np.concatenate(([0.0], np.cumsum(weights)))
+    totals = csum[offsets[1:]] - csum[offsets[:-1]]
+    if np.any((degrees > 0) & (totals <= 0)):
+        raise ValueError("per-vertex weights must sum to a positive value")
+    ratio = np.divide(
+        degrees.astype(np.float64),
+        totals,
+        out=np.zeros(num_vertices, dtype=np.float64),
+        where=degrees > 0,
+    )
+    scaled = weights * ratio[seg_id]
+
+    # Original stacks: ascending edge indices, consumed from the top.
+    is_small = scaled < 1.0
+    small_counts = np.bincount(seg_id[is_small], minlength=num_vertices)
+    large_counts = degrees - small_counts
+    smalls = np.flatnonzero(is_small)
+    larges = np.flatnonzero(~is_small)
+    small_base = np.concatenate(([0], np.cumsum(small_counts)[:-1]))
+    large_base = np.concatenate(([0], np.cumsum(large_counts)[:-1]))
+    sp = small_counts.copy()  # per-vertex stack sizes
+    lp = large_counts.copy()
+    pushed = np.full(num_vertices, -1, dtype=np.int64)
+    pushed_small = np.zeros(num_vertices, dtype=bool)
+
+    while True:
+        has_pushed = pushed >= 0
+        n_small = sp + (has_pushed & pushed_small)
+        n_large = lp + (has_pushed & ~pushed_small)
+        active = (n_small > 0) & (n_large > 0)
+        if not active.any():
+            break
+        seg = np.flatnonzero(active)
+        seg_pushed = pushed[seg]
+        push_is_small = (seg_pushed >= 0) & pushed_small[seg]
+        push_is_large = (seg_pushed >= 0) & ~pushed_small[seg]
+        # s <- top of small stack (the pushed element when it is small).
+        stack_s = smalls[np.maximum(small_base[seg] + sp[seg] - 1, 0)]
+        s = np.where(push_is_small, seg_pushed, stack_s)
+        sp[seg] = np.where(push_is_small, sp[seg], sp[seg] - 1)
+        # g <- top of large stack (the pushed element when it is large).
+        stack_g = larges[np.maximum(large_base[seg] + lp[seg] - 1, 0)]
+        g = np.where(push_is_large, seg_pushed, stack_g)
+        lp[seg] = np.where(push_is_large, lp[seg], lp[seg] - 1)
+        # One Vose pairing per active vertex, scalar operation order.
+        prob[s] = scaled[s]
+        alias[s] = g - offsets[seg]
+        scaled[g] = (scaled[g] + scaled[s]) - 1.0
+        pushed[seg] = g
+        pushed_small[seg] = scaled[g] < 1.0
+    # Leftover entries keep prob == 1.0 and alias == self (the init values),
+    # exactly what the scalar loop writes for its residual small+large.
+    return prob, alias
+
+
+class AliasTransition(TransitionSampler):
+    """O(1)-per-draw weighted pick from flattened per-vertex alias tables.
+
+    Sampling issues the same (slot, accept) draw pair as
+    :meth:`~repro.algorithms.sampling.PartitionAliasSampler.sample_local` —
+    two all-lanes ``rng.random`` calls, compatible with the counter RNG.
+    """
+
+    name = SAMPLER_ALIAS
+    needs_weights = True
+
+    def _build(self, partition: GraphPartition):
+        weights = self._require_weights(partition)
+        return build_alias_tables(partition.offsets, weights)
+
+    def sample(
+        self,
+        partition: GraphPartition,
+        vertices: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        prob_flat, alias_flat = self.prepare(partition)
+        n = vertices.size
+        if prob_flat.size == 0:  # partition with no edges at all
+            return vertices.copy(), np.ones(n, dtype=bool)
+        local = vertices - partition.start
+        starts = partition.offsets[local]
+        degrees = partition.offsets[local + 1] - starts
+        dead_end = degrees == 0
+        slot = (rng.random(n) * degrees).astype(np.int64)
+        slot = np.minimum(slot, np.maximum(degrees - 1, 0))
+        safe_edge = np.where(dead_end, 0, starts + slot)
+        accept = rng.random(n) < prob_flat[safe_edge]
+        picked = np.where(accept, slot, alias_flat[safe_edge])
+        safe_out = np.where(dead_end, 0, starts + picked)
+        next_vertices = partition.targets[safe_out]
+        return np.where(dead_end, vertices, next_vertices), dead_end
+
+
+register_sampler(SAMPLER_ALIAS, AliasTransition)

@@ -1,0 +1,66 @@
+"""Sampler registry: name -> factory, shared by every system.
+
+Algorithms, :class:`~repro.core.config.EngineConfig` and the CLI all
+select transition samplers by these names; the calibration layer keys its
+per-sampler step-cycle entries on the same names
+(:meth:`repro.gpu.calibration.Calibration.step_cycles_for`), so picking a
+sampler changes both the executed semantics and the modeled cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.algorithms.transitions.base import TransitionSampler
+
+SAMPLER_UNIFORM = "uniform"
+SAMPLER_ALIAS = "alias"
+SAMPLER_INVERSE = "inverse"
+SAMPLER_REJECTION = "rejection"
+#: node2vec's biased acceptance kernel; not a first-order registry entry
+#: (it needs the previous-vertex side table) but shares the cost namespace.
+SAMPLER_SECOND_ORDER = "second_order"
+
+_REGISTRY: Dict[str, Callable[[], TransitionSampler]] = {}
+
+
+def register_sampler(
+    name: str, factory: Callable[[], TransitionSampler]
+) -> None:
+    """Register a first-order sampler factory under ``name``."""
+    if not name or not isinstance(name, str):
+        raise ValueError("sampler name must be a non-empty string")
+    if name in _REGISTRY:
+        raise ValueError(f"sampler {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_samplers() -> Tuple[str, ...]:
+    """Registered first-order sampler names, sorted."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def make_sampler(name: str, **kwargs) -> TransitionSampler:
+    """Instantiate the sampler registered under ``name``."""
+    _ensure_builtins()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler {name!r}; available: "
+            f"{', '.join(available_samplers())}"
+        ) from None
+    return factory(**kwargs)
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in samplers (registered on module import)."""
+    if SAMPLER_UNIFORM not in _REGISTRY:
+        # Deferred to avoid a registry <-> implementation import cycle.
+        from repro.algorithms.transitions import (  # noqa: F401
+            alias,
+            inverse,
+            rejection,
+            uniform,
+        )

@@ -1,0 +1,88 @@
+"""Weighted pick via rejection: propose uniform, accept ``w / w_max``.
+
+No per-vertex table build (unlike alias/inverse) at the cost of a few
+proposal rounds — the time/space trade-off §II-A alludes to; the only
+per-partition state is each vertex's maximum edge weight.
+
+Redraws touch data-dependent lane subsets, so this sampler is incompatible
+with the counter RNG's all-lanes contract (``subset_draws = True``).  When
+the round cap is hit, the last proposal is accepted *unvetted*; every such
+lane increments ``fallbacks`` so the event bus can surface distribution-
+quality degradation instead of hiding it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.algorithms.transitions.base import TransitionSampler
+from repro.algorithms.transitions.registry import (
+    SAMPLER_REJECTION,
+    register_sampler,
+)
+from repro.graph.partition import GraphPartition
+
+
+class RejectionTransition(TransitionSampler):
+    """Propose a uniform neighbor, accept with ``weight / max_weight``."""
+
+    name = SAMPLER_REJECTION
+    needs_weights = True
+    subset_draws = True
+
+    def __init__(self, max_rounds: int = 64) -> None:
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        super().__init__()
+        self.max_rounds = max_rounds
+
+    def _build(self, partition: GraphPartition):
+        weights = self._require_weights(partition)
+        # Per-vertex maximum edge weight (vectorized segment max).
+        max_w = np.zeros(partition.num_vertices, dtype=np.float64)
+        np.maximum.at(
+            max_w,
+            np.repeat(
+                np.arange(partition.num_vertices),
+                np.diff(partition.offsets),
+            ),
+            weights,
+        )
+        return max_w
+
+    def sample(
+        self,
+        partition: GraphPartition,
+        vertices: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        max_w = self.prepare(partition)
+        weights = partition.weights
+        local = vertices - partition.start
+        starts = partition.offsets[local]
+        degrees = partition.offsets[local + 1] - starts
+        dead_end = degrees == 0
+        result = vertices.copy()
+        pending = ~dead_end
+        ceiling = max_w[local]
+        for __ in range(self.max_rounds):
+            if not pending.any():
+                break
+            idx = np.nonzero(pending)[0]
+            pick = (rng.random(idx.size) * degrees[idx]).astype(np.int64)
+            edge = starts[idx] + np.minimum(pick, degrees[idx] - 1)
+            accept = rng.random(idx.size) * ceiling[idx] < weights[edge]
+            result[idx[accept]] = partition.targets[edge[accept]]
+            pending[idx[accept]] = False
+        if pending.any():  # accept the last proposal after the round cap
+            idx = np.nonzero(pending)[0]
+            self.fallbacks += int(idx.size)
+            pick = (rng.random(idx.size) * degrees[idx]).astype(np.int64)
+            edge = starts[idx] + np.minimum(pick, degrees[idx] - 1)
+            result[idx] = partition.targets[edge]
+        return result, dead_end
+
+
+register_sampler(SAMPLER_REJECTION, RejectionTransition)

@@ -6,6 +6,11 @@ take exactly ``length`` steps.  The walk index carries ``walk_id`` so that
 sampled paths can be shipped to a consumer; optional in-process path
 recording is provided for small runs (examples/tests) — the paper assumes
 paths are transferred to other GPUs and does not store them.
+
+Weighted next-hop selection is delegated to the transition-sampler
+registry (:mod:`repro.algorithms.transitions`): any registered sampler
+(``alias``, ``inverse``, ``rejection``, ``uniform``) can be selected per
+instance or via ``EngineConfig.sampler`` / ``repro run --sampler``.
 """
 
 from __future__ import annotations
@@ -15,7 +20,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.algorithms.base import RandomWalkAlgorithm, uniform_neighbors
-from repro.algorithms.sampling import PartitionAliasSampler
+from repro.algorithms.transitions import (
+    SAMPLER_ALIAS,
+    SAMPLER_REJECTION,
+    SAMPLER_UNIFORM,
+    make_sampler,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import GraphPartition
 from repro.walks.state import WalkArrays
@@ -27,9 +37,9 @@ class UniformSampling(RandomWalkAlgorithm):
     name = "uniform"
     carries_walk_id = True
 
-    #: weighted-sampling strategies (§II-A mentions both).
-    SAMPLER_ALIAS = "alias"
-    SAMPLER_REJECTION = "rejection"
+    #: legacy aliases for the registry's sampler names (§II-A mentions both).
+    SAMPLER_ALIAS = SAMPLER_ALIAS
+    SAMPLER_REJECTION = SAMPLER_REJECTION
 
     def __init__(
         self,
@@ -41,16 +51,28 @@ class UniformSampling(RandomWalkAlgorithm):
     ) -> None:
         if length < 1:
             raise ValueError("walk length must be >= 1")
-        if sampler not in (self.SAMPLER_ALIAS, self.SAMPLER_REJECTION):
-            raise ValueError(f"unknown sampler {sampler!r}")
         self.length = length
         self.record_paths = record_paths
         self.weighted = weighted
-        self.sampler = sampler
         self.max_reject_rounds = max_reject_rounds
         self.paths: Optional[np.ndarray] = None
-        self._alias_cache = {}
-        self._max_weight_cache = {}
+        self.set_transition_sampler(sampler)
+
+    # ------------------------------------------------------------------
+    def set_transition_sampler(self, name: str) -> None:
+        """Select the weighted next-hop sampler from the registry."""
+        if name == SAMPLER_REJECTION:
+            impl = make_sampler(name, max_rounds=self.max_reject_rounds)
+        else:
+            impl = make_sampler(name)
+        self.sampler = name
+        self._sampler_impl = impl
+        # Cost-model identity: unweighted walks always step uniformly.
+        self.transition_sampler = name if self.weighted else SAMPLER_UNIFORM
+        self.uses_subset_draws = self.weighted and impl.subset_draws
+
+    def consume_sampler_fallbacks(self) -> int:
+        return self._sampler_impl.consume_fallbacks()
 
     # ------------------------------------------------------------------
     def start_vertices(
@@ -76,83 +98,20 @@ class UniformSampling(RandomWalkAlgorithm):
         rng: np.random.Generator,
         graph: Optional[CSRGraph],
     ) -> Tuple[np.ndarray, np.ndarray]:
-        if self.weighted and partition.weights is not None:
-            new_v, dead_end = self._weighted_neighbors(partition, vertices, rng)
+        if (
+            self.weighted
+            and partition.weights is not None
+            and self.sampler != SAMPLER_UNIFORM
+        ):
+            new_v, dead_end = self._sampler_impl.sample(
+                partition, vertices, rng
+            )
         else:
             new_v, dead_end = uniform_neighbors(partition, vertices, rng)
         terminated = dead_end | (steps + 1 >= self.length)
         if self.paths is not None:
             self.paths[ids, steps + 1] = new_v
         return new_v, terminated
-
-    def _weighted_neighbors(
-        self,
-        partition: GraphPartition,
-        vertices: np.ndarray,
-        rng: np.random.Generator,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        if self.sampler == self.SAMPLER_REJECTION:
-            return self._rejection_neighbors(partition, vertices, rng)
-        sampler = self._alias_cache.get(partition.index)
-        if sampler is None:
-            sampler = PartitionAliasSampler(partition.offsets, partition.weights)
-            self._alias_cache[partition.index] = sampler
-        local = vertices - partition.start
-        edge_idx = sampler.sample_local(local, rng)
-        dead_end = edge_idx < 0
-        safe = np.where(dead_end, 0, edge_idx)
-        new_v = partition.targets[safe]
-        return np.where(dead_end, vertices, new_v), dead_end
-
-    def _rejection_neighbors(
-        self,
-        partition: GraphPartition,
-        vertices: np.ndarray,
-        rng: np.random.Generator,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Weighted pick via rejection: propose uniform, accept w/w_max.
-
-        No per-vertex preprocessing (unlike alias tables), at the cost of a
-        few proposal rounds — the time/space trade-off §II-A alludes to.
-        """
-        max_w = self._max_weight_cache.get(partition.index)
-        if max_w is None:
-            # Per-vertex maximum edge weight (vectorized segment max).
-            max_w = np.zeros(partition.num_vertices, dtype=np.float64)
-            np.maximum.at(
-                max_w,
-                np.repeat(
-                    np.arange(partition.num_vertices),
-                    np.diff(partition.offsets),
-                ),
-                partition.weights,
-            )
-            self._max_weight_cache[partition.index] = max_w
-        local = vertices - partition.start
-        starts = partition.offsets[local]
-        degrees = partition.offsets[local + 1] - starts
-        dead_end = degrees == 0
-        result = np.where(dead_end, vertices, vertices)
-        pending = ~dead_end
-        ceiling = max_w[local]
-        for __ in range(self.max_reject_rounds):
-            if not pending.any():
-                break
-            idx = np.nonzero(pending)[0]
-            pick = (rng.random(idx.size) * degrees[idx]).astype(np.int64)
-            edge = starts[idx] + np.minimum(pick, degrees[idx] - 1)
-            accept = (
-                rng.random(idx.size) * ceiling[idx]
-                < partition.weights[edge]
-            )
-            result[idx[accept]] = partition.targets[edge[accept]]
-            pending[idx[accept]] = False
-        if pending.any():  # accept the last proposal after the round cap
-            idx = np.nonzero(pending)[0]
-            pick = (rng.random(idx.size) * degrees[idx]).astype(np.int64)
-            edge = starts[idx] + np.minimum(pick, degrees[idx] - 1)
-            result[idx] = partition.targets[edge]
-        return result, dead_end
 
     def expected_total_steps(self, num_walks: int) -> float:
         return float(num_walks) * self.length

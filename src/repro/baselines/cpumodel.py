@@ -79,8 +79,28 @@ class CPUCostModel:
     #: FlashMob: fraction of DRAM bandwidth achieved sequentially.
     FM_SEQ_EFFICIENCY = 0.6
 
+    #: Per-step cost multipliers of the transition-sampling methods on the
+    #: CPU (ThunderRW's Table: alias pays a second cache line, ITS a
+    #: binary search, rejection its expected proposal rounds).  Uniform is
+    #: the 1.0 baseline so default-path costs are untouched.
+    SAMPLER_MULTIPLIERS = {
+        "uniform": 1.0,
+        "alias": 1.15,
+        "inverse": 1.5,
+        "rejection": 2.2,
+        "second_order": 2.5,
+    }
+
     def __init__(self, spec: CPUSpec) -> None:
         self.spec = spec
+
+    # ------------------------------------------------------------------
+    def sampler_cost_multiplier(self, sampler: str = "uniform") -> float:
+        """Per-step slowdown of one transition-sampling method."""
+        multiplier = self.SAMPLER_MULTIPLIERS.get(sampler)
+        if multiplier is None:
+            raise ValueError(f"no CPU cost entry for sampler {sampler!r}")
+        return multiplier
 
     # ------------------------------------------------------------------
     def miss_rate(self, graph_bytes: int) -> float:

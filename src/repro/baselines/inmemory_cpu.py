@@ -83,7 +83,10 @@ class InMemoryCPUEngine:
         total_steps = execute_in_memory(
             self.graph, self.algorithm, num_walks, rng
         )
-        rate = self.steps_per_second()
+        sampler = getattr(self.algorithm, "transition_sampler", "uniform")
+        rate = self.steps_per_second() / self.model.sampler_cost_multiplier(
+            sampler
+        )
         total_time = total_steps / rate
         return RunStats(
             system=self.system,

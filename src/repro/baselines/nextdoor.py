@@ -91,7 +91,10 @@ class NextDoorEngine:
         )
         stats.explicit_copies = 1
         compute_time = 0.0
-        steps_rate = self.kernel_model.steps_per_second(graph.csr_bytes)
+        steps_rate = self.kernel_model.steps_per_second(
+            graph.csr_bytes,
+            getattr(self.algorithm, "transition_sampler", "uniform"),
+        )
 
         while alive.any():
             stats.iterations += 1

@@ -96,6 +96,11 @@ class EngineConfig:
     interconnect: Union[str, PCIeSpec] = "pcie3"
     device: DeviceSpec = RTX3090
     calibration: Calibration = DEFAULT_CALIBRATION
+    #: transition-sampler override applied to the algorithm (a name from
+    #: the :mod:`repro.algorithms.transitions` registry); ``None`` keeps
+    #: the algorithm's own choice.  Only algorithms with configurable
+    #: sampling (e.g. weighted uniform walks) accept an override.
+    sampler: Optional[str] = None
     rng_mode: str = "sequential"
     seed: Optional[int] = 42
     max_iterations: Optional[int] = None
@@ -114,6 +119,16 @@ class EngineConfig:
             raise ValueError(f"unknown reshuffle_mode {self.reshuffle_mode!r}")
         if self.rng_mode not in ("sequential", "counter"):
             raise ValueError(f"unknown rng_mode {self.rng_mode!r}")
+        if self.sampler is not None:
+            # Deferred import: the registry pulls in the sampler
+            # implementations, which config itself must not depend on.
+            from repro.algorithms.transitions import available_samplers
+
+            if self.sampler not in available_samplers():
+                raise ValueError(
+                    f"unknown sampler {self.sampler!r}; available: "
+                    f"{', '.join(available_samplers())}"
+                )
         if self.eviction_policy not in (None, "fifo", "lru", "min_walks"):
             raise ValueError(
                 f"unknown eviction_policy {self.eviction_policy!r}"

@@ -82,6 +82,8 @@ class LightTrafficEngine:
         self.graph = graph
         self.algorithm = algorithm
         self.config = config
+        if config.sampler is not None:
+            algorithm.set_transition_sampler(config.sampler)
         self.trace = trace
         self.bus = bus
         self.metrics = metrics
@@ -106,11 +108,7 @@ class LightTrafficEngine:
         if cfg.rng_mode == "counter":
             from repro.core.prng import CounterRNG
 
-            uses_rejection = (
-                getattr(self.algorithm, "weighted", False)
-                and getattr(self.algorithm, "sampler", None) == "rejection"
-            )
-            if self.algorithm.name == "node2vec" or uses_rejection:
+            if getattr(self.algorithm, "uses_subset_draws", False):
                 raise ValueError(
                     "rng_mode='counter' does not support algorithms with "
                     "subset redraws (node2vec, rejection-sampled weights)"

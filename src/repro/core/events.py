@@ -90,7 +90,12 @@ class BatchLoaded(EngineEvent):
 
 @dataclass(frozen=True)
 class KernelDispatched(EngineEvent):
-    """One walk-update kernel was dispatched for a partition's walks."""
+    """One walk-update kernel was dispatched for a partition's walks.
+
+    ``sampler_fallbacks`` counts walks whose bounded rejection sampler
+    saturated during this kernel and accepted an unvetted candidate —
+    nonzero values flag distribution-quality degradation.
+    """
 
     partition: int
     walks: int
@@ -98,6 +103,7 @@ class KernelDispatched(EngineEvent):
     preemptive: bool = False
     zero_copy: bool = False
     seconds: float = 0.0
+    sampler_fallbacks: int = 0
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,7 @@ class PartitionMetrics:
     walks_preempted: int = 0
     steps: int = 0
     walks_finished: int = 0
+    sampler_fallbacks: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -52,6 +53,7 @@ class PartitionMetrics:
             "walks_preempted": self.walks_preempted,
             "steps": self.steps,
             "walks_finished": self.walks_finished,
+            "sampler_fallbacks": self.sampler_fallbacks,
         }
 
 
@@ -91,6 +93,7 @@ class MetricsCollector:
         metrics.walks_computed += event.walks
         metrics.steps += event.steps
         metrics.compute_seconds += event.seconds
+        metrics.sampler_fallbacks += getattr(event, "sampler_fallbacks", 0)
         if event.preemptive:
             metrics.walks_preempted += event.walks
 

@@ -77,6 +77,7 @@ class ComputeDispatcher:
         result = ctx.algorithm.advance_in_partition(
             partition, contents, ctx.rng, ctx.graph
         )
+        fallbacks = ctx.algorithm.consume_sampler_fallbacks()
 
         update_t = ctx.update_time(
             part_idx, result.total_steps, result.longest_run
@@ -108,6 +109,7 @@ class ComputeDispatcher:
                 preemptive=preemptive,
                 zero_copy=zero_copy,
                 seconds=kernel_dur,
+                sampler_fallbacks=fallbacks,
             )
         )
 

@@ -70,7 +70,9 @@ class StageContext:
         """Walk-update kernel duration for ``steps`` over ``rounds`` passes.
 
         Per-partition coefficients (latency per round, 1/steprate) are
-        cached because partition sizes are static for the whole run.
+        cached because partition sizes — and the algorithm's transition
+        sampler, whose per-step cycles the model charges — are static for
+        the whole run.
         """
         if steps == 0:
             return 0.0
@@ -78,10 +80,13 @@ class StageContext:
         if coeff is None:
             nbytes = self.pgraph.partitions[part_idx].nbytes
             cal = self.config.calibration
+            sampler = getattr(self.algorithm, "transition_sampler", "uniform")
             lat = cal.sim_scale * self.kernel_model.device.cycles_to_seconds(
-                self.kernel_model.step_cycles(nbytes)
+                self.kernel_model.step_cycles(nbytes, sampler)
             )
-            inv_rate = 1.0 / self.kernel_model.steps_per_second(nbytes)
+            inv_rate = 1.0 / self.kernel_model.steps_per_second(
+                nbytes, sampler
+            )
             self._kernel_coeff[part_idx] = coeff = (lat, inv_rate)
         return max(rounds * coeff[0], steps * coeff[1])
 

@@ -44,6 +44,9 @@ class RunStats:
     graph_pool_misses: int = 0
     walk_batches_loaded: int = 0
     walk_batches_evicted: int = 0
+    #: walks whose bounded rejection sampler saturated and accepted an
+    #: unvetted candidate (biased-walk quality signal; 0 = clean run).
+    sampler_fallbacks: int = 0
     num_partitions: int = 0
     total_time: float = 0.0
     breakdown: Dict[str, float] = field(default_factory=dict)
@@ -137,6 +140,7 @@ class StatsCollector:
 
     def on_kernel_dispatched(self, event) -> None:
         self.stats.total_steps += event.steps
+        self.stats.sampler_fallbacks += getattr(event, "sampler_fallbacks", 0)
 
     def on_run_completed(self, event) -> None:
         stats = self.stats

@@ -94,6 +94,19 @@ class Calibration:
     #: assumes the estimate and the cost coincide).
     zero_copy_cost_factor: float = 6.0
 
+    # --- transition sampling (ThunderRW's method comparison) ------------
+    #: Extra cycles per walk step for each non-uniform transition-sampling
+    #: method, added to ``step_cycles_base`` before the locality factor.
+    #: Uniform sampling is the zero-extra baseline.  Alias pays one extra
+    #: table gather + accept branch; inverse-transform pays an O(log d)
+    #: binary search; rejection pays the expected proposal rounds; the
+    #: second-order (node2vec) kernel additionally classifies each
+    #: candidate against the previous vertex's adjacency.
+    sampler_extra_cycles_alias: float = 24.0
+    sampler_extra_cycles_inverse: float = 96.0
+    sampler_extra_cycles_rejection: float = 210.0
+    sampler_extra_cycles_second_order: float = 260.0
+
     # --- Subway-style baseline costs (Table I / Fig 3 / Fig 10) --------
     #: CPU-side cycles per scanned edge when generating the active subgraph.
     subway_subgraph_cycles_per_edge: float = 1.6
@@ -110,6 +123,19 @@ class Calibration:
     #: Per-step scheduling/caching overhead factor relative to LightTraffic's
     #: update kernel (NextDoor's transit-parallel bookkeeping).
     nextdoor_overhead_factor: float = 1.18
+
+    def sampler_extra_cycles(self, sampler: str = "uniform") -> float:
+        """Extra per-step cycles of one transition-sampling method."""
+        if sampler == "uniform":
+            return 0.0
+        extra = getattr(self, f"sampler_extra_cycles_{sampler}", None)
+        if extra is None:
+            raise ValueError(f"no cost calibration for sampler {sampler!r}")
+        return extra
+
+    def step_cycles_for(self, sampler: str = "uniform") -> float:
+        """Per-step cycles of a sampling method, before the locality factor."""
+        return self.step_cycles_base + self.sampler_extra_cycles(sampler)
 
     @property
     def scaled_kernel_launch_seconds(self) -> float:
@@ -132,6 +158,14 @@ class Calibration:
         )
         if any(v <= 0 for v in numeric):
             raise ValueError("calibration constants must be positive")
+        sampler_extras = (
+            self.sampler_extra_cycles_alias,
+            self.sampler_extra_cycles_inverse,
+            self.sampler_extra_cycles_rejection,
+            self.sampler_extra_cycles_second_order,
+        )
+        if any(v < 0 for v in sampler_extras):
+            raise ValueError("sampler extra cycles must be non-negative")
         if not 0 < self.zero_copy_bandwidth_fraction <= 1:
             raise ValueError("zero_copy_bandwidth_fraction must be in (0, 1]")
         if not 0 < self.random_access_efficiency <= 1:

@@ -63,16 +63,25 @@ class KernelModel:
         pressure = min(1.0, partition_bytes / span)
         return 1.0 + (cal.step_cycles_locality / cal.step_cycles_base) * pressure
 
-    def step_cycles(self, partition_bytes: int) -> float:
-        """Cycles per walk step against a partition of the given size."""
-        return self.calibration.step_cycles_base * self.locality_factor(
+    def step_cycles(
+        self, partition_bytes: int, sampler: str = "uniform"
+    ) -> float:
+        """Cycles per walk step against a partition of the given size.
+
+        ``sampler`` selects the transition-sampling method's per-step cost
+        (:meth:`Calibration.step_cycles_for`); uniform adds exactly zero
+        cycles, so the default is bit-identical to the historical model.
+        """
+        return self.calibration.step_cycles_for(sampler) * self.locality_factor(
             partition_bytes
         )
 
-    def steps_per_second(self, partition_bytes: int) -> float:
+    def steps_per_second(
+        self, partition_bytes: int, sampler: str = "uniform"
+    ) -> float:
         """Sustainable device-wide step throughput for a partition size."""
         cal = self.calibration
-        cycles = self.step_cycles(partition_bytes)
+        cycles = self.step_cycles(partition_bytes, sampler)
         compute_bound = (
             self.device.total_cores * self.device.clock_hz / cycles
         )
@@ -88,6 +97,7 @@ class KernelModel:
         total_steps: int,
         longest_run: int,
         partition_bytes: int,
+        sampler: str = "uniform",
     ) -> float:
         """Duration of updating one batch.
 
@@ -99,6 +109,8 @@ class KernelModel:
             the maximum steps any single walk took (serial dependent chain).
         partition_bytes:
             size of the graph partition being walked (locality model).
+        sampler:
+            active transition-sampling method (per-step cost entry).
         """
         if total_steps < 0 or longest_run < 0:
             raise ValueError("step counts must be non-negative")
@@ -107,24 +119,27 @@ class KernelModel:
         # The latency bound is a fixed-size term (per-walk dependent chain),
         # so it shrinks with sim_scale like the other fixed costs.
         latency_bound = self.calibration.sim_scale * self.device.cycles_to_seconds(
-            longest_run * self.step_cycles(partition_bytes)
+            longest_run * self.step_cycles(partition_bytes, sampler)
         )
-        throughput_bound = total_steps / self.steps_per_second(partition_bytes)
+        throughput_bound = total_steps / self.steps_per_second(
+            partition_bytes, sampler
+        )
         return max(latency_bound, throughput_bound)
 
     # ------------------------------------------------------------------
     # Reshuffle (Algorithm 1, lines 6-14; Fig 12)
     # ------------------------------------------------------------------
-    def reshuffle_time(
-        self, num_walks: int, num_partitions: int, mode: str = TWO_LEVEL
+    def reshuffle_serial_seconds(
+        self, num_partitions: int, mode: str = TWO_LEVEL
     ) -> float:
-        """Duration of inserting ``num_walks`` updated walks into frontiers."""
-        if num_walks < 0:
-            raise ValueError("num_walks must be non-negative")
+        """Single-lane duration of reshuffling one walk.
+
+        This is *the* per-walk cost formula; both :meth:`reshuffle_time`
+        and the reshufflers' hot path (`_BaseReshuffler.seconds_for`) scale
+        it by ``num_walks / lanes`` so the two can never drift.
+        """
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
-        if num_walks == 0:
-            return 0.0
         cal = self.calibration
         if mode == TWO_LEVEL:
             per_walk = cal.reshuffle_two_level_base_cycles
@@ -138,9 +153,21 @@ class KernelModel:
             )
         else:
             raise ValueError(f"unknown reshuffle mode {mode!r}")
-        lanes = min(num_walks, cal.reshuffle_parallel_lanes)
-        cycles = num_walks * per_walk / lanes
-        return self.device.cycles_to_seconds(cycles)
+        return self.device.cycles_to_seconds(per_walk)
+
+    def reshuffle_time(
+        self, num_walks: int, num_partitions: int, mode: str = TWO_LEVEL
+    ) -> float:
+        """Duration of inserting ``num_walks`` updated walks into frontiers."""
+        if num_walks < 0:
+            raise ValueError("num_walks must be non-negative")
+        if num_walks == 0:
+            if num_partitions < 1:
+                raise ValueError("num_partitions must be >= 1")
+            return 0.0
+        serial = self.reshuffle_serial_seconds(num_partitions, mode)
+        lanes = min(num_walks, self.calibration.reshuffle_parallel_lanes)
+        return num_walks * serial / lanes
 
     # ------------------------------------------------------------------
     # Full kernel
@@ -153,11 +180,12 @@ class KernelModel:
         num_partitions: int,
         partition_bytes: int,
         reshuffle_mode: str = TWO_LEVEL,
+        sampler: str = "uniform",
     ) -> KernelCost:
         """Cost of one walk-update-and-reshuffle kernel (Algorithm 1)."""
         return KernelCost(
             update_seconds=self.update_time(
-                total_steps, longest_run, partition_bytes
+                total_steps, longest_run, partition_bytes, sampler
             ),
             reshuffle_seconds=self.reshuffle_time(
                 num_walks, num_partitions, reshuffle_mode

@@ -107,15 +107,15 @@ class _BaseReshuffler:
         self.kernel_model = kernel_model
         self.num_partitions = num_partitions
         # Per-walk cost is constant for a fixed P and mode; precompute the
-        # serial (1-lane) per-walk duration so the hot path is one multiply
-        # (see KernelModel.reshuffle_time for the formula).
-        self._serial_per_walk = kernel_model.reshuffle_time(
-            1, num_partitions, self.mode
+        # serial (1-lane) per-walk duration so the hot path is one multiply.
+        # The formula itself lives in KernelModel (single source of truth).
+        self._serial_per_walk = kernel_model.reshuffle_serial_seconds(
+            num_partitions, self.mode
         )
         self._lanes = kernel_model.calibration.reshuffle_parallel_lanes
 
     def seconds_for(self, num_walks: int) -> float:
-        """Modeled reshuffle duration for ``num_walks`` updated walks."""
+        """Modeled reshuffle duration (``KernelModel.reshuffle_time``)."""
         if num_walks <= 0:
             return 0.0
         return num_walks * self._serial_per_walk / min(num_walks, self._lanes)
