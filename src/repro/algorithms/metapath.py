@@ -22,6 +22,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.algorithms.base import RandomWalkAlgorithm
+from repro.core.prng import seeded_rng
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import GraphPartition
 
@@ -139,5 +140,5 @@ def random_vertex_types(
     """Uniformly random type labels (testing/example helper)."""
     if num_types < 1:
         raise ValueError("num_types must be >= 1")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     return rng.integers(0, num_types, size=num_vertices, dtype=np.int64)

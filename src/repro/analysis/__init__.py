@@ -1,0 +1,45 @@
+"""Correctness tooling: runtime simulation sanitizer + repo-specific lint.
+
+Two complementary passes guard the engine's invariants so perf PRs can
+refactor aggressively without corrupting the cost model:
+
+* :class:`~repro.analysis.sanitizer.Sanitizer` — a runtime checker that
+  rides a run's event bus and substrate hooks, validating timeline
+  causality, PCIe duplex/stream affinity, partition residency, walk-batch
+  lifecycle and global walk conservation.  Enabled per run via
+  ``EngineConfig(sanitize=True)`` / ``repro run --sanitize``.
+* :mod:`~repro.analysis.lint` — an AST pass (``repro lint``) enforcing
+  the house rules that keep runs deterministic and the bus observable.
+"""
+
+from repro.analysis.lint import LintViolation, lint_paths, run_lint
+from repro.analysis.sanitizer import STREAM_AFFINITY, Sanitizer, format_summary
+from repro.analysis.violations import (
+    ALL_RULES,
+    RULE_DOUBLE_CONSUME,
+    RULE_EVICT_IN_FLIGHT,
+    RULE_RESIDENCY,
+    RULE_STREAM_AFFINITY,
+    RULE_STREAM_MONOTONIC,
+    RULE_WALK_CAPACITY,
+    RULE_WALK_CONSERVATION,
+    Violation,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "LintViolation",
+    "RULE_DOUBLE_CONSUME",
+    "RULE_EVICT_IN_FLIGHT",
+    "RULE_RESIDENCY",
+    "RULE_STREAM_AFFINITY",
+    "RULE_STREAM_MONOTONIC",
+    "RULE_WALK_CAPACITY",
+    "RULE_WALK_CONSERVATION",
+    "STREAM_AFFINITY",
+    "Sanitizer",
+    "Violation",
+    "format_summary",
+    "lint_paths",
+    "run_lint",
+]

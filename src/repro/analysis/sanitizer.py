@@ -1,0 +1,424 @@
+"""Runtime simulation sanitizer (EventBus subscriber + substrate hooks).
+
+GPU random walk engines validate their schedulers with runtime assertion
+layers on real hardware (races, lost walks, use-after-free of evicted
+partitions); this simulated engine needs the same backstop, because its
+claims — pipeline overlap, selective eviction, adaptive zero copy — are
+statements about *who waits for what* and silently break when a refactor
+reorders the timeline or drops a walk.
+
+The :class:`Sanitizer` observes a run through two channels and never
+mutates anything:
+
+* **bus events** — it is a plain ``on_<event>`` subscriber on the run's
+  :class:`~repro.core.events.EventBus`;
+* **substrate hooks** — optional observer slots on
+  :class:`~repro.gpu.timeline.Stream` (every scheduled op),
+  :class:`~repro.gpu.memory.BlockPool` (graph-pool inserts/evicts) and
+  :class:`~repro.walks.pool.DeviceWalkPool` (walk appends/takes).
+
+Checked invariants (rule ids in :mod:`repro.analysis.violations`):
+
+==========================  ============================================
+``stream-monotonic``        per-stream op starts never precede the
+                            stream's completion frontier or the op's
+                            declared ``earliest`` release time; durations
+                            are non-negative.
+``stream-affinity``         ops ride the stream their category belongs
+                            to (loads on *load*, evictions on *evict*,
+                            kernels on *compute*) — the full-duplex PCIe
+                            invariant of §III-D.
+``partition-residency``     every non-zero-copy ``KernelDispatched``
+                            targets a partition resident in the graph
+                            pool.
+``evict-in-flight-load``    no graph-pool evict of a partition whose
+                            explicit load has not been consumed by a
+                            dependent kernel yet.
+``walk-capacity``           the device walk pool respects ``m_w`` at
+                            iteration boundaries; batches never carry
+                            more walks than their capacity.
+``double-consume``          device buffer takes never exceed what the
+                            buffer holds (a double-consumed frontier).
+``walk-conservation``       pending + finished walks equal the seeded
+                            count at every reshuffle, iteration boundary
+                            and run completion.
+==========================  ============================================
+
+Violations are collected (never raised) with a provenance trail of the
+most recent events/ops; :meth:`Sanitizer.summary` is what lands in
+``RunStats.sanitizer``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, cast
+
+from repro.analysis.violations import (
+    RULE_DOUBLE_CONSUME,
+    RULE_EVICT_IN_FLIGHT,
+    RULE_RESIDENCY,
+    RULE_STREAM_AFFINITY,
+    RULE_STREAM_MONOTONIC,
+    RULE_WALK_CAPACITY,
+    RULE_WALK_CONSERVATION,
+    Violation,
+)
+from repro.core.events import (
+    SERVED_EXPLICIT,
+    BatchEvicted,
+    BatchLoaded,
+    GraphServed,
+    IterationStarted,
+    KernelDispatched,
+    Reshuffled,
+    RunCompleted,
+    WalkFinished,
+)
+from repro.core.stats import (
+    CAT_CPU_COMPUTE,
+    CAT_GRAPH_LOAD,
+    CAT_KERNEL_OTHER,
+    CAT_PATH_SHIP,
+    CAT_RESHUFFLE,
+    CAT_SUBGRAPH,
+    CAT_WALK_EVICT,
+    CAT_WALK_LOAD,
+    CAT_WALK_UPDATE,
+    CAT_ZERO_COPY,
+)
+from repro.gpu.memory import BlockPool
+from repro.gpu.timeline import TIME_EPS, Stream, Timeline
+from repro.walks.pool import DeviceWalkPool, HostWalkPool
+
+#: Which stream each breakdown category must ride (the §III-D pipeline
+#: contract).  Categories not listed (e.g. user-defined) are unchecked.
+STREAM_AFFINITY: Dict[str, str] = {
+    CAT_GRAPH_LOAD: Timeline.LOAD,
+    CAT_WALK_LOAD: Timeline.LOAD,
+    CAT_ZERO_COPY: Timeline.LOAD,
+    CAT_WALK_EVICT: Timeline.EVICT,
+    CAT_PATH_SHIP: Timeline.EVICT,
+    CAT_WALK_UPDATE: Timeline.COMPUTE,
+    CAT_RESHUFFLE: Timeline.COMPUTE,
+    CAT_KERNEL_OTHER: Timeline.COMPUTE,
+    CAT_CPU_COMPUTE: Timeline.COMPUTE,
+    CAT_SUBGRAPH: Timeline.COMPUTE,
+}
+
+
+class Sanitizer:
+    """Collects invariant violations from one engine (or baseline) run.
+
+    Event-only mode (no :meth:`bind` call) checks what events alone can
+    prove — batch sizes, conservation if pools are bound, residency if a
+    graph pool is bound.  :meth:`bind` wires the full substrate hooks.
+    """
+
+    def __init__(
+        self, max_violations: int = 64, provenance_depth: int = 12
+    ) -> None:
+        self.max_violations = max_violations
+        self.violations: List[Violation] = []
+        self.checks = 0
+        self.dropped = 0
+        self._trail: Deque[str] = deque(maxlen=provenance_depth)
+        self._seq = 0
+        self._iteration = 0
+        self._finished = 0
+        # bound substrate (all optional; see bind())
+        self._timeline: Optional[Timeline] = None
+        self._graph_pool: Optional[BlockPool] = None
+        self._host: Optional[HostWalkPool] = None
+        self._device: Optional[DeviceWalkPool] = None
+        self._expected_walks: Optional[int] = None
+        self._batch_capacity: Optional[int] = None
+        # derived state
+        self._stream_frontier: Dict[str, float] = {}
+        self._loads_in_flight: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        timeline: Optional[Timeline] = None,
+        graph_pool: Optional[BlockPool] = None,
+        host: Optional[HostWalkPool] = None,
+        device: Optional[DeviceWalkPool] = None,
+        expected_walks: Optional[int] = None,
+    ) -> "Sanitizer":
+        """Install substrate hooks; call :meth:`unbind` when the run ends."""
+        self._timeline = timeline
+        self._graph_pool = graph_pool
+        self._host = host
+        self._device = device
+        self._expected_walks = expected_walks
+        if timeline is not None:
+            timeline.install_observer(self.stream_op)
+        if graph_pool is not None:
+            graph_pool.observer = self
+        if device is not None:
+            device.observer = self
+            self._batch_capacity = device.batch_capacity
+        return self
+
+    def unbind(self) -> None:
+        """Remove every hook installed by :meth:`bind`."""
+        if self._timeline is not None:
+            self._timeline.remove_observer()
+        if self._graph_pool is not None and self._graph_pool.observer is self:
+            self._graph_pool.observer = None
+        if self._device is not None and self._device.observer is self:
+            self._device.observer = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _record(self, what: str) -> None:
+        self._seq += 1
+        self._trail.append(f"#{self._seq} it={self._iteration} {what}")
+
+    def _violate(self, rule: str, message: str) -> None:
+        if len(self.violations) >= self.max_violations:
+            self.dropped += 1
+            return
+        self.violations.append(
+            Violation(
+                rule=rule,
+                message=message,
+                iteration=self._iteration,
+                provenance=tuple(self._trail),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Stream hook (gpu/timeline.py)
+    # ------------------------------------------------------------------
+    def stream_op(
+        self,
+        stream: Stream,
+        category: str,
+        start: float,
+        end: float,
+        earliest: float,
+    ) -> None:
+        self._record(
+            f"op {stream.name}/{category} "
+            f"start={start:.6e} end={end:.6e} earliest={earliest:.6e}"
+        )
+        self.checks += 1
+        frontier = self._stream_frontier.get(stream.name, 0.0)
+        if start < frontier - TIME_EPS:
+            self._violate(
+                RULE_STREAM_MONOTONIC,
+                f"op {category!r} starts at {start:.6e} before stream "
+                f"{stream.name!r}'s completion frontier {frontier:.6e} "
+                f"(the simulated clock rewound)",
+            )
+        if start < earliest - TIME_EPS:
+            self._violate(
+                RULE_STREAM_MONOTONIC,
+                f"op {category!r} starts at {start:.6e} before its "
+                f"declared release time {earliest:.6e}",
+            )
+        if end < start:
+            self._violate(
+                RULE_STREAM_MONOTONIC,
+                f"op {category!r} has negative duration "
+                f"(start={start:.6e}, end={end:.6e})",
+            )
+        self._stream_frontier[stream.name] = max(frontier, end)
+        expected_stream = STREAM_AFFINITY.get(category)
+        if expected_stream is not None and stream.name != expected_stream:
+            self._violate(
+                RULE_STREAM_AFFINITY,
+                f"category {category!r} scheduled on stream "
+                f"{stream.name!r}, must ride {expected_stream!r} "
+                f"(full-duplex PCIe contract)",
+            )
+
+    # ------------------------------------------------------------------
+    # Pool hooks (gpu/memory.py)
+    # ------------------------------------------------------------------
+    def pool_inserted(self, pool: BlockPool, key: object) -> None:
+        self._record(f"pool {pool.name} insert {key!r}")
+
+    def pool_evicted(self, pool: BlockPool, key: object) -> None:
+        self._record(f"pool {pool.name} evict {key!r}")
+        self.checks += 1
+        if key in self._loads_in_flight:
+            self._violate(
+                RULE_EVICT_IN_FLIGHT,
+                f"partition {key!r} evicted from {pool.name!r} while its "
+                f"explicit load was still in flight (no dependent kernel "
+                f"had consumed it)",
+            )
+
+    # ------------------------------------------------------------------
+    # Device walk pool hooks (walks/pool.py)
+    # ------------------------------------------------------------------
+    def device_appended(
+        self, pool: DeviceWalkPool, partition: int, count: int
+    ) -> None:
+        self._record(f"device append part={partition} walks={count}")
+
+    def device_taken(
+        self, pool: DeviceWalkPool, partition: int, count: int, available: int
+    ) -> None:
+        self._record(
+            f"device take part={partition} walks={count} "
+            f"buffered={available}"
+        )
+        self.checks += 1
+        if count > available:
+            self._violate(
+                RULE_DOUBLE_CONSUME,
+                f"took {count} walks of partition {partition} with only "
+                f"{available} buffered (double-consumed frontier batch)",
+            )
+
+    # ------------------------------------------------------------------
+    # Bus event handlers (bound by EventBus.attach)
+    # ------------------------------------------------------------------
+    def on_iteration_started(self, event: IterationStarted) -> None:
+        self._iteration = event.iteration
+        self._record(f"{event!r}")
+        self._check_walk_capacity()
+        self._check_conservation("iteration start")
+
+    def on_graph_served(self, event: GraphServed) -> None:
+        self._record(f"{event!r}")
+        if event.mode == SERVED_EXPLICIT:
+            self._loads_in_flight.add(event.partition)
+
+    def on_batch_loaded(self, event: BatchLoaded) -> None:
+        self._record(f"{event!r}")
+        self._check_batch_size(event.walks, "loaded")
+
+    def on_kernel_dispatched(self, event: KernelDispatched) -> None:
+        self._record(f"{event!r}")
+        self._loads_in_flight.discard(event.partition)
+        if self._graph_pool is not None and not event.zero_copy:
+            self.checks += 1
+            if event.partition not in self._graph_pool:
+                self._violate(
+                    RULE_RESIDENCY,
+                    f"kernel dispatched for partition {event.partition} "
+                    f"which is not resident in the graph pool "
+                    f"(evicted or never loaded)",
+                )
+
+    def on_reshuffled(self, event: Reshuffled) -> None:
+        self._record(f"{event!r}")
+        self._check_conservation("reshuffle")
+
+    def on_batch_evicted(self, event: BatchEvicted) -> None:
+        self._record(f"{event!r}")
+        self._check_batch_size(event.walks, "evicted")
+
+    def on_walk_finished(self, event: WalkFinished) -> None:
+        self._record(f"{event!r}")
+        self._finished += event.count
+
+    def on_run_completed(self, event: RunCompleted) -> None:
+        self._record(f"{event!r}")
+        self._check_conservation("run completion")
+        if self._expected_walks is not None:
+            self.checks += 1
+            if event.finished_walks != self._expected_walks:
+                self._violate(
+                    RULE_WALK_CONSERVATION,
+                    f"run completed with {event.finished_walks} finished "
+                    f"walks, expected {self._expected_walks}",
+                )
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _check_batch_size(self, walks: int, verb: str) -> None:
+        if self._batch_capacity is None:
+            return
+        self.checks += 1
+        if walks > self._batch_capacity:
+            self._violate(
+                RULE_WALK_CAPACITY,
+                f"batch {verb} with {walks} walks exceeds the fixed "
+                f"batch capacity {self._batch_capacity} (overfilled batch)",
+            )
+
+    def _check_walk_capacity(self) -> None:
+        device = self._device
+        if device is None:
+            return
+        self.checks += 1
+        if device.overflow > 0:
+            self._violate(
+                RULE_WALK_CAPACITY,
+                f"device walk pool holds {device.cached_walks} walks, "
+                f"{device.overflow} over m_w={device.capacity_walks} at an "
+                f"iteration boundary (eviction was not enforced)",
+            )
+
+    def _check_conservation(self, when: str) -> None:
+        if (
+            self._expected_walks is None
+            or self._host is None
+            or self._device is None
+        ):
+            return
+        self.checks += 1
+        pending = self._host.total_walks + self._device.cached_walks
+        total = pending + self._finished
+        if total != self._expected_walks:
+            self._violate(
+                RULE_WALK_CONSERVATION,
+                f"at {when}: {pending} pending + {self._finished} finished "
+                f"= {total} walks, expected {self._expected_walks} "
+                f"(a walk was {'lost' if total < self._expected_walks else 'duplicated'})",
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.dropped
+
+    def summary(self) -> Dict[str, object]:
+        """The ``RunStats.sanitizer`` payload."""
+        by_rule: Dict[str, int] = {}
+        for violation in self.violations:
+            by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+        return {
+            "checks": self.checks,
+            "violation_count": len(self.violations) + self.dropped,
+            "violations": [v.as_dict() for v in self.violations],
+            "by_rule": by_rule,
+            "clean": self.clean,
+        }
+
+    def format_report(self) -> str:
+        """Human-readable multi-line report (CLI output)."""
+        return format_summary(self.summary())
+
+
+def format_summary(summary: Dict[str, object]) -> str:
+    """Render a :meth:`Sanitizer.summary` dict (``RunStats.sanitizer``)."""
+    checks = summary["checks"]
+    count = cast(int, summary["violation_count"])
+    violations = cast(List[Dict[str, object]], summary["violations"])
+    if summary["clean"]:
+        return f"sanitizer: clean ({checks} checks)"
+    lines = [f"sanitizer: {count} violation(s) in {checks} checks"]
+    for violation in violations:
+        lines.append(
+            f"  [{violation['rule']}] iteration "
+            f"{violation['iteration']}: {violation['message']}"
+        )
+        for entry in cast(List[str], violation["provenance"]):
+            lines.append(f"    {entry}")
+    dropped = count - len(violations)
+    if dropped > 0:
+        lines.append(f"  ... and {dropped} more (truncated)")
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.algorithms.base import RandomWalkAlgorithm
 from repro.baselines.cpumodel import CPUCostModel, CPUSpec, XEON_GOLD_5218R
+from repro.core.prng import seeded_rng
 from repro.core.stats import CAT_CPU_COMPUTE, RunStats
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import GraphPartition
@@ -79,7 +80,7 @@ class InMemoryCPUEngine:
     def run(self, num_walks: int) -> RunStats:
         if num_walks < 1:
             raise ValueError("num_walks must be >= 1")
-        rng = np.random.default_rng(self.seed)
+        rng = seeded_rng(self.seed)
         total_steps = execute_in_memory(
             self.graph, self.algorithm, num_walks, rng
         )

@@ -72,6 +72,7 @@ class MultiRoundEngine:
         ]
         if self.metrics is not None:
             observers.append(bus.attach(self.metrics))
+        round_summaries = []
         try:
             for round_index in range(self.rounds):
                 walks_this_round = min(per_round, remaining)
@@ -87,8 +88,31 @@ class MultiRoundEngine:
                 )
                 round_stats = engine.run(walks_this_round)
                 aggregate.num_partitions = round_stats.num_partitions
+                if round_stats.sanitizer is not None:
+                    round_summaries.append(round_stats.sanitizer)
         finally:
             for observer in observers:
                 bus.detach(observer)
+        if round_summaries:
+            # Each round ran its own sanitized engine; the aggregate rolls
+            # the per-round findings up so --sanitize gates on all rounds.
+            aggregate.sanitizer = {
+                "checks": sum(s["checks"] for s in round_summaries),
+                "violation_count": sum(
+                    s["violation_count"] for s in round_summaries
+                ),
+                "violations": [
+                    v for s in round_summaries for v in s["violations"]
+                ],
+                "by_rule": {
+                    rule: sum(
+                        s["by_rule"].get(rule, 0) for s in round_summaries
+                    )
+                    for s in round_summaries
+                    for rule in s["by_rule"]
+                },
+                "clean": all(s["clean"] for s in round_summaries),
+                "rounds": len(round_summaries),
+            }
         aggregate.notes = f"rounds={self.rounds}"
         return aggregate

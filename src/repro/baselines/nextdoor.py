@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.algorithms.base import RandomWalkAlgorithm
 from repro.baselines.inmemory_cpu import whole_graph_partition
+from repro.core.prng import seeded_rng
 from repro.core.stats import CAT_GRAPH_LOAD, CAT_WALK_UPDATE, RunStats
 from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.gpu.device import DeviceSpec, RTX3090
@@ -70,7 +71,7 @@ class NextDoorEngine:
             raise ValueError("num_walks must be >= 1")
         cfg = self.config
         cal = cfg.calibration
-        rng = np.random.default_rng(cfg.seed)
+        rng = seeded_rng(cfg.seed)
         graph = self.graph
         partition = whole_graph_partition(graph)
 

@@ -38,6 +38,7 @@ from repro.core.events import (
     WalkFinished,
 )
 from repro.core.metrics import MetricsCollector
+from repro.core.prng import seeded_rng
 from repro.core.stats import (
     CAT_GRAPH_LOAD,
     CAT_SUBGRAPH,
@@ -134,7 +135,7 @@ class SubwayEngine:
             raise ValueError("num_walks must be >= 1")
         self._check_host_memory()
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
+        rng = seeded_rng(cfg.seed)
         graph = self.graph
         degrees = graph.degrees()
         partition = whole_graph_partition(graph)

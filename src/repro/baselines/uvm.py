@@ -39,6 +39,7 @@ from repro.core.events import (
     WalkFinished,
 )
 from repro.core.metrics import MetricsCollector
+from repro.core.prng import seeded_rng
 from repro.core.stats import (
     CAT_GRAPH_LOAD,
     CAT_WALK_UPDATE,
@@ -115,7 +116,7 @@ class UVMEngine:
             raise ValueError("num_walks must be >= 1")
         cfg = self.config
         cal = cfg.calibration
-        rng = np.random.default_rng(cfg.seed)
+        rng = seeded_rng(cfg.seed)
         graph = self.graph
         partition = whole_graph_partition(graph)
         capacity_bytes = cfg.gpu_memory_bytes or cfg.device.mem_bytes

@@ -32,6 +32,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.algorithms.node2vec import Node2Vec
+from repro.core.prng import seeded_rng
 from repro.algorithms.sampling import PartitionAliasSampler
 from repro.algorithms.transitions import (
     SAMPLER_ALIAS,
@@ -72,7 +73,7 @@ def make_bench_graph(
     table parity can be asserted bitwise instead of approximately.
     """
     graph = erdos_renyi(vertices, edge_factor * vertices, seed=seed)
-    rng = np.random.default_rng(seed + 1)
+    rng = seeded_rng(seed + 1)
     weights = rng.integers(1, 32, size=graph.num_edges).astype(np.float64)
     return CSRGraph(
         graph.offsets, graph.targets, weights, name=f"bench-er-{vertices}"
@@ -115,26 +116,26 @@ def bench_node2vec_step(
 ) -> Dict[str, object]:
     """One node2vec batch step: has_edge-loop acceptance vs binary search."""
     partition = _whole_partition(graph)
-    rng = np.random.default_rng(11)
+    rng = seeded_rng(11)
     vertices = rng.integers(0, graph.num_vertices, size=batch)
     steps = np.ones(batch, dtype=np.int64)
     ids = np.arange(batch, dtype=np.int64)
 
     def run(use_loop: bool) -> Callable[[], object]:
         algo = Node2Vec(length=80, return_param=2.0, inout_param=0.5)
-        algo.start_vertices(graph, batch, np.random.default_rng(0))
+        algo.start_vertices(graph, batch, seeded_rng(0))
         if use_loop:
             algo._acceptance = algo._acceptance_loop
         # A mid-walk step (prev populated) exercises the full acceptance
         # classification, not the unbiased first hop.  Same prev table for
         # both variants so they face identical rejection work.
-        algo._prev[:] = np.random.default_rng(13).integers(
+        algo._prev[:] = seeded_rng(13).integers(
             0, graph.num_vertices, size=batch
         )
 
         def step() -> object:
             return algo.step_once(
-                vertices, steps, ids, partition, np.random.default_rng(5), graph
+                vertices, steps, ids, partition, seeded_rng(5), graph
             )
 
         return step
@@ -173,7 +174,7 @@ def bench_sampling_throughput(
         sampler.prepare(partition)
         per_batch: Dict[str, float] = {}
         for batch in batch_sizes:
-            rng = np.random.default_rng(17)
+            rng = seeded_rng(17)
             vertices = rng.integers(0, graph.num_vertices, size=batch)
             seconds = _best_of(
                 lambda: sampler.sample(partition, vertices, rng), repeats
@@ -211,7 +212,7 @@ def bench_distribution_parity(
             continue  # uniform intentionally ignores weights
         sampler = make_sampler(name)
         sampler.prepare(partition)
-        rng = np.random.default_rng(23)
+        rng = seeded_rng(23)
         vertices = np.full(draws, v, dtype=np.int64)
         picks, dead = sampler.sample(partition, vertices, rng)
         # Multi-edges to the same neighbor are indistinguishable in the

@@ -16,6 +16,10 @@ Commands
     Run the transition-sampler microbenchmark (loop vs vectorized alias
     build, node2vec stepping, per-sampler throughput + distribution
     parity) and write ``BENCH_samplers.json``.
+``lint``
+    Run the repo's AST lint pass (:mod:`repro.analysis.lint`): RNG calls
+    outside the ``core/prng.py`` factory, ``==`` on float timestamps,
+    unfrozen event dataclasses, bus events without a registered handler.
 
 Examples
 --------
@@ -26,9 +30,11 @@ Examples
     python -m repro run --graph mygraph.npz --algorithm ppr --walks 100000
     python -m repro run --dataset lj-sim --metrics-json metrics.json
     python -m repro run --dataset uk-sim --algorithm uniform --sampler alias
+    python -m repro run --dataset uk-sim --algorithm uniform --sanitize
     python -m repro experiment table3
     python -m repro generate --kind rmat --scale 14 --edge-factor 8 --out g.npz
     python -m repro bench samplers --quick --out BENCH_samplers.json
+    python -m repro lint src/repro
 """
 
 from __future__ import annotations
@@ -116,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump per-partition metrics as JSON ('-' for stdout); "
              f"supported for {', '.join(BUS_SYSTEMS)}",
     )
+    run.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the runtime invariant sanitizer to the run and fail "
+             "(exit 1) on any violation; "
+             f"supported for {', '.join(BUS_SYSTEMS)}",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
@@ -151,6 +163,15 @@ def build_parser() -> argparse.ArgumentParser:
     samplers.add_argument(
         "--no-check", action="store_true",
         help="report without failing on parity/speedup violations",
+    )
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-specific AST lint pass"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: the repro package "
+             "sources)",
     )
 
     gen = sub.add_parser("generate", help="generate a synthetic graph")
@@ -200,10 +221,11 @@ def _run_system(
         # config-validation path is exercised too.
         algorithm.set_transition_sampler(sampler)
     walks = args.walks or standard_walks(graph)
+    sanitize = getattr(args, "sanitize", False)
     if args.system == "lighttraffic":
         config = standard_config(
             graph, platform, interconnect=args.interconnect, seed=args.seed,
-            sampler=sampler,
+            sampler=sampler, sanitize=sanitize,
         )
         return LightTrafficEngine(
             graph, algorithm, config, metrics=metrics
@@ -211,7 +233,7 @@ def _run_system(
     if args.system == "multiround":
         config = standard_config(
             graph, platform, interconnect=args.interconnect, seed=args.seed,
-            sampler=sampler,
+            sampler=sampler, sanitize=sanitize,
         )
         factory = harness.ALGORITHM_FACTORIES[args.algorithm]
         return MultiRoundEngine(
@@ -231,9 +253,10 @@ def _run_system(
             gpu_memory_bytes=platform.gpu_memory_bytes,
             seed=args.seed,
         )
-        return SubwayEngine(
-            graph, algorithm, config, metrics=metrics
-        ).run(walks)
+        return _run_bus_baseline(
+            SubwayEngine(graph, algorithm, config, metrics=metrics),
+            walks, sanitize,
+        )
     if args.system == "uvm":
         config = UVMConfig(
             device=platform.device,
@@ -242,7 +265,10 @@ def _run_system(
             gpu_memory_bytes=platform.gpu_memory_bytes,
             seed=args.seed,
         )
-        return UVMEngine(graph, algorithm, config, metrics=metrics).run(walks)
+        return _run_bus_baseline(
+            UVMEngine(graph, algorithm, config, metrics=metrics),
+            walks, sanitize,
+        )
     config = NextDoorConfig(
         device=platform.device,
         interconnect=platform.interconnect(args.interconnect),
@@ -250,6 +276,31 @@ def _run_system(
         seed=args.seed,
     )
     return NextDoorEngine(graph, algorithm, config).run(walks)
+
+
+def _run_bus_baseline(engine, walks: int, sanitize: bool) -> RunStats:
+    """Run a bus-emitting baseline, optionally under an event-only sanitizer.
+
+    Subway/UVM have no partition pools or simulated streams to hook, so
+    the sanitizer rides their event bus alone: batch lifecycle and the
+    finished-walk count are still checked.
+    """
+    if not sanitize:
+        return engine.run(walks)
+    from repro.analysis import Sanitizer
+    from repro.core.events import EventBus
+
+    bus = engine.bus if engine.bus is not None else EventBus()
+    engine.bus = bus
+    sanitizer = Sanitizer().bind(expected_walks=walks)
+    observer = bus.attach(sanitizer)
+    try:
+        stats = engine.run(walks)
+    finally:
+        bus.detach(observer)
+        sanitizer.unbind()
+    stats.sanitizer = sanitizer.summary()
+    return stats
 
 
 def cmd_datasets() -> int:
@@ -284,6 +335,13 @@ def cmd_run(args) -> int:
             )
             return 2
         metrics = MetricsCollector()
+    if args.sanitize and args.system not in BUS_SYSTEMS:
+        print(
+            f"--sanitize requires a bus-routed system "
+            f"({', '.join(BUS_SYSTEMS)}), not {args.system!r}",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args)
     try:
         stats = _run_system(args, graph, metrics=metrics)
@@ -315,6 +373,15 @@ def cmd_run(args) -> int:
     print("  breakdown:")
     for category, seconds in sorted(stats.breakdown.items()):
         print(f"    {category:18s} {reporting.format_seconds(seconds)}")
+    if args.sanitize:
+        from repro.analysis import format_summary
+
+        if stats.sanitizer is None:
+            print("sanitizer did not attach to the run", file=sys.stderr)
+            return 2
+        print(format_summary(stats.sanitizer))
+        if not stats.sanitizer["clean"]:
+            return 1
     return 0
 
 
@@ -348,6 +415,16 @@ def cmd_bench(args) -> int:
         print("sampler benchmark checks FAILED", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_lint(args) -> int:
+    import os
+
+    from repro.analysis import run_lint
+
+    # Default target: the installed repro package sources themselves.
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    return run_lint(paths)
 
 
 def cmd_generate(args) -> int:
@@ -393,6 +470,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "generate":
         return cmd_generate(args)
     raise AssertionError("unreachable")  # pragma: no cover

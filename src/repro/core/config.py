@@ -67,6 +67,12 @@ class EngineConfig:
         dispatch order) or ``counter`` (Philox-style per-walk randomness
         derived from ``(seed, walk_id, step)``: trajectories are bitwise
         identical under every scheduling/copy-mode combination).
+    sanitize:
+        attach a :class:`~repro.analysis.Sanitizer` to the run: timeline
+        causality, stream affinity, partition residency, walk-batch
+        lifecycle and walk conservation are checked live, with the
+        findings in ``RunStats.sanitizer``.  Pure observation — the
+        simulated results stay bit-identical.
     seed:
         RNG seed for walk trajectories.
     max_iterations:
@@ -102,6 +108,7 @@ class EngineConfig:
     #: sampling (e.g. weighted uniform walks) accept an override.
     sampler: Optional[str] = None
     rng_mode: str = "sequential"
+    sanitize: bool = False
     seed: Optional[int] = 42
     max_iterations: Optional[int] = None
     record_ops: bool = False

@@ -33,13 +33,12 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.algorithms.base import RandomWalkAlgorithm
 from repro.core.adaptive import AdaptivePolicy
 from repro.core.config import EngineConfig
 from repro.core.events import EventBus, IterationStarted, RunCompleted
 from repro.core.metrics import MetricsCollector
+from repro.core.prng import seeded_rng
 from repro.core.scheduler import Scheduler
 from repro.core.stages import (
     ComputeDispatcher,
@@ -114,7 +113,7 @@ class LightTrafficEngine:
                     "subset redraws (node2vec, rejection-sampled weights)"
                 )
             return CounterRNG(cfg.seed)
-        return np.random.default_rng(cfg.seed)
+        return seeded_rng(cfg.seed)
 
     def _build_context(self, num_walks: int, bus: EventBus) -> StageContext:
         """Assemble pools, timeline, scheduler and policies for one run."""
@@ -187,6 +186,18 @@ class LightTrafficEngine:
             observers.append(bus.attach(self.metrics))
         if self.trace is not None:
             observers.append(bus.attach(TraceSubscriber(self.trace)))
+        sanitizer = None
+        if cfg.sanitize:
+            from repro.analysis import Sanitizer
+
+            sanitizer = Sanitizer().bind(
+                timeline=ctx.timeline,
+                graph_pool=ctx.graph_pool,
+                host=ctx.host,
+                device=ctx.device,
+                expected_walks=num_walks,
+            )
+            observers.append(bus.attach(sanitizer))
 
         graph_server = GraphServer(ctx)
         loader = WalkLoader(ctx)
@@ -247,6 +258,9 @@ class LightTrafficEngine:
         finally:
             for observer in observers:
                 bus.detach(observer)
+            if sanitizer is not None:
+                sanitizer.unbind()
+                stats.sanitizer = sanitizer.summary()
         if cfg.record_ops:
             ctx.timeline.validate()
         self._timeline = ctx.timeline

@@ -54,6 +54,10 @@ class RunStats:
     #: per-partition observation histograms, populated when a
     #: :class:`~repro.core.metrics.MetricsCollector` rides the run's bus.
     metrics: Optional[Dict[str, object]] = None
+    #: sanitizer findings (:meth:`repro.analysis.Sanitizer.summary`),
+    #: populated when the run is sanitized (``EngineConfig.sanitize`` /
+    #: ``repro run --sanitize``); ``None`` = sanitizer not attached.
+    sanitizer: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property

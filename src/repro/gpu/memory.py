@@ -15,10 +15,21 @@ pool* (block = batch size).  :class:`BlockPool` models that contract:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generic, Iterator, List, Optional, TypeVar
+from typing import Generic, Iterator, List, Optional, Protocol, TypeVar
 
 K = TypeVar("K")
 V = TypeVar("V")
+
+
+class PoolObserver(Protocol):
+    """Post-mutation hook contract (see :class:`repro.analysis.Sanitizer`).
+
+    Pure observation: implementations must not touch the pool.
+    """
+
+    def pool_inserted(self, pool: "BlockPool", key: object) -> None: ...
+
+    def pool_evicted(self, pool: "BlockPool", key: object) -> None: ...
 
 
 class PoolFullError(RuntimeError):
@@ -43,6 +54,8 @@ class BlockPool(Generic[K, V]):
         self._blocks: "OrderedDict[K, V]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: optional sanitizer hook, called after each mutation.
+        self.observer: Optional[PoolObserver] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -91,13 +104,18 @@ class BlockPool(Generic[K, V]):
                 f"{self.name} is full ({self.capacity} blocks); evict first"
             )
         self._blocks[key] = value
+        if self.observer is not None:
+            self.observer.pool_inserted(self, key)
 
     def evict(self, key: K) -> V:
         """Remove and return a cached block's payload."""
         try:
-            return self._blocks.pop(key)
+            value = self._blocks.pop(key)
         except KeyError:
             raise KeyError(f"{key!r} not cached in {self.name}") from None
+        if self.observer is not None:
+            self.observer.pool_evicted(self, key)
+        return value
 
     def fifo_victim(self) -> K:
         """The oldest cached key (the paper's baseline eviction policy).

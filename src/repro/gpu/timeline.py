@@ -14,7 +14,23 @@ time per category, producing the Fig 15 / Fig 17 / Table I style breakdowns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: Tolerance for comparing simulated timestamps.  Timestamps are sums of
+#: float durations accumulated in program order, so two "simultaneous"
+#: times can differ by accumulated rounding; exact ``==``/``!=`` on them
+#: is a bug (lint rule ``float-timestamp-eq``) — use :func:`times_close`.
+TIME_EPS = 1e-12
+
+
+def times_close(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """Whether two simulated timestamps are equal up to rounding."""
+    return abs(a - b) <= eps * max(1.0, abs(a), abs(b))
+
+
+#: Signature of a stream observer: ``(stream, category, start, end,
+#: earliest)`` called after every scheduled op (sanitizer hook).
+StreamObserver = Callable[["Stream", str, float, float, float], None]
 
 
 @dataclass(frozen=True)
@@ -24,6 +40,13 @@ class StreamOp:
     category: str
     start: float
     end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"negative-duration op {self.category!r}: "
+                f"start={self.start} end={self.end}"
+            )
 
     @property
     def duration(self) -> float:
@@ -75,6 +98,9 @@ class Stream:
         self._breakdown = breakdown
         self._record_ops = record_ops
         self.ops: List[StreamOp] = []
+        #: optional post-schedule callback (see :data:`StreamObserver`);
+        #: pure observation — must not touch the stream's state.
+        self.observer: Optional[StreamObserver] = None
 
     def schedule(
         self, duration: float, category: str, earliest: float = 0.0
@@ -96,6 +122,8 @@ class Stream:
             self._breakdown.add(category, duration)
         if self._record_ops:
             self.ops.append(StreamOp(category, start, end))
+        if self.observer is not None:
+            self.observer(self, category, start, end, earliest)
         return start, end
 
     def idle_before(self, time: float) -> float:
@@ -135,6 +163,19 @@ class Timeline:
     @property
     def streams(self) -> Tuple[Stream, Stream, Stream]:
         return (self.compute, self.load, self.evict)
+
+    def install_observer(self, observer: StreamObserver) -> None:
+        """Attach one observer to every stream (one at a time)."""
+        for stream in self.streams:
+            if stream.observer is not None:
+                raise RuntimeError(
+                    f"stream {stream.name} already has an observer"
+                )
+            stream.observer = observer
+
+    def remove_observer(self) -> None:
+        for stream in self.streams:
+            stream.observer = None
 
     @property
     def now(self) -> float:

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.prng import seeded_rng
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import PartitionedGraph
 
@@ -135,7 +136,7 @@ def effective_diameter(
         raise ValueError("percentile must be in (0, 100]")
     if graph.num_vertices == 0:
         return 0.0
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     sources = rng.integers(0, graph.num_vertices, size=min(samples, graph.num_vertices))
     distances = []
     for source in sources:

@@ -14,12 +14,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.prng import seeded_rng
 from repro.graph.builders import from_edges, preprocess_edges
 from repro.graph.csr import CSRGraph
 
 
 def _rng(seed: Optional[int]) -> np.random.Generator:
-    return np.random.default_rng(seed)
+    return seeded_rng(seed)
 
 
 def rmat(

@@ -16,13 +16,31 @@ paper's circular queues maintain, at a fraction of the bookkeeping cost.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional, Protocol
 
 import numpy as np
 
 from repro.walks.batch import WalkBatch
 from repro.walks.queue import BatchQueue
 from repro.walks.state import WalkArrays
+
+
+class DeviceObserver(Protocol):
+    """Device-pool mutation hooks (see :class:`repro.analysis.Sanitizer`).
+
+    Pure observation: implementations must not mutate the pool.
+    ``available`` is the buffer-truth live count *before* the take, so
+    over-consumes are visible even if ``counts`` has been corrupted.
+    """
+
+    def device_appended(
+        self, pool: "DeviceWalkPool", partition: int, count: int
+    ) -> None: ...
+
+    def device_taken(
+        self, pool: "DeviceWalkPool", partition: int, count: int,
+        available: int,
+    ) -> None: ...
 
 
 class HostWalkPool:
@@ -106,6 +124,8 @@ class DeviceWalkPool:
         self.num_partitions = num_partitions
         self.batch_capacity = batch_capacity
         self.capacity_walks = capacity_walks
+        #: optional sanitizer hook (see :class:`DeviceObserver`).
+        self.observer: Optional[DeviceObserver] = None
         # Per-partition contiguous append buffers (vertices, steps, ids,
         # head, tail): inserts are slice assignments at the tail, pops are
         # slice views from the head — both O(1) per call.  counts[p] always
@@ -215,6 +235,8 @@ class DeviceWalkPool:
         buffer[2][tail : tail + n] = walks.ids
         buffer[4] = tail + n
         self.counts[partition] += n
+        if self.observer is not None:
+            self.observer.device_appended(self, partition, n)
 
     def scatter_sorted(
         self,
@@ -242,6 +264,8 @@ class DeviceWalkPool:
             buffer[1][tail : tail + n] = steps[lo:hi]
             buffer[2][tail : tail + n] = ids[lo:hi]
             buffer[4] = tail + n
+            if self.observer is not None:
+                self.observer.device_appended(self, part, int(n))
         np.add.at(self.counts, parts, sizes)
 
     # ------------------------------------------------------------------
@@ -264,6 +288,10 @@ class DeviceWalkPool:
         """
         buffer = self._buffers[partition]
         head = buffer[3]
+        if self.observer is not None:
+            self.observer.device_taken(
+                self, partition, count, buffer[4] - head
+            )
         stop = head + count
         out = WalkArrays(
             buffer[0][head:stop], buffer[1][head:stop], buffer[2][head:stop]

@@ -1,4 +1,10 @@
-"""Shared test fixtures: small deterministic graphs and engine configs."""
+"""Shared test fixtures: small deterministic graphs and engine configs.
+
+Running the suite with ``pytest --sanitize`` forces every
+:class:`~repro.core.engine.LightTrafficEngine` run under the runtime
+sanitizer (:mod:`repro.analysis`) and fails the test on any invariant
+violation — the engine-level tests then double as an invariant sweep.
+"""
 
 from __future__ import annotations
 
@@ -9,6 +15,57 @@ from repro.core.config import EngineConfig
 from repro.graph import generators
 from repro.graph.builders import from_edges
 from repro.graph.csr import CSRGraph
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run every LightTrafficEngine under the runtime sanitizer "
+             "and fail tests on any invariant violation",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: opt a test out of --sanitize instrumentation "
+        "(fault-injection tests deliberately trigger violations)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_engine_runs(request, monkeypatch):
+    """Under ``--sanitize``: every engine run is invariant-checked live."""
+    if not request.config.getoption("--sanitize"):
+        return
+    if request.node.get_closest_marker("no_sanitize"):
+        return
+    from repro.analysis import format_summary
+    from repro.core.engine import LightTrafficEngine
+
+    original_init = LightTrafficEngine.__init__
+    original_run = LightTrafficEngine.run
+
+    def sanitizing_init(self, graph, algorithm, config=None, *args, **kwargs):
+        cfg = config if config is not None else EngineConfig()
+        original_init(
+            self, graph, algorithm, cfg.with_options(sanitize=True),
+            *args, **kwargs,
+        )
+
+    def checked_run(self, num_walks):
+        stats = original_run(self, num_walks)
+        if stats.sanitizer is not None and not stats.sanitizer["clean"]:
+            pytest.fail(
+                "--sanitize: " + format_summary(stats.sanitizer),
+                pytrace=False,
+            )
+        return stats
+
+    monkeypatch.setattr(LightTrafficEngine, "__init__", sanitizing_init)
+    monkeypatch.setattr(LightTrafficEngine, "run", checked_run)
 
 
 @pytest.fixture(scope="session")

@@ -89,6 +89,49 @@ class TestRun:
         assert code == 0
         assert f"{system}/uniform" in capsys.readouterr().out
 
+    @pytest.mark.parametrize(
+        "system", ["lighttraffic", "multiround", "subway", "uvm"]
+    )
+    def test_sanitize_clean_run(self, graph_file, capsys, system):
+        code = main(
+            ["run", "--graph", graph_file, "--algorithm", "uniform",
+             "--walks", "200", "--system", system, "--sanitize"]
+        )
+        assert code == 0
+        assert "sanitizer: clean" in capsys.readouterr().out
+
+    def test_sanitize_rejects_unrouted_system(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100",
+             "--system", "thunderrw", "--sanitize"]
+        )
+        assert code == 2
+        assert "--sanitize requires" in capsys.readouterr().err
+
+    @pytest.mark.no_sanitize  # injects a fake violation on purpose
+    def test_sanitize_fails_on_violation(self, graph_file, capsys,
+                                         monkeypatch):
+        from repro.analysis import Sanitizer
+
+        original_summary = Sanitizer.summary
+
+        def tainted_summary(self):
+            summary = original_summary(self)
+            summary["clean"] = False
+            summary["violation_count"] = 1
+            summary["violations"] = [{
+                "rule": "walk-conservation", "message": "injected",
+                "iteration": 1, "provenance": ["#1 it=1 injected"],
+            }]
+            return summary
+
+        monkeypatch.setattr(Sanitizer, "summary", tainted_summary)
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100", "--sanitize"]
+        )
+        assert code == 1
+        assert "walk-conservation" in capsys.readouterr().out
+
     def test_metrics_json_stdout(self, graph_file, capsys):
         import json
 
@@ -210,3 +253,28 @@ class TestDatasetsCommand:
         assert main(["datasets"]) == 0
         out = capsys.readouterr().out
         assert "lj-sim" in out and "LiveJournal" in out
+
+
+class TestLintCommand:
+    def test_lint_clean_file(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_flags_violations(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import random\n")
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr()
+        assert "rng-factory" in out.out
+        assert "1 violation(s)" in out.err
+
+    def test_lint_missing_path(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_lint_defaults_to_package_sources(self, capsys):
+        # No paths: lints the installed repro package, which must be clean.
+        assert main(["lint"]) == 0
+        assert "clean" in capsys.readouterr().out

@@ -36,8 +36,7 @@ def _case_id(record):
     )
 
 
-@pytest.mark.parametrize("record", GOLDEN, ids=_case_id)
-def test_stats_bit_identical_to_pre_refactor_engine(record, parity_graph):
+def _run_record(record, parity_graph, sanitize=False):
     if record.get("algorithm") == "ppr":
         algorithm = PersonalizedPageRank(stop_prob=0.2)
         config = EngineConfig(
@@ -61,7 +60,14 @@ def test_stats_bit_identical_to_pre_refactor_engine(record, parity_graph):
         )
         num_walks = 300
 
-    stats = LightTrafficEngine(parity_graph, algorithm, config).run(num_walks)
+    if sanitize:
+        config = config.with_options(sanitize=True)
+    return LightTrafficEngine(parity_graph, algorithm, config).run(num_walks)
+
+
+@pytest.mark.parametrize("record", GOLDEN, ids=_case_id)
+def test_stats_bit_identical_to_pre_refactor_engine(record, parity_graph):
+    stats = _run_record(record, parity_graph)
 
     assert stats.iterations == record["iterations"]
     assert stats.total_steps == record["total_steps"]
@@ -73,6 +79,19 @@ def test_stats_bit_identical_to_pre_refactor_engine(record, parity_graph):
     assert stats.walk_batches_evicted == record["walk_batches_evicted"]
     # bit-identical simulated times, not approx: same float operations in
     # the same order
+    assert stats.total_time == record["total_time"]
+    assert stats.breakdown == record["breakdown"]
+
+
+@pytest.mark.parametrize("record", GOLDEN, ids=_case_id)
+def test_golden_parity_holds_under_sanitizer(record, parity_graph):
+    """The sanitizer is pure observation: goldens stay bit-identical."""
+    stats = _run_record(record, parity_graph, sanitize=True)
+
+    assert stats.sanitizer is not None
+    assert stats.sanitizer["clean"], stats.sanitizer
+    assert stats.iterations == record["iterations"]
+    assert stats.total_steps == record["total_steps"]
     assert stats.total_time == record["total_time"]
     assert stats.breakdown == record["breakdown"]
 

@@ -1,0 +1,207 @@
+"""``repro lint`` AST rules: each fires on bad code, waivers suppress,
+and the real source tree is clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, run_lint
+from repro.analysis.lint import (
+    RULE_FLOAT_EQ,
+    RULE_FROZEN_EVENT,
+    RULE_HANDLER_COVERAGE,
+    RULE_RNG,
+)
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def lint_source(tmp_path, source, name="module.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_paths([path])
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestRngFactoryRule:
+    def test_direct_default_rng_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng(3)\n",
+        )
+        assert rules_of(violations) == [RULE_RNG]
+        assert "seeded_rng" in violations[0].message
+
+    def test_numpy_random_module_calls_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "import numpy\nx = numpy.random.rand(4)\n",
+        )
+        assert rules_of(violations) == [RULE_RNG]
+
+    def test_stdlib_random_import_flagged(self, tmp_path):
+        assert rules_of(lint_source(tmp_path, "import random\n")) == [
+            RULE_RNG
+        ]
+        assert rules_of(
+            lint_source(tmp_path, "from random import choice\n")
+        ) == [RULE_RNG]
+
+    def test_numpy_random_import_from_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path, "from numpy.random import default_rng\n"
+        )
+        assert rules_of(violations) == [RULE_RNG]
+
+    def test_factory_module_is_exempt(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng(3)\n",
+            name="core/prng.py",
+        )
+        assert violations == []
+
+    def test_seeded_rng_calls_pass(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.core.prng import seeded_rng\n"
+            "rng = seeded_rng(3)\n",
+        )
+        assert violations == []
+
+
+class TestFloatTimestampRule:
+    def test_eq_on_timestamp_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def f(stream, t):\n"
+            "    return stream.busy_until == t\n",
+        )
+        assert rules_of(violations) == [RULE_FLOAT_EQ]
+        assert "times_close" in violations[0].message
+
+    def test_noteq_on_time_suffix_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def f(ready_time, other):\n"
+            "    return ready_time != other\n",
+        )
+        assert rules_of(violations) == [RULE_FLOAT_EQ]
+
+    def test_ordering_comparisons_pass(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def f(stream, t):\n"
+            "    return stream.busy_until < t or stream.busy_until >= t\n",
+        )
+        assert violations == []
+
+    def test_unrelated_names_pass(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def f(count, other):\n    return count == other\n",
+        )
+        assert violations == []
+
+
+class TestFrozenEventRule:
+    def test_unfrozen_dataclass_in_events_module_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "@dataclass\nclass Thing:\n    x: int = 0\n",
+            name="core/events.py",
+        )
+        assert RULE_FROZEN_EVENT in rules_of(violations)
+
+    def test_unfrozen_engine_event_subclass_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "from repro.core.events import EngineEvent\n"
+            "@dataclass\nclass Custom(EngineEvent):\n    x: int = 0\n",
+        )
+        assert rules_of(violations) == [RULE_FROZEN_EVENT]
+
+    def test_frozen_dataclass_passes(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\nclass Thing:\n    x: int = 0\n",
+            name="core/events.py",
+        )
+        assert RULE_FROZEN_EVENT not in rules_of(violations)
+
+
+class TestHandlerCoverageRule:
+    EVENTS = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\nclass EngineEvent:\n    pass\n"
+        "@dataclass(frozen=True)\nclass ThingHappened(EngineEvent):\n"
+        "    x: int = 0\n"
+    )
+
+    def test_unhandled_event_flagged(self, tmp_path):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "events.py").write_text(self.EVENTS)
+        violations = lint_paths([tmp_path])
+        assert RULE_HANDLER_COVERAGE in rules_of(violations)
+        assert "on_thing_happened" in violations[-1].message
+
+    def test_handler_anywhere_in_tree_satisfies(self, tmp_path):
+        (tmp_path / "core").mkdir()
+        (tmp_path / "core" / "events.py").write_text(self.EVENTS)
+        (tmp_path / "observer.py").write_text(
+            "class Obs:\n"
+            "    def on_thing_happened(self, event):\n        pass\n"
+        )
+        assert lint_paths([tmp_path]) == []
+
+
+class TestWaivers:
+    def test_waiver_suppresses_rule_on_line(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng(3)  # lint: allow-rng-factory\n",
+        )
+        assert violations == []
+
+    def test_waiver_is_rule_specific(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "import numpy as np\n"
+            "rng = np.random.default_rng(3)  # lint: allow-frozen-event\n",
+        )
+        assert rules_of(violations) == [RULE_RNG]
+
+
+class TestCliAndTree:
+    def test_source_tree_is_clean(self):
+        assert lint_paths([SRC]) == []
+
+    def test_syntax_error_reported(self, tmp_path):
+        violations = lint_source(tmp_path, "def broken(:\n")
+        assert rules_of(violations) == ["syntax"]
+
+    def test_run_lint_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert run_lint([str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert run_lint([str(bad)]) == 1
+        out = capsys.readouterr()
+        assert RULE_RNG in out.out
+        assert run_lint([str(tmp_path / "missing.py")]) == 2
+
+    def test_violation_str_is_clickable(self, tmp_path):
+        violations = lint_source(tmp_path, "import random\n")
+        text = str(violations[0])
+        assert text.startswith(f"{tmp_path.as_posix()}/module.py:1:")
+        assert RULE_RNG in text

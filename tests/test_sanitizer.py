@@ -1,0 +1,312 @@
+"""Runtime sanitizer: clean runs stay clean, injected faults are caught.
+
+Two halves:
+
+* *Clean sweep* — full engine/baseline runs with ``sanitize=True`` must
+  report zero violations across every transition sampler, copy mode and
+  the multi-round/subway/UVM baselines.  The sanitizer is pure
+  observation, so the run statistics must also be bit-identical with and
+  without it.
+* *Fault injection* — each invariant is deliberately broken through the
+  real substrate objects (timeline streams, graph pool, walk pools, bus
+  events) and must yield exactly one violation of the right rule, with a
+  non-empty provenance trail.
+"""
+
+import pytest
+
+from repro.algorithms import PageRank, UniformSampling
+from repro.analysis import (
+    RULE_DOUBLE_CONSUME,
+    RULE_EVICT_IN_FLIGHT,
+    RULE_RESIDENCY,
+    RULE_STREAM_AFFINITY,
+    RULE_STREAM_MONOTONIC,
+    RULE_WALK_CAPACITY,
+    RULE_WALK_CONSERVATION,
+    Sanitizer,
+    format_summary,
+)
+from repro.core.config import COPY_EXPLICIT, COPY_ZERO, EngineConfig
+from repro.core.engine import LightTrafficEngine
+from repro.core.events import (
+    SERVED_EXPLICIT,
+    BatchLoaded,
+    EventBus,
+    GraphServed,
+    KernelDispatched,
+    Reshuffled,
+    RunCompleted,
+)
+from repro.core.stats import CAT_WALK_EVICT, CAT_WALK_LOAD, CAT_WALK_UPDATE
+from repro.gpu.memory import BlockPool
+from repro.gpu.timeline import Timeline
+from repro.walks.pool import DeviceWalkPool, HostWalkPool
+from repro.walks.state import WalkArrays
+
+
+def sanitized_config(**overrides):
+    base = dict(
+        partition_bytes=2048,
+        batch_walks=32,
+        graph_pool_partitions=4,
+        walk_pool_walks=256,
+        seed=123,
+        sanitize=True,
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize(
+        "sampler", ["uniform", "alias", "inverse", "rejection"]
+    )
+    def test_all_samplers_clean(self, small_graph, sampler):
+        algo = UniformSampling(length=5, weighted=True, sampler=sampler)
+        stats = LightTrafficEngine(
+            small_graph, algo, sanitized_config()
+        ).run(500)
+        assert stats.sanitizer is not None
+        assert stats.sanitizer["clean"], format_summary(stats.sanitizer)
+        assert stats.sanitizer["checks"] > 0
+        assert stats.sanitizer["violation_count"] == 0
+
+    @pytest.mark.parametrize("copy_mode", [COPY_EXPLICIT, COPY_ZERO])
+    def test_copy_modes_clean(self, small_graph, copy_mode):
+        stats = LightTrafficEngine(
+            small_graph, PageRank(), sanitized_config(copy_mode=copy_mode)
+        ).run(400)
+        assert stats.sanitizer["clean"], format_summary(stats.sanitizer)
+
+    def test_sanitizer_does_not_perturb_results(self, small_graph):
+        baseline = LightTrafficEngine(
+            small_graph, PageRank(), sanitized_config(sanitize=False)
+        ).run(400)
+        sanitized = LightTrafficEngine(
+            small_graph, PageRank(), sanitized_config()
+        ).run(400)
+        assert sanitized.total_steps == baseline.total_steps
+        assert sanitized.iterations == baseline.iterations
+        assert sanitized.total_time == baseline.total_time
+        assert sanitized.breakdown == baseline.breakdown
+
+    @pytest.mark.no_sanitize  # asserts the sanitizer is absent
+    def test_unsanitized_run_has_no_summary(self, small_graph):
+        stats = LightTrafficEngine(
+            small_graph, PageRank(), sanitized_config(sanitize=False)
+        ).run(200)
+        assert stats.sanitizer is None
+
+    def test_multiround_aggregates_rounds(self, small_graph):
+        from repro.baselines import MultiRoundEngine
+
+        stats = MultiRoundEngine(
+            small_graph, PageRank, sanitized_config(), rounds=2
+        ).run(300)
+        assert stats.sanitizer is not None
+        assert stats.sanitizer["rounds"] == 2
+        assert stats.sanitizer["clean"], format_summary(stats.sanitizer)
+
+    @pytest.mark.parametrize("baseline", ["subway", "uvm"])
+    def test_event_only_baselines_clean(self, small_graph, baseline):
+        from repro.baselines import (
+            SubwayConfig,
+            SubwayEngine,
+            UVMConfig,
+            UVMEngine,
+        )
+
+        bus = EventBus()
+        if baseline == "subway":
+            engine = SubwayEngine(
+                small_graph, PageRank(), SubwayConfig(seed=1), bus=bus
+            )
+        else:
+            engine = UVMEngine(
+                small_graph, PageRank(), UVMConfig(seed=1), bus=bus
+            )
+        sanitizer = Sanitizer().bind(expected_walks=300)
+        bus.attach(sanitizer)
+        engine.run(300)
+        bus.detach(sanitizer)
+        assert sanitizer.clean, sanitizer.format_report()
+        assert sanitizer.checks >= 1
+
+
+def one_violation(sanitizer, rule):
+    """Assert exactly one violation, of ``rule``, carrying provenance."""
+    assert len(sanitizer.violations) == 1, sanitizer.format_report()
+    violation = sanitizer.violations[0]
+    assert violation.rule == rule
+    assert len(violation.provenance) > 0
+    assert rule in str(violation)
+    return violation
+
+
+class TestFaultInjection:
+    def test_stream_rewind_caught(self):
+        timeline = Timeline()
+        sanitizer = Sanitizer().bind(timeline=timeline)
+        timeline.compute.schedule(1.0, CAT_WALK_UPDATE)
+        # Rewind the stream clock behind its completion frontier.
+        timeline.compute.busy_until = 0.0
+        timeline.compute.schedule(0.5, CAT_WALK_UPDATE)
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_STREAM_MONOTONIC)
+
+    def test_wrong_stream_caught(self):
+        timeline = Timeline()
+        sanitizer = Sanitizer().bind(timeline=timeline)
+        # A device-to-host eviction on the host-to-device load stream
+        # breaks the full-duplex PCIe contract.
+        timeline.load.schedule(1.0, CAT_WALK_EVICT)
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_STREAM_AFFINITY)
+
+    def test_clean_pipeline_passes(self):
+        timeline = Timeline()
+        sanitizer = Sanitizer().bind(timeline=timeline)
+        timeline.load.schedule(1.0, CAT_WALK_LOAD)
+        timeline.compute.schedule(2.0, CAT_WALK_UPDATE, earliest=1.0)
+        timeline.evict.schedule(0.5, CAT_WALK_EVICT, earliest=3.0)
+        sanitizer.unbind()
+        assert sanitizer.clean, sanitizer.format_report()
+
+    def test_evict_in_flight_load_caught(self):
+        pool = BlockPool(2, name="graph-pool")
+        sanitizer = Sanitizer().bind(graph_pool=pool)
+        bus = EventBus()
+        bus.attach(sanitizer)
+        pool.insert(3, "payload")
+        bus.emit(GraphServed(iteration=1, partition=3, mode=SERVED_EXPLICIT))
+        # Evicted before any kernel consumed the freshly loaded partition.
+        pool.evict(3)
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_EVICT_IN_FLIGHT)
+
+    def test_evict_after_kernel_is_fine(self):
+        pool = BlockPool(2, name="graph-pool")
+        sanitizer = Sanitizer().bind(graph_pool=pool)
+        bus = EventBus()
+        bus.attach(sanitizer)
+        pool.insert(3, "payload")
+        bus.emit(GraphServed(iteration=1, partition=3, mode=SERVED_EXPLICIT))
+        bus.emit(KernelDispatched(partition=3, walks=10, steps=10))
+        pool.evict(3)
+        sanitizer.unbind()
+        assert sanitizer.clean, sanitizer.format_report()
+
+    def test_kernel_on_evicted_partition_caught(self):
+        pool = BlockPool(2, name="graph-pool")
+        sanitizer = Sanitizer().bind(graph_pool=pool)
+        bus = EventBus()
+        bus.attach(sanitizer)
+        # Partition 5 was never loaded: computing against absent graph data.
+        bus.emit(KernelDispatched(partition=5, walks=10, steps=10))
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_RESIDENCY)
+
+    def test_zero_copy_kernel_needs_no_residency(self):
+        pool = BlockPool(2, name="graph-pool")
+        sanitizer = Sanitizer().bind(graph_pool=pool)
+        bus = EventBus()
+        bus.attach(sanitizer)
+        bus.emit(
+            KernelDispatched(partition=5, walks=10, steps=10, zero_copy=True)
+        )
+        sanitizer.unbind()
+        assert sanitizer.clean
+
+    def test_overfilled_batch_caught(self):
+        device = DeviceWalkPool(4, batch_capacity=32, capacity_walks=128)
+        sanitizer = Sanitizer().bind(device=device)
+        bus = EventBus()
+        bus.attach(sanitizer)
+        bus.emit(BatchLoaded(partition=0, walks=33))
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_WALK_CAPACITY)
+
+    def test_double_consume_caught(self):
+        device = DeviceWalkPool(4, batch_capacity=32, capacity_walks=128)
+        sanitizer = Sanitizer().bind(device=device)
+        device.append_walks(0, WalkArrays.fresh([1, 2, 3]))
+        # Taking more walks than the partition buffer holds is the
+        # signature of a double-consumed frontier batch.
+        device._take(0, 5)
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_DOUBLE_CONSUME)
+
+    def test_dropped_walk_mid_reshuffle_caught(self):
+        host = HostWalkPool(4, batch_capacity=32)
+        device = DeviceWalkPool(4, batch_capacity=32, capacity_walks=128)
+        sanitizer = Sanitizer().bind(
+            host=host, device=device, expected_walks=10
+        )
+        bus = EventBus()
+        bus.attach(sanitizer)
+        host.append_walks(0, WalkArrays.fresh(list(range(10))))
+        # Pop a batch (walks now in flight) and "lose" it: the reshuffle
+        # completes without re-appending or finishing those walks.
+        host.pop_batch(0)
+        bus.emit(Reshuffled(partition=0, walks=0))
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_WALK_CONSERVATION)
+
+    def test_short_finish_count_caught(self):
+        sanitizer = Sanitizer().bind(expected_walks=10)
+        bus = EventBus()
+        bus.attach(sanitizer)
+        bus.emit(
+            RunCompleted(total_time=1.0, finished_walks=9)
+        )
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_WALK_CONSERVATION)
+
+    def test_violation_cap_truncates(self):
+        timeline = Timeline()
+        sanitizer = Sanitizer(max_violations=2)
+        sanitizer.bind(timeline=timeline)
+        for _ in range(5):
+            timeline.load.schedule(0.1, CAT_WALK_EVICT)
+        sanitizer.unbind()
+        assert len(sanitizer.violations) == 2
+        assert sanitizer.dropped == 3
+        assert not sanitizer.clean
+        summary = sanitizer.summary()
+        assert summary["violation_count"] == 5
+        assert "truncated" in format_summary(summary)
+
+
+class TestSummary:
+    def test_summary_shape(self):
+        timeline = Timeline()
+        sanitizer = Sanitizer().bind(timeline=timeline)
+        timeline.load.schedule(1.0, CAT_WALK_LOAD)
+        sanitizer.unbind()
+        summary = sanitizer.summary()
+        assert summary["clean"] is True
+        assert summary["checks"] == 1
+        assert summary["violations"] == []
+        assert summary["by_rule"] == {}
+        assert "clean" in format_summary(summary)
+
+    def test_by_rule_counts(self):
+        timeline = Timeline()
+        sanitizer = Sanitizer().bind(timeline=timeline)
+        timeline.load.schedule(1.0, CAT_WALK_EVICT)
+        timeline.load.schedule(1.0, CAT_WALK_EVICT)
+        sanitizer.unbind()
+        summary = sanitizer.summary()
+        assert summary["by_rule"] == {RULE_STREAM_AFFINITY: 2}
+        report = format_summary(summary)
+        assert RULE_STREAM_AFFINITY in report
+        assert "2 violation(s)" in report
+
+    def test_rebinding_timeline_requires_removal(self):
+        timeline = Timeline()
+        sanitizer = Sanitizer().bind(timeline=timeline)
+        with pytest.raises(RuntimeError, match="already has an observer"):
+            Sanitizer().bind(timeline=timeline)
+        sanitizer.unbind()
+        Sanitizer().bind(timeline=timeline).unbind()

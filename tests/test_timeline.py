@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gpu.timeline import Stream, TimeBreakdown, Timeline
+from repro.gpu.timeline import (
+    TIME_EPS,
+    Stream,
+    StreamOp,
+    TimeBreakdown,
+    Timeline,
+    times_close,
+)
 
 
 class TestStream:
@@ -61,6 +68,67 @@ class TestStream:
         assert [op.category for op in s.ops] == ["a", "b"]
         assert s.ops[1].start == 4.0
         assert s.ops[1].duration == 1.0
+
+
+class TestTimesClose:
+    def test_equal_times(self):
+        assert times_close(1.5, 1.5)
+
+    def test_rounding_noise_tolerated(self):
+        t = 0.1 + 0.2  # classic float artifact vs 0.3
+        assert times_close(t, 0.3)
+        assert t != 0.3  # lint: allow-float-timestamp-eq
+
+    def test_relative_scaling(self):
+        # At large magnitudes the tolerance scales with the operands.
+        big = 1e9
+        assert times_close(big, big * (1.0 + TIME_EPS / 2))
+        assert not times_close(big, big + 1.0)
+
+    def test_distinct_times(self):
+        assert not times_close(1.0, 2.0)
+
+
+class TestStreamOp:
+    def test_negative_duration_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="negative-duration"):
+            StreamOp("a", start=2.0, end=1.0)
+
+    def test_zero_duration_allowed(self):
+        op = StreamOp("a", start=1.0, end=1.0)
+        assert op.duration == 0.0
+
+
+class TestStreamObserver:
+    def test_observer_sees_every_op(self):
+        tl = Timeline()
+        seen = []
+        tl.install_observer(
+            lambda stream, cat, start, end, earliest: seen.append(
+                (stream.name, cat, start, end, earliest)
+            )
+        )
+        tl.load.schedule(1.0, "graph_load")
+        tl.compute.schedule(2.0, "compute", earliest=1.0)
+        assert seen == [
+            ("load", "graph_load", 0.0, 1.0, 0.0),
+            ("compute", "compute", 1.0, 3.0, 1.0),
+        ]
+
+    def test_double_install_rejected(self):
+        tl = Timeline()
+        tl.install_observer(lambda *args: None)
+        with pytest.raises(RuntimeError, match="already has an observer"):
+            tl.install_observer(lambda *args: None)
+
+    def test_remove_observer(self):
+        tl = Timeline()
+        seen = []
+        tl.install_observer(lambda *args: seen.append(args))
+        tl.remove_observer()
+        tl.load.schedule(1.0, "graph_load")
+        assert seen == []
+        tl.install_observer(lambda *args: None)  # reinstall works
 
 
 class TestTimeBreakdown:
