@@ -16,8 +16,10 @@ from repro.analysis.lint import LintViolation, lint_paths, run_lint
 from repro.analysis.sanitizer import STREAM_AFFINITY, Sanitizer, format_summary
 from repro.analysis.violations import (
     ALL_RULES,
+    RULE_CROSS_DEVICE,
     RULE_DOUBLE_CONSUME,
     RULE_EVICT_IN_FLIGHT,
+    RULE_MIGRATION,
     RULE_RESIDENCY,
     RULE_STREAM_AFFINITY,
     RULE_STREAM_MONOTONIC,
@@ -29,8 +31,10 @@ from repro.analysis.violations import (
 __all__ = [
     "ALL_RULES",
     "LintViolation",
+    "RULE_CROSS_DEVICE",
     "RULE_DOUBLE_CONSUME",
     "RULE_EVICT_IN_FLIGHT",
+    "RULE_MIGRATION",
     "RULE_RESIDENCY",
     "RULE_STREAM_AFFINITY",
     "RULE_STREAM_MONOTONIC",

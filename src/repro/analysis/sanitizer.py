@@ -17,6 +17,12 @@ mutates anything:
   :class:`~repro.gpu.memory.BlockPool` (graph-pool inserts/evicts) and
   :class:`~repro.walks.pool.DeviceWalkPool` (walk appends/takes).
 
+Multi-device runs bind one substrate *shard* per device
+(:meth:`Sanitizer.bind_shard`); every per-shard invariant is then checked
+per device (stream frontiers are keyed by stream identity, because each
+shard's timeline reuses the compute/load/evict names), and two
+cross-device invariants join the list.
+
 Checked invariants (rule ids in :mod:`repro.analysis.violations`):
 
 ==========================  ============================================
@@ -25,23 +31,29 @@ Checked invariants (rule ids in :mod:`repro.analysis.violations`):
                             declared ``earliest`` release time; durations
                             are non-negative.
 ``stream-affinity``         ops ride the stream their category belongs
-                            to (loads on *load*, evictions on *evict*,
-                            kernels on *compute*) — the full-duplex PCIe
-                            invariant of §III-D.
+                            to (loads on *load*, evictions and migration
+                            sends on *evict*, kernels on *compute*) — the
+                            full-duplex PCIe invariant of §III-D.
 ``partition-residency``     every non-zero-copy ``KernelDispatched``
-                            targets a partition resident in the graph
-                            pool.
+                            targets a partition resident in its device's
+                            graph pool.
 ``evict-in-flight-load``    no graph-pool evict of a partition whose
                             explicit load has not been consumed by a
                             dependent kernel yet.
-``walk-capacity``           the device walk pool respects ``m_w`` at
+``walk-capacity``           every device walk pool respects ``m_w`` at
                             iteration boundaries; batches never carry
                             more walks than their capacity.
 ``double-consume``          device buffer takes never exceed what the
                             buffer holds (a double-consumed frontier).
-``walk-conservation``       pending + finished walks equal the seeded
-                            count at every reshuffle, iteration boundary
-                            and run completion.
+``walk-conservation``       pending + finished walks (summed over every
+                            shard) equal the seeded count at every
+                            reshuffle, iteration boundary and run
+                            completion.
+``cross-device-residency``  no walk id is resident in two shards' pools
+                            at an iteration boundary.
+``migration-conservation``  per peer channel, walks delivered never
+                            exceed walks sent, and a completed run has
+                            sent == delivered.
 ==========================  ============================================
 
 Violations are collected (never raised) with a provenance trail of the
@@ -52,11 +64,16 @@ most recent events/ops; :meth:`Sanitizer.summary` is what lands in
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, cast
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set, Tuple, cast
+
+import numpy as np
 
 from repro.analysis.violations import (
+    RULE_CROSS_DEVICE,
     RULE_DOUBLE_CONSUME,
     RULE_EVICT_IN_FLIGHT,
+    RULE_MIGRATION,
     RULE_RESIDENCY,
     RULE_STREAM_AFFINITY,
     RULE_STREAM_MONOTONIC,
@@ -74,6 +91,8 @@ from repro.core.events import (
     Reshuffled,
     RunCompleted,
     WalkFinished,
+    WalksDelivered,
+    WalksMigrated,
 )
 from repro.core.stats import (
     CAT_CPU_COMPUTE,
@@ -84,6 +103,7 @@ from repro.core.stats import (
     CAT_SUBGRAPH,
     CAT_WALK_EVICT,
     CAT_WALK_LOAD,
+    CAT_WALK_MIGRATE,
     CAT_WALK_UPDATE,
     CAT_ZERO_COPY,
 )
@@ -92,12 +112,14 @@ from repro.gpu.timeline import TIME_EPS, Stream, Timeline
 from repro.walks.pool import DeviceWalkPool, HostWalkPool
 
 #: Which stream each breakdown category must ride (the §III-D pipeline
-#: contract).  Categories not listed (e.g. user-defined) are unchecked.
+#: contract).  Categories not listed (e.g. the P2P channel occupancy,
+#: which rides dedicated channel streams) are unchecked.
 STREAM_AFFINITY: Dict[str, str] = {
     CAT_GRAPH_LOAD: Timeline.LOAD,
     CAT_WALK_LOAD: Timeline.LOAD,
     CAT_ZERO_COPY: Timeline.LOAD,
     CAT_WALK_EVICT: Timeline.EVICT,
+    CAT_WALK_MIGRATE: Timeline.EVICT,
     CAT_PATH_SHIP: Timeline.EVICT,
     CAT_WALK_UPDATE: Timeline.COMPUTE,
     CAT_RESHUFFLE: Timeline.COMPUTE,
@@ -107,12 +129,26 @@ STREAM_AFFINITY: Dict[str, str] = {
 }
 
 
+@dataclass
+class _ShardState:
+    """Substrate bound for one device shard."""
+
+    device_id: int
+    timeline: Optional[Timeline] = None
+    graph_pool: Optional[BlockPool] = None
+    host: Optional[HostWalkPool] = None
+    device: Optional[DeviceWalkPool] = None
+    batch_capacity: Optional[int] = None
+
+
 class Sanitizer:
     """Collects invariant violations from one engine (or baseline) run.
 
     Event-only mode (no :meth:`bind` call) checks what events alone can
-    prove — batch sizes, conservation if pools are bound, residency if a
-    graph pool is bound.  :meth:`bind` wires the full substrate hooks.
+    prove — batch sizes, migration conservation, finished-walk counts.
+    :meth:`bind` wires the full substrate hooks for the single-device
+    engine; the multi-device engine calls :meth:`bind_shard` once per
+    device shard instead.
     """
 
     def __init__(
@@ -126,16 +162,22 @@ class Sanitizer:
         self._seq = 0
         self._iteration = 0
         self._finished = 0
-        # bound substrate (all optional; see bind())
-        self._timeline: Optional[Timeline] = None
-        self._graph_pool: Optional[BlockPool] = None
-        self._host: Optional[HostWalkPool] = None
-        self._device: Optional[DeviceWalkPool] = None
+        #: bound substrate shards, keyed by device id (see bind_shard()).
+        self._shards: Dict[int, _ShardState] = {}
         self._expected_walks: Optional[int] = None
-        self._batch_capacity: Optional[int] = None
-        # derived state
-        self._stream_frontier: Dict[str, float] = {}
-        self._loads_in_flight: Set[int] = set()
+        # derived state.  Stream frontiers are keyed by stream *identity*:
+        # every shard's timeline names its streams compute/load/evict, so
+        # name keys would blend devices and raise false monotonicity
+        # violations.
+        self._stream_frontier: Dict[int, float] = {}
+        self._stream_device: Dict[int, int] = {}
+        self._pool_device: Dict[int, int] = {}
+        self._wpool_device: Dict[int, int] = {}
+        #: explicit loads not yet consumed, keyed (device, partition).
+        self._loads_in_flight: Set[Tuple[int, int]] = set()
+        #: migration counters per directed (src, dst) channel.
+        self._migrated_sent: Dict[Tuple[int, int], int] = {}
+        self._migrated_recv: Dict[Tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -148,33 +190,79 @@ class Sanitizer:
         device: Optional[DeviceWalkPool] = None,
         expected_walks: Optional[int] = None,
     ) -> "Sanitizer":
-        """Install substrate hooks; call :meth:`unbind` when the run ends."""
-        self._timeline = timeline
-        self._graph_pool = graph_pool
-        self._host = host
-        self._device = device
-        self._expected_walks = expected_walks
+        """Install substrate hooks for a single-device run (shard 0)."""
+        return self.bind_shard(
+            0,
+            timeline=timeline,
+            graph_pool=graph_pool,
+            host=host,
+            device=device,
+            expected_walks=expected_walks,
+        )
+
+    def bind_shard(
+        self,
+        device_id: int,
+        timeline: Optional[Timeline] = None,
+        graph_pool: Optional[BlockPool] = None,
+        host: Optional[HostWalkPool] = None,
+        device: Optional[DeviceWalkPool] = None,
+        expected_walks: Optional[int] = None,
+    ) -> "Sanitizer":
+        """Install substrate hooks for one device shard.
+
+        ``expected_walks`` is the run-global seeded walk count (identical
+        across shards); call :meth:`unbind` when the run ends.
+        """
+        shard = self._shards.get(device_id)
+        if shard is None:
+            shard = self._shards[device_id] = _ShardState(device_id)
+        if expected_walks is not None:
+            self._expected_walks = expected_walks
         if timeline is not None:
+            shard.timeline = timeline
             timeline.install_observer(self.stream_op)
+            for stream in timeline.streams:
+                self._stream_device[id(stream)] = device_id
         if graph_pool is not None:
+            shard.graph_pool = graph_pool
             graph_pool.observer = self
+            self._pool_device[id(graph_pool)] = device_id
+        if host is not None:
+            shard.host = host
         if device is not None:
+            shard.device = device
             device.observer = self
-            self._batch_capacity = device.batch_capacity
+            shard.batch_capacity = device.batch_capacity
+            self._wpool_device[id(device)] = device_id
         return self
 
     def unbind(self) -> None:
-        """Remove every hook installed by :meth:`bind`."""
-        if self._timeline is not None:
-            self._timeline.remove_observer()
-        if self._graph_pool is not None and self._graph_pool.observer is self:
-            self._graph_pool.observer = None
-        if self._device is not None and self._device.observer is self:
-            self._device.observer = None
+        """Remove every hook installed by :meth:`bind` / :meth:`bind_shard`."""
+        for shard in self._shards.values():
+            if shard.timeline is not None:
+                shard.timeline.remove_observer()
+            if (
+                shard.graph_pool is not None
+                and shard.graph_pool.observer is self
+            ):
+                shard.graph_pool.observer = None
+            if shard.device is not None and shard.device.observer is self:
+                shard.device.observer = None
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
+    @property
+    def _multi(self) -> bool:
+        return len(self._shards) > 1
+
+    def _stream_label(self, stream: Stream) -> str:
+        device = self._stream_device.get(id(stream))
+        if device is not None and self._multi:
+            return f"d{device}:{stream.name}"
+        return stream.name
+
     def _record(self, what: str) -> None:
         self._seq += 1
         self._trail.append(f"#{self._seq} it={self._iteration} {what}")
@@ -203,17 +291,19 @@ class Sanitizer:
         end: float,
         earliest: float,
     ) -> None:
+        label = self._stream_label(stream)
         self._record(
-            f"op {stream.name}/{category} "
+            f"op {label}/{category} "
             f"start={start:.6e} end={end:.6e} earliest={earliest:.6e}"
         )
         self.checks += 1
-        frontier = self._stream_frontier.get(stream.name, 0.0)
+        key = id(stream)
+        frontier = self._stream_frontier.get(key, 0.0)
         if start < frontier - TIME_EPS:
             self._violate(
                 RULE_STREAM_MONOTONIC,
                 f"op {category!r} starts at {start:.6e} before stream "
-                f"{stream.name!r}'s completion frontier {frontier:.6e} "
+                f"{label!r}'s completion frontier {frontier:.6e} "
                 f"(the simulated clock rewound)",
             )
         if start < earliest - TIME_EPS:
@@ -228,13 +318,13 @@ class Sanitizer:
                 f"op {category!r} has negative duration "
                 f"(start={start:.6e}, end={end:.6e})",
             )
-        self._stream_frontier[stream.name] = max(frontier, end)
+        self._stream_frontier[key] = max(frontier, end)
         expected_stream = STREAM_AFFINITY.get(category)
         if expected_stream is not None and stream.name != expected_stream:
             self._violate(
                 RULE_STREAM_AFFINITY,
                 f"category {category!r} scheduled on stream "
-                f"{stream.name!r}, must ride {expected_stream!r} "
+                f"{label!r}, must ride {expected_stream!r} "
                 f"(full-duplex PCIe contract)",
             )
 
@@ -247,7 +337,8 @@ class Sanitizer:
     def pool_evicted(self, pool: BlockPool, key: object) -> None:
         self._record(f"pool {pool.name} evict {key!r}")
         self.checks += 1
-        if key in self._loads_in_flight:
+        device = self._pool_device.get(id(pool), 0)
+        if (device, key) in self._loads_in_flight:
             self._violate(
                 RULE_EVICT_IN_FLIGHT,
                 f"partition {key!r} evicted from {pool.name!r} while its "
@@ -286,26 +377,32 @@ class Sanitizer:
         self._record(f"{event!r}")
         self._check_walk_capacity()
         self._check_conservation("iteration start")
+        self._check_cross_device()
 
     def on_graph_served(self, event: GraphServed) -> None:
         self._record(f"{event!r}")
         if event.mode == SERVED_EXPLICIT:
-            self._loads_in_flight.add(event.partition)
+            self._loads_in_flight.add((event.device, event.partition))
 
     def on_batch_loaded(self, event: BatchLoaded) -> None:
         self._record(f"{event!r}")
-        self._check_batch_size(event.walks, "loaded")
+        self._check_batch_size(event.walks, "loaded", event.device)
 
     def on_kernel_dispatched(self, event: KernelDispatched) -> None:
         self._record(f"{event!r}")
-        self._loads_in_flight.discard(event.partition)
-        if self._graph_pool is not None and not event.zero_copy:
+        self._loads_in_flight.discard((event.device, event.partition))
+        shard = self._shards.get(event.device)
+        graph_pool = shard.graph_pool if shard is not None else None
+        if graph_pool is not None and not event.zero_copy:
             self.checks += 1
-            if event.partition not in self._graph_pool:
+            if event.partition not in graph_pool:
+                where = (
+                    f" of device {event.device}" if self._multi else ""
+                )
                 self._violate(
                     RULE_RESIDENCY,
                     f"kernel dispatched for partition {event.partition} "
-                    f"which is not resident in the graph pool "
+                    f"which is not resident in the graph pool{where} "
                     f"(evicted or never loaded)",
                 )
 
@@ -315,15 +412,37 @@ class Sanitizer:
 
     def on_batch_evicted(self, event: BatchEvicted) -> None:
         self._record(f"{event!r}")
-        self._check_batch_size(event.walks, "evicted")
+        self._check_batch_size(event.walks, "evicted", event.device)
 
     def on_walk_finished(self, event: WalkFinished) -> None:
         self._record(f"{event!r}")
         self._finished += event.count
 
+    def on_walks_migrated(self, event: WalksMigrated) -> None:
+        self._record(f"{event!r}")
+        key = (event.src_device, event.dst_device)
+        self._migrated_sent[key] = (
+            self._migrated_sent.get(key, 0) + event.walks
+        )
+
+    def on_walks_delivered(self, event: WalksDelivered) -> None:
+        self._record(f"{event!r}")
+        key = (event.src_device, event.dst_device)
+        recv = self._migrated_recv.get(key, 0) + event.walks
+        self._migrated_recv[key] = recv
+        self.checks += 1
+        sent = self._migrated_sent.get(key, 0)
+        if recv > sent:
+            self._violate(
+                RULE_MIGRATION,
+                f"channel {key[0]}->{key[1]} delivered {recv} walks but "
+                f"only {sent} were sent (phantom delivery)",
+            )
+
     def on_run_completed(self, event: RunCompleted) -> None:
         self._record(f"{event!r}")
         self._check_conservation("run completion")
+        self._check_migration_closed()
         if self._expected_walks is not None:
             self.checks += 1
             if event.finished_walks != self._expected_walks:
@@ -336,39 +455,53 @@ class Sanitizer:
     # ------------------------------------------------------------------
     # Checks
     # ------------------------------------------------------------------
-    def _check_batch_size(self, walks: int, verb: str) -> None:
-        if self._batch_capacity is None:
+    def _check_batch_size(self, walks: int, verb: str, device: int) -> None:
+        shard = self._shards.get(device)
+        capacity = shard.batch_capacity if shard is not None else None
+        if capacity is None:
             return
         self.checks += 1
-        if walks > self._batch_capacity:
+        if walks > capacity:
             self._violate(
                 RULE_WALK_CAPACITY,
                 f"batch {verb} with {walks} walks exceeds the fixed "
-                f"batch capacity {self._batch_capacity} (overfilled batch)",
+                f"batch capacity {capacity} (overfilled batch)",
             )
 
     def _check_walk_capacity(self) -> None:
-        device = self._device
-        if device is None:
-            return
-        self.checks += 1
-        if device.overflow > 0:
-            self._violate(
-                RULE_WALK_CAPACITY,
-                f"device walk pool holds {device.cached_walks} walks, "
-                f"{device.overflow} over m_w={device.capacity_walks} at an "
-                f"iteration boundary (eviction was not enforced)",
-            )
+        for shard in self._shards.values():
+            device = shard.device
+            if device is None:
+                continue
+            self.checks += 1
+            if device.overflow > 0:
+                where = (
+                    f"device {shard.device_id} walk pool"
+                    if self._multi
+                    else "device walk pool"
+                )
+                self._violate(
+                    RULE_WALK_CAPACITY,
+                    f"{where} holds {device.cached_walks} walks, "
+                    f"{device.overflow} over m_w={device.capacity_walks} "
+                    f"at an iteration boundary (eviction was not enforced)",
+                )
 
     def _check_conservation(self, when: str) -> None:
-        if (
-            self._expected_walks is None
-            or self._host is None
-            or self._device is None
-        ):
+        if self._expected_walks is None:
+            return
+        shards = [
+            s
+            for s in self._shards.values()
+            if s.host is not None and s.device is not None
+        ]
+        if not shards:
             return
         self.checks += 1
-        pending = self._host.total_walks + self._device.cached_walks
+        pending = 0
+        for shard in shards:
+            assert shard.host is not None and shard.device is not None
+            pending += shard.host.total_walks + shard.device.cached_walks
         total = pending + self._finished
         if total != self._expected_walks:
             self._violate(
@@ -377,6 +510,60 @@ class Sanitizer:
                 f"= {total} walks, expected {self._expected_walks} "
                 f"(a walk was {'lost' if total < self._expected_walks else 'duplicated'})",
             )
+
+    def _shard_walk_ids(self, shard: _ShardState) -> np.ndarray:
+        chunks: List[np.ndarray] = []
+        if shard.host is not None:
+            chunks.extend(walks.ids for walks in shard.host.iter_walks())
+        if shard.device is not None:
+            chunks.extend(walks.ids for walks in shard.device.iter_walks())
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def _check_cross_device(self) -> None:
+        """No walk id may be resident in two shards' pools at once."""
+        shards = [
+            s
+            for s in self._shards.values()
+            if s.host is not None or s.device is not None
+        ]
+        if len(shards) < 2:
+            return
+        self.checks += 1
+        resident = [(s.device_id, self._shard_walk_ids(s)) for s in shards]
+        for i in range(len(resident)):
+            for j in range(i + 1, len(resident)):
+                common = np.intersect1d(resident[i][1], resident[j][1])
+                if common.size:
+                    sample = common[:4].tolist()
+                    self._violate(
+                        RULE_CROSS_DEVICE,
+                        f"walk id(s) {sample} resident on devices "
+                        f"{resident[i][0]} and {resident[j][0]} "
+                        f"simultaneously ({common.size} shared)",
+                    )
+                    # At most one violation per boundary check: a single
+                    # duplicated walk would otherwise flood the report.
+                    return
+
+    def _check_migration_closed(self) -> None:
+        """At run completion every channel must have sent == delivered."""
+        channels = sorted(
+            set(self._migrated_sent) | set(self._migrated_recv)
+        )
+        for key in channels:
+            self.checks += 1
+            sent = self._migrated_sent.get(key, 0)
+            recv = self._migrated_recv.get(key, 0)
+            if sent != recv:
+                verb = "lost" if sent > recv else "duplicated"
+                self._violate(
+                    RULE_MIGRATION,
+                    f"channel {key[0]}->{key[1]} completed the run with "
+                    f"{sent} walks sent but {recv} delivered "
+                    f"({abs(sent - recv)} {verb} in flight)",
+                )
 
     # ------------------------------------------------------------------
     # Reporting

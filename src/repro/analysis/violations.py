@@ -45,6 +45,16 @@ RULE_DOUBLE_CONSUME = "double-consume"
 #: (a walk was lost or duplicated across a reshuffle/epoch).
 RULE_WALK_CONSERVATION = "walk-conservation"
 
+#: The same walk id was resident in two device shards' pools at an
+#: iteration boundary — a migrated walk was delivered without being
+#: removed from its source shard (or delivered twice).
+RULE_CROSS_DEVICE = "cross-device-residency"
+
+#: A peer channel's send and receive sides stopped matching: walks were
+#: delivered that were never sent, or a completed run left sent walks
+#: undelivered (migration dropped or duplicated walks in flight).
+RULE_MIGRATION = "migration-conservation"
+
 ALL_RULES = (
     RULE_STREAM_MONOTONIC,
     RULE_STREAM_AFFINITY,
@@ -53,6 +63,8 @@ ALL_RULES = (
     RULE_WALK_CAPACITY,
     RULE_DOUBLE_CONSUME,
     RULE_WALK_CONSERVATION,
+    RULE_CROSS_DEVICE,
+    RULE_MIGRATION,
 )
 
 

@@ -1,0 +1,165 @@
+"""Multi-device sharding scaling benchmark (``repro bench devices``).
+
+The sharded engine (:mod:`repro.core.cluster`) claims that splitting the
+range-partitioned graph across N simulated devices — each with its own
+timeline, graph pool and walk pool, exchanging walks over P2P channels —
+shortens the simulated makespan: shards compute concurrently and only
+cross-partition walk migration serializes on the peer links.
+
+This benchmark holds that claim to account on a fixed RMAT workload:
+
+* **scaling** — the same seeded run at 1, 2 and 4 devices; the 4-device
+  simulated makespan must beat single-device by ``REQUIRED_SPEEDUP``
+  (checked in full mode; ``--quick`` workloads are too small for stable
+  ratios and only report);
+* **conservation** — every run executes under the runtime sanitizer
+  (:class:`~repro.analysis.Sanitizer`) and must finish clean: no walk
+  lost, duplicated, or left in flight on a peer channel, and identical
+  per-device invariants to the single-device engine.
+
+Results are written as ``BENCH_devices.json`` so CI can archive the
+numbers per commit and a scaling regression shows up as a diff, not an
+anecdote.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.algorithms import PageRank
+from repro.core.config import EngineConfig
+from repro.core.engine import LightTrafficEngine
+from repro.graph.generators import rmat
+
+#: Simulated-speedup floor enforced (full mode) at DEVICE_COUNTS[-1].
+REQUIRED_SPEEDUP = 1.5
+
+#: Shard counts measured, ascending; the first must be 1 (the baseline).
+DEVICE_COUNTS = (1, 2, 4)
+
+
+def _bench_config(
+    num_walks: int, seed: int, devices: int, quick: bool
+) -> EngineConfig:
+    """The shared engine config; only ``devices`` varies across runs.
+
+    Partitions are kept small relative to the graph so every shard owns
+    several and cross-shard transitions (hence migrations) actually
+    happen; pools are sized well below the workload so the eviction and
+    preemptive paths stay exercised, as in the single-device benches.
+    """
+    return EngineConfig(
+        partition_bytes=2048 if quick else 4096,
+        batch_walks=64 if quick else 256,
+        graph_pool_partitions=4,
+        walk_pool_walks=512 if quick else 4096,
+        seed=seed,
+        devices=devices,
+        sanitize=True,
+    )
+
+
+def run_bench(
+    scale: int = 12,
+    edge_factor: int = 8,
+    walks: Optional[int] = None,
+    seed: int = 7,
+    quick: bool = False,
+) -> Dict[str, object]:
+    """Run the device-scaling benchmark; returns the results payload."""
+    if quick:
+        scale = min(scale, 10)
+    graph = rmat(scale=scale, edge_factor=edge_factor, seed=seed)
+    if walks is None:
+        walks = 600 if quick else 2 * graph.num_vertices
+    length = 8 if quick else 16
+    runs: Dict[str, Dict[str, object]] = {}
+    base_time: Optional[float] = None
+    conservation_ok = True
+    for devices in DEVICE_COUNTS:
+        config = _bench_config(walks, seed, devices, quick)
+        stats = LightTrafficEngine(
+            graph, PageRank(length=length), config
+        ).run(walks)
+        sanitizer = stats.sanitizer or {}
+        clean = bool(sanitizer.get("clean", False))
+        conservation_ok = conservation_ok and clean
+        if devices == 1:
+            base_time = stats.total_time
+        assert base_time is not None
+        runs[str(devices)] = {
+            "devices": devices,
+            "total_time": stats.total_time,
+            "speedup": (
+                base_time / stats.total_time
+                if stats.total_time > 0
+                else float("inf")
+            ),
+            "iterations": stats.iterations,
+            "walks_migrated": stats.walks_migrated,
+            "device_times": stats.device_times or {},
+            "sanitizer_clean": clean,
+            "sanitizer_checks": sanitizer.get("checks", 0),
+        }
+    top = runs[str(DEVICE_COUNTS[-1])]
+    speedup_ok = bool(top["speedup"] >= REQUIRED_SPEEDUP)
+    results: Dict[str, object] = {
+        "config": {
+            "scale": scale,
+            "edge_factor": edge_factor,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "walks": walks,
+            "walk_length": length,
+            "seed": seed,
+            "quick": quick,
+            "device_counts": list(DEVICE_COUNTS),
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+        "runs": runs,
+        "checks": {
+            "conservation_ok": conservation_ok,
+            "speedup_ok": speedup_ok,
+            # quick mode shrinks the workload below where shard overlap
+            # amortizes; the speedup gate is only meaningful at full scale.
+            "speedup_enforced": not quick,
+            "all_ok": conservation_ok and (speedup_ok or quick),
+        },
+    }
+    return results
+
+
+def write_results(results: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_summary(results: Dict[str, object]) -> str:
+    """Human-readable digest of one benchmark run."""
+    config = results["config"]
+    checks = results["checks"]
+    lines = [
+        "multi-device scaling benchmark "
+        f"(rmat scale {config['scale']}, {config['vertices']} vertices, "
+        f"{config['edges']} edges, {config['walks']} walks)"
+    ]
+    for key, run in sorted(
+        results["runs"].items(), key=lambda kv: int(kv[0])
+    ):
+        lines.append(
+            f"  {run['devices']} device(s): "
+            f"t={run['total_time'] * 1e3:8.3f} ms "
+            f"speedup={run['speedup']:.2f}x "
+            f"migrated={run['walks_migrated']:6d} "
+            f"sanitizer={'clean' if run['sanitizer_clean'] else 'DIRTY'}"
+        )
+    lines.append(
+        f"  checks: conservation_ok={checks['conservation_ok']} "
+        f"speedup_ok={checks['speedup_ok']} "
+        f"(>= {config['required_speedup']}x at "
+        f"{config['device_counts'][-1]} devices, "
+        f"enforced={checks['speedup_enforced']})"
+    )
+    return "\n".join(lines)

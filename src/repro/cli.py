@@ -16,6 +16,10 @@ Commands
     Run the transition-sampler microbenchmark (loop vs vectorized alias
     build, node2vec stepping, per-sampler throughput + distribution
     parity) and write ``BENCH_samplers.json``.
+``bench devices``
+    Run the multi-device scaling benchmark (1/2/4 shards with P2P walk
+    migration, simulated speedup + migration counts) and write
+    ``BENCH_devices.json``.
 ``lint``
     Run the repo's AST lint pass (:mod:`repro.analysis.lint`): RNG calls
     outside the ``core/prng.py`` factory, ``==`` on float timestamps,
@@ -31,9 +35,11 @@ Examples
     python -m repro run --dataset lj-sim --metrics-json metrics.json
     python -m repro run --dataset uk-sim --algorithm uniform --sampler alias
     python -m repro run --dataset uk-sim --algorithm uniform --sanitize
+    python -m repro run --dataset uk-sim --devices 2 --sanitize
     python -m repro experiment table3
     python -m repro generate --kind rmat --scale 14 --edge-factor 8 --out g.npz
     python -m repro bench samplers --quick --out BENCH_samplers.json
+    python -m repro bench devices --quick --out BENCH_devices.json
     python -m repro lint src/repro
 """
 
@@ -116,6 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="walk count (default: 2|V|)")
     run.add_argument("--interconnect", choices=("pcie3", "pcie4", "nvlink2"),
                      default="pcie3")
+    run.add_argument(
+        "--devices", type=int, default=1, metavar="N",
+        help="shard the graph across N simulated devices with P2P walk "
+             "migration (lighttraffic only; default 1 = the paper's "
+             "single-GPU engine)",
+    )
+    run.add_argument(
+        "--peer-interconnect", choices=("nvlink", "pcie-p2p"),
+        default="nvlink",
+        help="peer link carrying cross-shard walk migrations "
+             "(with --devices > 1)",
+    )
     run.add_argument("--seed", type=int, default=42)
     run.add_argument(
         "--metrics-json", default=None, metavar="PATH",
@@ -163,6 +181,28 @@ def build_parser() -> argparse.ArgumentParser:
     samplers.add_argument(
         "--no-check", action="store_true",
         help="report without failing on parity/speedup violations",
+    )
+    devices = bench_sub.add_parser(
+        "devices",
+        help="multi-device sharding scaling benchmark (1/2/4 shards)",
+    )
+    devices.add_argument(
+        "--quick", action="store_true",
+        help="small workload for CI smoke runs (speedup floor not enforced)",
+    )
+    devices.add_argument("--scale", type=int, default=12,
+                         help="rmat scale of the scaling workload")
+    devices.add_argument("--edge-factor", type=int, default=8)
+    devices.add_argument("--walks", type=int, default=None,
+                         help="walk count (default: workload-sized)")
+    devices.add_argument("--seed", type=int, default=7)
+    devices.add_argument(
+        "--out", default="BENCH_devices.json",
+        help="results JSON path ('-' to skip the file and print only)",
+    )
+    devices.add_argument(
+        "--no-check", action="store_true",
+        help="report without failing on conservation/speedup violations",
     )
 
     lint = sub.add_parser(
@@ -226,6 +266,8 @@ def _run_system(
         config = standard_config(
             graph, platform, interconnect=args.interconnect, seed=args.seed,
             sampler=sampler, sanitize=sanitize,
+            devices=getattr(args, "devices", 1),
+            peer_interconnect=getattr(args, "peer_interconnect", "nvlink"),
         )
         return LightTrafficEngine(
             graph, algorithm, config, metrics=metrics
@@ -342,6 +384,13 @@ def cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.devices > 1 and args.system != "lighttraffic":
+        print(
+            f"--devices requires the lighttraffic engine, "
+            f"not {args.system!r}",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args)
     try:
         stats = _run_system(args, graph, metrics=metrics)
@@ -366,6 +415,15 @@ def cmd_run(args) -> int:
     print(stats.summary())
     print(f"  iterations      : {stats.iterations}")
     print(f"  explicit copies : {stats.explicit_copies}")
+    if stats.num_devices > 1:
+        print(f"  devices         : {stats.num_devices}")
+        print(f"  walks migrated  : {stats.walks_migrated}")
+        if stats.device_times:
+            times = ", ".join(
+                f"d{dev}={reporting.format_seconds(t)}"
+                for dev, t in sorted(stats.device_times.items())
+            )
+            print(f"  device times    : {times}")
     if stats.zero_copy_iterations:
         print(f"  zero-copy iters : {stats.zero_copy_iterations}")
     if stats.graph_pool_hits + stats.graph_pool_misses:
@@ -399,6 +457,24 @@ def cmd_experiment(name: str) -> int:
 
 
 def cmd_bench(args) -> int:
+    if args.bench_target == "devices":
+        from repro.bench import devices as bench_devices
+
+        results = bench_devices.run_bench(
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            walks=args.walks,
+            seed=args.seed,
+            quick=args.quick,
+        )
+        print(bench_devices.format_summary(results))
+        if args.out != "-":
+            bench_devices.write_results(results, args.out)
+            print(f"wrote {args.out}")
+        if not args.no_check and not results["checks"]["all_ok"]:
+            print("device benchmark checks FAILED", file=sys.stderr)
+            return 1
+        return 0
     from repro.bench import samplers as bench_samplers
 
     results = bench_samplers.run_bench(

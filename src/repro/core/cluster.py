@@ -1,0 +1,443 @@
+"""Multi-device sharded engine with peer-to-peer walk migration.
+
+:class:`MultiDeviceEngine` runs the LightTraffic pipeline on ``N``
+simulated devices.  The range-partitioned graph is sharded contiguously
+across the devices (:func:`repro.gpu.cluster.assign_partitions`), and each
+shard owns the full single-device substrate: its own
+:class:`~repro.gpu.timeline.Timeline` (compute/load/evict streams), graph
+pool, host/device walk pools, scheduler (restricted to owned partitions)
+and reshuffler.  The stages in :mod:`repro.core.stages` are reused
+verbatim — one :class:`~repro.core.stages.StageContext` per shard.
+
+What changes versus ``N`` independent engines is the walk frontier: a walk
+stepping into another shard's partition range cannot be reshuffled locally.
+The :class:`WalkMigrator` intercepts those walks after each kernel
+(:meth:`ComputeDispatcher.dispatch` hands them over via ``ctx.router``) and
+moves them over a :class:`~repro.gpu.cluster.PeerChannel`:
+
+* the *send* occupies the source device's evict stream
+  (``CAT_WALK_MIGRATE`` in the breakdown) starting no earlier than the
+  kernel that produced the walks;
+* the *link* is occupied for the transfer duration on the channel's own
+  stream, which serializes concurrent migrations over the same directed
+  device pair (different pairs overlap — the NVSwitch assumption);
+* the *delivery* scatters the walks into the destination shard's device
+  pool (reshuffle cost on the destination compute stream, starting no
+  earlier than the payload's arrival) and records the arrival in
+  ``frontier_ready`` so destination kernels never consume walks that are
+  still in flight.
+
+With ``devices=1`` no cluster state is active (no owned mask, no router)
+and the iteration loop degenerates to exactly the single-device engine —
+:mod:`tests.test_engine_parity` pins bit-identical :class:`RunStats`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.engine import LightTrafficEngine
+from repro.core.events import (
+    EventBus,
+    IterationStarted,
+    RunCompleted,
+    WalksDelivered,
+    WalksMigrated,
+)
+from repro.core.scheduler import Scheduler
+from repro.core.stages import (
+    ComputeDispatcher,
+    GraphServer,
+    PreemptiveDispatcher,
+    StageContext,
+    WalkLoader,
+)
+from repro.core.stats import (
+    CAT_RESHUFFLE,
+    CAT_WALK_MIGRATE,
+    RunStats,
+    StatsCollector,
+)
+from repro.core.trace import TraceSubscriber
+from repro.gpu.cluster import (
+    DeviceCluster,
+    PeerChannel,
+    PeerLinkSpec,
+    peer_link_by_name,
+)
+from repro.gpu.kernels import DIRECT_WRITE
+from repro.gpu.memory import BlockPool
+from repro.gpu.timeline import TimeBreakdown, Timeline
+from repro.walks.pool import DeviceWalkPool, HostWalkPool
+from repro.walks.reshuffle import (
+    DirectWriteReshuffler,
+    TwoLevelReshuffler,
+    group_by_partition,
+)
+from repro.walks.state import WalkArrays
+
+
+class _Shard:
+    """One device's context plus its pipeline stage instances."""
+
+    __slots__ = ("ctx", "graph_server", "loader", "compute", "preemptive")
+
+    def __init__(self, ctx: StageContext) -> None:
+        self.ctx = ctx
+        self.graph_server = GraphServer(ctx)
+        self.loader = WalkLoader(ctx)
+        self.compute = ComputeDispatcher(ctx)
+        self.preemptive = PreemptiveDispatcher(ctx, self.compute)
+
+    @property
+    def pending(self) -> int:
+        return self.ctx.host.total_walks + self.ctx.device.cached_walks
+
+
+class WalkMigrator:
+    """Routes post-kernel walks that left their shard over P2P channels.
+
+    Installed as ``ctx.router`` on every shard context when ``devices > 1``;
+    :meth:`ComputeDispatcher.dispatch` calls :meth:`route` with the
+    surviving walks and their new partition ids before reshuffling.
+    """
+
+    def __init__(self, cluster: DeviceCluster, shards: List[_Shard]) -> None:
+        self.cluster = cluster
+        self.shards = shards
+
+    def route(
+        self,
+        ctx: StageContext,
+        part_idx: int,
+        active: WalkArrays,
+        new_parts: np.ndarray,
+        kernel_end: float,
+    ):
+        """Split ``active`` into (kept-local, migrated); returns the local part."""
+        src = ctx.device_id
+        dest = self.cluster.device_of[new_parts]
+        local_mask = dest == src
+        if bool(local_mask.all()):
+            return active, new_parts
+        cal = ctx.config.calibration
+        # Ascending destination order keeps the send sequence — and with it
+        # every downstream timestamp — deterministic.
+        for dst in np.unique(dest[~local_mask]):
+            dst = int(dst)
+            sel = dest == dst
+            payload = active.select(sel)
+            parts = new_parts[sel]
+            nbytes = len(payload) * ctx.bytes_per_walk
+            chan = self.cluster.channel(src, dst)
+            send_t = (
+                chan.spec.transfer_time(nbytes)
+                + cal.scaled_memcpy_call_seconds
+            )
+            earliest = kernel_end
+            if not ctx.config.pipeline:
+                earliest = max(earliest, ctx.timeline.now)
+            send_start, __ = ctx.timeline.evict.schedule(
+                send_t, CAT_WALK_MIGRATE, earliest=earliest
+            )
+            # The link is held while the source copy engine pushes the
+            # payload; the channel stream serializes concurrent senders.
+            __, arrival = chan.transfer(nbytes, earliest=send_start)
+            chan.sent_walks += len(payload)
+            ctx.bus.emit(
+                WalksMigrated(
+                    src_device=src,
+                    dst_device=dst,
+                    walks=len(payload),
+                    nbytes=nbytes,
+                    seconds=send_t,
+                )
+            )
+            self._deliver(chan, payload, parts, arrival)
+        return active.select(local_mask), new_parts[local_mask]
+
+    def _deliver(
+        self,
+        chan: PeerChannel,
+        payload: WalkArrays,
+        parts: np.ndarray,
+        arrival: float,
+    ) -> None:
+        """Scatter a migrated payload into the destination shard's pool."""
+        shard = self.shards[chan.dst]
+        dctx = shard.ctx
+        cost, __ = dctx.reshuffler.reshuffle(dctx.device, payload, parts)
+        ready = dctx.sched(dctx.timeline.compute, cost, CAT_RESHUFFLE, arrival)
+        for p in np.unique(parts):
+            p = int(p)
+            prev = dctx.frontier_ready.get(p, 0.0)
+            if ready > prev:
+                dctx.frontier_ready[p] = ready
+        chan.delivered_walks += len(payload)
+        dctx.bus.emit(
+            WalksDelivered(
+                src_device=chan.src,
+                dst_device=chan.dst,
+                walks=len(payload),
+                arrival=arrival,
+            )
+        )
+        shard.compute.enforce_walk_capacity(protect=None)
+
+
+class MultiDeviceEngine(LightTrafficEngine):
+    """The LightTraffic engine sharded across ``config.devices`` devices."""
+
+    def _build_shard(
+        self,
+        device_id: int,
+        cluster: DeviceCluster,
+        rng,
+        num_walks: int,
+        bus: EventBus,
+    ) -> _Shard:
+        """One device's substrate; mirrors the single-device context."""
+        cfg = self.config
+        num_partitions = self.partitioned.num_partitions
+        batch_cap = cfg.resolved_batch_walks()
+        capacity = cfg.walk_pool_walks
+        if capacity is None:
+            capacity = max(num_walks, batch_cap)
+        reshuffler_cls = (
+            DirectWriteReshuffler
+            if cfg.reshuffle_mode == DIRECT_WRITE
+            else TwoLevelReshuffler
+        )
+        multi = cluster.num_devices > 1
+        ctx = StageContext(
+            config=cfg,
+            graph=self.graph,
+            algorithm=self.algorithm,
+            pgraph=self.partitioned,
+            rng=rng,
+            scheduler=Scheduler(
+                num_partitions,
+                cfg.selective,
+                cfg.preemptive,
+                eviction_policy=cfg.eviction_policy,
+                owned=cluster.owned_mask(device_id) if multi else None,
+            ),
+            host=HostWalkPool(num_partitions, batch_cap),
+            device=DeviceWalkPool(num_partitions, batch_cap, capacity),
+            graph_pool=BlockPool(
+                cfg.graph_pool_partitions,
+                name=f"graph-pool-d{device_id}",
+                track_recency=(cfg.eviction_policy == "lru"),
+            ),
+            timeline=Timeline(record_ops=cfg.record_ops),
+            bus=bus,
+            reshuffler=reshuffler_cls(self.kernel_model, num_partitions),
+            kernel_model=self.kernel_model,
+            pcie=self.pcie,
+            ship_link=self.ship_link,
+            bytes_per_walk=self.algorithm.bytes_per_walk,
+            adaptive=self.adaptive,
+            device_id=device_id,
+            cluster=cluster,
+        )
+        return _Shard(ctx)
+
+    def _seed_shards(
+        self,
+        shards: List[_Shard],
+        cluster: DeviceCluster,
+        rng,
+        num_walks: int,
+    ) -> None:
+        """Seed every walk into the host pool of its start partition's owner."""
+        starts = self.algorithm.start_vertices(self.graph, num_walks, rng)
+        walks = WalkArrays.fresh(starts)
+        self.algorithm.on_start(walks, self.graph)
+        start_parts = self.partitioned.find_partitions(walks.vertices)
+        for part, group in group_by_partition(walks, start_parts).items():
+            shards[cluster.owner(part)].ctx.host.append_walks(part, group)
+
+    # ------------------------------------------------------------------
+    def run(self, num_walks: int) -> RunStats:
+        """Run ``num_walks`` walks across the device shards."""
+        if num_walks < 1:
+            raise ValueError("num_walks must be >= 1")
+        cfg = self.config
+        num_devices = cfg.devices
+        peer = cfg.peer_interconnect
+        link = (
+            peer
+            if isinstance(peer, PeerLinkSpec)
+            else peer_link_by_name(str(peer))
+        )
+        sizes = np.asarray(
+            self.partitioned.partition_sizes(), dtype=np.int64
+        )
+        cluster = DeviceCluster(
+            sizes, num_devices, link=link, record_ops=cfg.record_ops
+        )
+        bus = self.bus if self.bus is not None else EventBus()
+        rng = self._make_rng()
+        shards = [
+            self._build_shard(dev, cluster, rng, num_walks, bus)
+            for dev in range(num_devices)
+        ]
+        if num_devices > 1:
+            migrator = WalkMigrator(cluster, shards)
+            for shard in shards:
+                shard.ctx.router = migrator
+
+        stats = RunStats(
+            system="lighttraffic",
+            algorithm=self.algorithm.name,
+            graph=self.graph.name or "graph",
+            num_walks=num_walks,
+            num_partitions=self.partitioned.num_partitions,
+            num_devices=num_devices,
+        )
+        observers = [bus.attach(StatsCollector(stats, metrics=self.metrics))]
+        if self.metrics is not None:
+            observers.append(bus.attach(self.metrics))
+        if self.trace is not None:
+            observers.append(bus.attach(TraceSubscriber(self.trace)))
+        sanitizer = None
+        if cfg.sanitize:
+            from repro.analysis import Sanitizer
+
+            sanitizer = Sanitizer()
+            for shard in shards:
+                sanitizer.bind_shard(
+                    shard.ctx.device_id,
+                    timeline=shard.ctx.timeline,
+                    graph_pool=shard.ctx.graph_pool,
+                    host=shard.ctx.host,
+                    device=shard.ctx.device,
+                    expected_walks=num_walks,
+                )
+            observers.append(bus.attach(sanitizer))
+
+        iteration = 0
+        try:
+            self._seed_shards(shards, cluster, rng, num_walks)
+            while any(shard.pending > 0 for shard in shards):
+                # One round-robin sweep: each shard with pending walks runs
+                # one pipeline iteration.  Migration may hand walks to a
+                # shard later in the sweep (processed the same sweep) or
+                # earlier (picked up next sweep); the outer loop drains
+                # until every shard is empty.
+                for shard in shards:
+                    ctx = shard.ctx
+                    if shard.pending == 0:
+                        continue
+                    iteration += 1
+                    if (
+                        cfg.max_iterations is not None
+                        and iteration > cfg.max_iterations
+                    ):
+                        left = sum(s.pending for s in shards)
+                        raise RuntimeError(
+                            f"exceeded max_iterations={cfg.max_iterations} "
+                            f"with {left} walks left"
+                        )
+                    ctx.iteration = iteration
+                    selected = ctx.scheduler.select_partition(
+                        ctx.host, ctx.device
+                    )
+                    if selected is None:  # pragma: no cover - pending > 0
+                        continue
+                    bus.emit(
+                        IterationStarted(
+                            iteration,
+                            selected,
+                            ctx.partition_walks(selected),
+                            device=ctx.device_id,
+                        )
+                    )
+                    served = shard.graph_server.serve(selected)
+                    shard.preemptive.fill(exclude=selected)
+                    contents, batch_t = shard.loader.stream(selected)
+                    frontier_t = ctx.frontier_ready.get(selected, 0.0)
+                    if contents is not None:
+                        shard.compute.dispatch(
+                            selected,
+                            contents,
+                            earliest=max(
+                                served.ready_time, batch_t, frontier_t
+                            ),
+                            zero_copy=served.zero_copy,
+                        )
+                    shard.compute.dispatch(
+                        selected,
+                        ctx.device.pop_all(selected),
+                        earliest=max(served.ready_time, frontier_t),
+                        zero_copy=served.zero_copy,
+                    )
+                    # Everything delivered so far has been consumed; later
+                    # deliveries re-arm the bound.
+                    ctx.frontier_ready.pop(selected, None)
+
+            finished = sum(shard.ctx.finished for shard in shards)
+            if finished != num_walks:
+                raise RuntimeError(
+                    f"walk conservation violated: finished {finished} "
+                    f"of {num_walks}"
+                )
+            breakdown = TimeBreakdown()
+            total_time = 0.0
+            for shard in shards:
+                breakdown.merge(shard.ctx.timeline.breakdown)
+                total_time = max(
+                    total_time, shard.ctx.timeline.total_time()
+                )
+            for stream in cluster.all_streams():
+                total_time = max(total_time, stream.busy_until)
+            bus.emit(
+                RunCompleted(
+                    total_time=total_time,
+                    breakdown=breakdown.as_dict(),
+                    graph_pool_hits=sum(
+                        s.ctx.graph_pool.hits for s in shards
+                    ),
+                    graph_pool_misses=sum(
+                        s.ctx.graph_pool.misses for s in shards
+                    ),
+                    finished_walks=finished,
+                )
+            )
+        finally:
+            for observer in observers:
+                bus.detach(observer)
+            if sanitizer is not None:
+                sanitizer.unbind()
+                stats.sanitizer = sanitizer.summary()
+        if num_devices > 1:
+            stats.device_times = {
+                str(shard.ctx.device_id): shard.ctx.timeline.total_time()
+                for shard in shards
+            }
+        if cfg.record_ops:
+            for shard in shards:
+                shard.ctx.timeline.validate()
+        self._timeline = shards[0].ctx.timeline
+        self._timelines = [shard.ctx.timeline for shard in shards]
+        self._cluster = cluster
+        self._shards = shards
+        return stats
+
+
+def run_sharded(
+    graph,
+    algorithm,
+    num_walks: int,
+    config=None,
+    devices: Optional[int] = None,
+) -> RunStats:
+    """One-call convenience: build a multi-device engine and run it."""
+    from repro.core.config import EngineConfig
+
+    config = config if config is not None else EngineConfig()
+    if devices is not None:
+        config = config.with_options(devices=devices)
+    return MultiDeviceEngine(graph, algorithm, config).run(num_walks)

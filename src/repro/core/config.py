@@ -107,6 +107,14 @@ class EngineConfig:
     #: the algorithm's own choice.  Only algorithms with configurable
     #: sampling (e.g. weighted uniform walks) accept an override.
     sampler: Optional[str] = None
+    #: device shards the run executes on.  1 = the paper's single-GPU
+    #: engine; > 1 shards the partition range across N simulated devices
+    #: with P2P walk migration (:mod:`repro.core.cluster`).
+    devices: int = 1
+    #: peer interconnect carrying cross-shard walk migrations — a name
+    #: from :func:`repro.gpu.cluster.peer_link_by_name` or a custom
+    #: :class:`~repro.gpu.cluster.PeerLinkSpec`.
+    peer_interconnect: Union[str, "object"] = "nvlink"
     rng_mode: str = "sequential"
     sanitize: bool = False
     seed: Optional[int] = 42
@@ -140,6 +148,16 @@ class EngineConfig:
             raise ValueError(
                 f"unknown eviction_policy {self.eviction_policy!r}"
             )
+        if self.devices < 1:
+            raise ValueError("devices must be >= 1")
+        if isinstance(self.peer_interconnect, str):
+            from repro.gpu.cluster import available_peer_links
+
+            if self.peer_interconnect not in available_peer_links():
+                raise ValueError(
+                    f"unknown peer_interconnect {self.peer_interconnect!r}; "
+                    f"available: {', '.join(available_peer_links())}"
+                )
 
     def resolved_batch_walks(self) -> int:
         """Batch capacity: configured, or the paper's 16x core count."""

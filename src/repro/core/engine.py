@@ -171,6 +171,23 @@ class LightTrafficEngine:
         """Run ``num_walks`` walks to completion; returns the statistics."""
         if num_walks < 1:
             raise ValueError("num_walks must be >= 1")
+        if self.config.devices > 1 and type(self) is LightTrafficEngine:
+            # Multi-device configs run on the sharded engine; it reuses the
+            # same stages per shard and adds P2P walk migration.
+            from repro.core.cluster import MultiDeviceEngine
+
+            engine = MultiDeviceEngine(
+                self.graph,
+                self.algorithm,
+                self.config,
+                partitioned=self.partitioned,
+                trace=self.trace,
+                bus=self.bus,
+                metrics=self.metrics,
+            )
+            stats = engine.run(num_walks)
+            self._timeline = engine._timeline
+            return stats
         cfg = self.config
         bus = self.bus if self.bus is not None else EventBus()
         ctx = self._build_context(num_walks, bus)

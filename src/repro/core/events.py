@@ -57,6 +57,7 @@ class IterationStarted(EngineEvent):
     iteration: int
     partition: int
     pending_walks: int = 0
+    device: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,7 @@ class GraphServed(EngineEvent):
     mode: str
     copy_seconds: float = 0.0
     ready_time: float = 0.0
+    device: int = 0
 
 
 @dataclass(frozen=True)
@@ -86,6 +88,7 @@ class BatchLoaded(EngineEvent):
     partition: int
     walks: int
     seconds: float = 0.0
+    device: int = 0
 
 
 @dataclass(frozen=True)
@@ -104,6 +107,7 @@ class KernelDispatched(EngineEvent):
     zero_copy: bool = False
     seconds: float = 0.0
     sampler_fallbacks: int = 0
+    device: int = 0
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,7 @@ class Reshuffled(EngineEvent):
     partition: int
     walks: int
     seconds: float = 0.0
+    device: int = 0
 
 
 @dataclass(frozen=True)
@@ -122,6 +127,7 @@ class BatchEvicted(EngineEvent):
     partition: int
     walks: int
     seconds: float = 0.0
+    device: int = 0
 
 
 @dataclass(frozen=True)
@@ -130,6 +136,38 @@ class WalkFinished(EngineEvent):
 
     partition: int
     count: int
+    device: int = 0
+
+
+@dataclass(frozen=True)
+class WalksMigrated(EngineEvent):
+    """``walks`` walks left ``src_device`` over a peer channel.
+
+    Emitted once per (kernel, destination device) by the source shard.
+    ``seconds`` is the send cost accounted on the source evict stream;
+    ``nbytes`` the payload riding the channel.
+    """
+
+    src_device: int
+    dst_device: int
+    walks: int
+    nbytes: int = 0
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class WalksDelivered(EngineEvent):
+    """``walks`` migrated walks landed in ``dst_device``'s walk pool.
+
+    ``arrival`` is the simulated time the peer channel finished carrying
+    the payload; the destination shard may not schedule kernels over
+    these walks earlier.
+    """
+
+    src_device: int
+    dst_device: int
+    walks: int
+    arrival: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -152,6 +190,8 @@ EVENT_TYPES = (
     Reshuffled,
     BatchEvicted,
     WalkFinished,
+    WalksMigrated,
+    WalksDelivered,
     RunCompleted,
 )
 

@@ -57,11 +57,34 @@ class PartitionMetrics:
         }
 
 
+@dataclass
+class DeviceMetrics:
+    """Accumulated observations for one device shard."""
+
+    iterations: int = 0
+    walks_computed: int = 0
+    steps: int = 0
+    walks_migrated_out: int = 0
+    walks_migrated_in: int = 0
+    migrate_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "iterations": self.iterations,
+            "walks_computed": self.walks_computed,
+            "steps": self.steps,
+            "walks_migrated_out": self.walks_migrated_out,
+            "walks_migrated_in": self.walks_migrated_in,
+            "migrate_seconds": self.migrate_seconds,
+        }
+
+
 class MetricsCollector:
-    """Event-bus subscriber building per-partition histograms."""
+    """Event-bus subscriber building per-partition/per-device histograms."""
 
     def __init__(self) -> None:
         self.partitions: Dict[int, PartitionMetrics] = {}
+        self.devices: Dict[int, DeviceMetrics] = {}
         self.iterations = 0
         self.runs_completed = 0
         self.total_time = 0.0
@@ -72,9 +95,16 @@ class MetricsCollector:
             metrics = self.partitions[index] = PartitionMetrics()
         return metrics
 
+    def _device(self, index: int) -> DeviceMetrics:
+        metrics = self.devices.get(index)
+        if metrics is None:
+            metrics = self.devices[index] = DeviceMetrics()
+        return metrics
+
     # -- event handlers (bound by EventBus.attach) ----------------------
     def on_iteration_started(self, event) -> None:
         self.iterations += 1
+        self._device(getattr(event, "device", 0)).iterations += 1
 
     def on_graph_served(self, event) -> None:
         metrics = self._partition(event.partition)
@@ -96,6 +126,17 @@ class MetricsCollector:
         metrics.sampler_fallbacks += getattr(event, "sampler_fallbacks", 0)
         if event.preemptive:
             metrics.walks_preempted += event.walks
+        device = self._device(getattr(event, "device", 0))
+        device.walks_computed += event.walks
+        device.steps += event.steps
+
+    def on_walks_migrated(self, event) -> None:
+        device = self._device(event.src_device)
+        device.walks_migrated_out += event.walks
+        device.migrate_seconds += event.seconds
+
+    def on_walks_delivered(self, event) -> None:
+        self._device(event.dst_device).walks_migrated_in += event.walks
 
     def on_reshuffled(self, event) -> None:
         self._partition(event.partition).compute_seconds += event.seconds
@@ -142,5 +183,9 @@ class MetricsCollector:
             "partitions": {
                 str(index): metrics.as_dict()
                 for index, metrics in sorted(self.partitions.items())
+            },
+            "devices": {
+                str(index): metrics.as_dict()
+                for index, metrics in sorted(self.devices.items())
             },
         }

@@ -41,12 +41,26 @@ class Scheduler:
         selective: bool,
         preemptive: bool,
         eviction_policy: Optional[str] = None,
+        owned: Optional[np.ndarray] = None,
     ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         self.num_partitions = num_partitions
         self.selective = selective
         self.preemptive = preemptive
+        # Device shard view: a boolean mask restricting every decision to
+        # the partitions this scheduler's device owns.  ``None`` (single
+        # device) keeps the original global code paths untouched.
+        if owned is not None:
+            owned = np.asarray(owned, dtype=bool)
+            if owned.shape != (num_partitions,):
+                raise ValueError("owned mask must cover every partition")
+            if not owned.any():
+                raise ValueError("owned mask selects no partition")
+        self.owned = owned
+        self._owned_idx = (
+            None if owned is None else np.nonzero(owned)[0].astype(np.int64)
+        )
         if eviction_policy is None:
             eviction_policy = (
                 self.EVICT_MIN_WALKS if selective else self.EVICT_FIFO
@@ -68,6 +82,23 @@ class Scheduler:
     ) -> Optional[int]:
         """Next partition to process, or ``None`` if no walks remain."""
         totals = host.counts + device.counts
+        if self._owned_idx is not None:
+            # Shard view: decide only over owned partitions.  Ties break
+            # toward the lowest owned partition index (np.argmax picks the
+            # first maximum), matching the global policy restricted.
+            if self.selective:
+                local = self._owned_idx[
+                    int(np.argmax(totals[self._owned_idx]))
+                ]
+                return int(local) if totals[local] > 0 else None
+            for step in range(1, self.num_partitions + 1):
+                candidate = (self._cursor + step) % self.num_partitions
+                if self.owned is not None and not self.owned[candidate]:
+                    continue
+                if totals[candidate] > 0:
+                    self._cursor = candidate
+                    return candidate
+            return None
         if self.selective:
             best = int(np.argmax(totals))
             return best if totals[best] > 0 else None
@@ -91,6 +122,11 @@ class Scheduler:
     ) -> int:
         """Cached partition to overwrite; never the one being loaded."""
         cached = [k for k in graph_pool.keys() if k != protect]
+        if self.owned is not None:
+            # Guard: a shard's graph pool must not leak another shard's
+            # partitions into this decision (totals of foreign partitions
+            # are device-local zeros and would always win min-walks).
+            cached = [k for k in cached if self.owned[k]]
         if not cached:
             raise KeyError("no evictable graph partition")
         if self.eviction_policy in (self.EVICT_FIFO, self.EVICT_LRU):
@@ -122,6 +158,8 @@ class Scheduler:
         keys = graph_pool.keys()
         if exclude is not None:
             keys = [k for k in keys if k != exclude]
+        if self.owned is not None:
+            keys = [k for k in keys if self.owned[k]]
         if not keys:
             return None
         keys_arr = np.asarray(keys, dtype=np.int64)
@@ -155,6 +193,10 @@ class Scheduler:
         candidates = [
             int(p) for p in device.partitions_with_walks() if p != protect
         ]
+        if self.owned is not None:
+            # Guard: never evict (and thereby re-route through the local
+            # host pool) a batch belonging to another shard's partition.
+            candidates = [p for p in candidates if self.owned[p]]
         if not candidates:
             if protect is not None and device.has_walks(protect):
                 return protect

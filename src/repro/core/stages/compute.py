@@ -10,6 +10,8 @@ pool exceeds ``m_w`` — emitting one typed event per observable fact.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.events import (
     BatchEvicted,
     KernelDispatched,
@@ -35,7 +37,7 @@ class ComputeDispatcher:
         self.ctx = ctx
 
     # ------------------------------------------------------------------
-    def enforce_walk_capacity(self, protect: int) -> None:
+    def enforce_walk_capacity(self, protect: Optional[int]) -> None:
         """Evict walk batches until the device pool fits ``m_w`` again."""
         ctx = self.ctx
         while ctx.device.overflow > 0:
@@ -56,6 +58,7 @@ class ComputeDispatcher:
                     partition=victim_part,
                     walks=batch.size,
                     seconds=copy_t,
+                    device=ctx.device_id,
                 )
             )
 
@@ -110,6 +113,7 @@ class ComputeDispatcher:
                 zero_copy=zero_copy,
                 seconds=kernel_dur,
                 sampler_fallbacks=fallbacks,
+                device=ctx.device_id,
             )
         )
 
@@ -125,9 +129,23 @@ class ComputeDispatcher:
         finished_now = len(contents) - len(active)
         ctx.finished += finished_now
         if finished_now:
-            ctx.bus.emit(WalkFinished(partition=part_idx, count=finished_now))
+            ctx.bus.emit(
+                WalkFinished(
+                    partition=part_idx,
+                    count=finished_now,
+                    device=ctx.device_id,
+                )
+            )
         if len(active):
             new_parts = ctx.pgraph.find_partitions(active.vertices)
+            if ctx.router is not None:
+                # Multi-device: walks that stepped into another shard's
+                # partition range migrate over a peer channel instead of
+                # reshuffling locally.
+                active, new_parts = ctx.router.route(
+                    ctx, part_idx, active, new_parts, k_end
+                )
+        if len(active):
             reshuffle_t, __ = ctx.reshuffler.reshuffle(
                 ctx.device, active, new_parts
             )
@@ -137,6 +155,7 @@ class ComputeDispatcher:
                     partition=part_idx,
                     walks=len(active),
                     seconds=reshuffle_t,
+                    device=ctx.device_id,
                 )
             )
         ctx.sched(

@@ -11,13 +11,14 @@ the cached per-partition kernel-time model (:meth:`update_time`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.algorithms.base import RandomWalkAlgorithm
 from repro.core.adaptive import AdaptivePolicy
 from repro.core.config import EngineConfig
 from repro.core.events import EventBus
 from repro.core.scheduler import Scheduler
+from repro.gpu.cluster import DeviceCluster
 from repro.gpu.kernels import KernelModel
 from repro.gpu.memory import BlockPool
 from repro.gpu.pcie import PCIeSpec
@@ -50,6 +51,17 @@ class StageContext:
     adaptive: AdaptivePolicy
     #: completion time of each cached partition's last explicit load.
     graph_ready: Dict[int, float] = field(default_factory=dict)
+    #: which device shard this context belongs to (0 = single-GPU path).
+    device_id: int = 0
+    #: the shard map + P2P mesh when running multi-device, else ``None``.
+    cluster: Optional[DeviceCluster] = None
+    #: migration router (:class:`repro.core.cluster.WalkMigrator`) the
+    #: compute stage hands cross-shard walks to; ``None`` = single device.
+    router: Optional[object] = None
+    #: arrival time of the latest P2P delivery into each partition —
+    #: kernels over migrated walks may not start before their payload
+    #: lands (the multi-device analog of :attr:`graph_ready`).
+    frontier_ready: Dict[int, float] = field(default_factory=dict)
     iteration: int = 0
     finished: int = 0
     _kernel_coeff: Dict[int, Tuple[float, float]] = field(

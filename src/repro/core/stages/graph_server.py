@@ -80,6 +80,7 @@ class GraphServer:
                 mode=mode,
                 copy_seconds=copy_t,
                 ready_time=graph_t,
+                device=ctx.device_id,
             )
         )
         return ServeResult(part_idx, mode, graph_t)

@@ -39,7 +39,14 @@ class PreemptiveDispatcher:
             self.compute.dispatch(
                 ready,
                 contents,
-                earliest=ctx.graph_ready.get(ready, 0.0),
+                # Kernels may start only after the graph is resident AND
+                # any P2P-delivered walks have landed (``frontier_ready``
+                # is empty on single-device runs, so this degenerates to
+                # the original graph_ready bound).
+                earliest=max(
+                    ctx.graph_ready.get(ready, 0.0),
+                    ctx.frontier_ready.get(ready, 0.0),
+                ),
                 zero_copy=False,
                 preemptive=True,
             )

@@ -45,7 +45,10 @@ class WalkLoader:
             )
             ctx.bus.emit(
                 BatchLoaded(
-                    partition=part_idx, walks=batch.size, seconds=load_t
+                    partition=part_idx,
+                    walks=batch.size,
+                    seconds=load_t,
+                    device=ctx.device_id,
                 )
             )
             chunks.append(batch.drain())

@@ -22,6 +22,7 @@ CAT_ZERO_COPY = "zero_copy"
 CAT_WALK_EVICT = "walk_evict"
 CAT_WALK_UPDATE = "walk_update"
 CAT_RESHUFFLE = "walk_reshuffle"
+CAT_WALK_MIGRATE = "walk_migrate"
 CAT_KERNEL_OTHER = "kernel_other"
 CAT_PATH_SHIP = "path_ship"
 CAT_SUBGRAPH = "subgraph_creation"
@@ -48,9 +49,16 @@ class RunStats:
     #: unvetted candidate (biased-walk quality signal; 0 = clean run).
     sampler_fallbacks: int = 0
     num_partitions: int = 0
+    #: device shards the run executed on (1 = the classic single-GPU path).
+    num_devices: int = 1
+    #: walks that crossed a shard boundary over a peer channel.
+    walks_migrated: int = 0
     total_time: float = 0.0
     breakdown: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    #: per-device simulated makespans (stream max per shard), populated by
+    #: the multi-device engine; ``None`` on single-device runs.
+    device_times: Optional[Dict[str, float]] = None
     #: per-partition observation histograms, populated when a
     #: :class:`~repro.core.metrics.MetricsCollector` rides the run's bus.
     metrics: Optional[Dict[str, object]] = None
@@ -95,6 +103,7 @@ class RunStats:
             + self.time(CAT_WALK_LOAD)
             + self.time(CAT_ZERO_COPY)
             + self.time(CAT_WALK_EVICT)
+            + self.time(CAT_WALK_MIGRATE)
             + self.time(CAT_PATH_SHIP)
         )
 
@@ -145,6 +154,9 @@ class StatsCollector:
     def on_kernel_dispatched(self, event) -> None:
         self.stats.total_steps += event.steps
         self.stats.sampler_fallbacks += getattr(event, "sampler_fallbacks", 0)
+
+    def on_walks_migrated(self, event) -> None:
+        self.stats.walks_migrated += event.walks
 
     def on_run_completed(self, event) -> None:
         stats = self.stats

@@ -1,0 +1,231 @@
+"""Multi-device sharding substrate: device shards and the P2P mesh.
+
+The paper's pipeline assumes one GPU.  This module supplies the substrate
+for sharding the range-partitioned graph across ``N`` simulated devices:
+
+* :func:`assign_partitions` — contiguous partition ranges, balanced by
+  CSR bytes, so each shard owns one vertex interval (migration tests are
+  then a single comparison against the owner map, exactly like the
+  single-device partition lookup).
+* :class:`PeerLinkSpec` — an NVLink-style device-to-device cost model
+  alongside :mod:`repro.gpu.pcie`.  Unlike host-link DMA, P2P traffic is
+  quantized into fixed-size link packets, so small migrations pay a
+  whole-packet tax on top of the per-message latency.
+* :class:`PeerChannel` — one *directed* link between two shards, backed
+  by a serial :class:`~repro.gpu.timeline.Stream`: concurrent migrations
+  over the same channel serialize, migrations on different channels
+  overlap freely (an all-to-all mesh, the NVSwitch assumption).
+* :class:`DeviceCluster` — the shard map plus the lazily-built channel
+  mesh, shared by the multi-device engine and the sanitizer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.gpu.timeline import Stream
+
+#: Category of channel-occupancy ops (channel streams carry no breakdown;
+#: the migration send cost is accounted as ``CAT_WALK_MIGRATE`` on the
+#: source device's evict stream — see :mod:`repro.core.stats`).
+CAT_P2P = "p2p_transfer"
+
+
+@dataclass(frozen=True)
+class PeerLinkSpec:
+    """A device-to-device interconnect generation.
+
+    Attributes
+    ----------
+    name:
+        label, e.g. ``nvlink``.
+    bandwidth:
+        effective per-direction bandwidth of one channel, bytes/second.
+    latency_seconds:
+        fixed per-message setup latency.
+    packet_bytes:
+        link packet granularity; transfers are rounded up to whole
+        packets (NVLink moves 16-byte flits grouped into packets, so a
+        one-walk migration still occupies a full packet).
+    """
+
+    name: str
+    bandwidth: float
+    latency_seconds: float = 2e-6
+    packet_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+        if self.packet_bytes < 1:
+            raise ValueError("packet_bytes must be >= 1")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Duration of one P2P message of ``nbytes`` payload."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        packets = math.ceil(nbytes / self.packet_bytes)
+        return self.latency_seconds + packets * self.packet_bytes / self.bandwidth
+
+
+#: NVLink-class mesh (per-direction channel bandwidth, NVSwitch topology).
+NVLINK_P2P = PeerLinkSpec(name="nvlink", bandwidth=50e9)
+
+#: P2P over the PCIe fabric: lower bandwidth, host-bridge latency.
+PCIE_P2P = PeerLinkSpec(name="pcie-p2p", bandwidth=10e9, latency_seconds=8e-6)
+
+_BY_NAME = {spec.name: spec for spec in (NVLINK_P2P, PCIE_P2P)}
+
+
+def peer_link_by_name(name: str) -> PeerLinkSpec:
+    """Look up a preset peer interconnect by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown peer link {name!r}; choose from {sorted(_BY_NAME)}"
+        ) from None
+
+
+def available_peer_links() -> Tuple[str, ...]:
+    """Names of the preset peer interconnects."""
+    return tuple(sorted(_BY_NAME))
+
+
+def assign_partitions(sizes: np.ndarray, num_devices: int) -> np.ndarray:
+    """Map partitions to devices: contiguous ranges balanced by bytes.
+
+    ``sizes[p]`` is partition ``p``'s CSR byte size.  Returns an int64
+    array ``device_of`` with ``device_of[p]`` in ``[0, num_devices)``,
+    non-decreasing (contiguous ranges), every device owning at least one
+    partition.  A device advances once it has met its byte quota
+    ``total * (d + 1) / num_devices``, or earlier when the remaining
+    partitions are only just enough to give every remaining device one.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    num_partitions = int(sizes.size)
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    if num_partitions < 1:
+        raise ValueError("need at least one partition")
+    if num_devices > num_partitions:
+        raise ValueError(
+            f"cannot shard {num_partitions} partition(s) across "
+            f"{num_devices} devices; every device needs at least one"
+        )
+    total = int(sizes.sum())
+    device_of = np.empty(num_partitions, dtype=np.int64)
+    dev = 0
+    acc = 0
+    owned = 0
+    for p in range(num_partitions):
+        if dev < num_devices - 1 and owned > 0:
+            devs_after = num_devices - 1 - dev
+            quota_met = acc * num_devices >= total * (dev + 1)
+            if quota_met or (num_partitions - p) == devs_after:
+                dev += 1
+                owned = 0
+        device_of[p] = dev
+        acc += int(sizes[p])
+        owned += 1
+    return device_of
+
+
+class PeerChannel:
+    """One directed P2P channel between two device shards.
+
+    The channel's :class:`~repro.gpu.timeline.Stream` serializes the
+    transfers riding it; ``sent_walks`` / ``delivered_walks`` are the
+    conservation counters the sanitizer audits per channel.
+    """
+
+    def __init__(
+        self, src: int, dst: int, spec: PeerLinkSpec, record_ops: bool = False
+    ) -> None:
+        if src == dst:
+            raise ValueError("a peer channel links two distinct devices")
+        self.src = src
+        self.dst = dst
+        self.spec = spec
+        # No breakdown: the migration cost is accounted once, on the
+        # source device's evict stream; the channel stream is pure link
+        # occupancy (it serializes concurrent senders).
+        self.stream = Stream(f"p2p{src}->{dst}", None, record_ops)
+        self.sent_walks = 0
+        self.delivered_walks = 0
+
+    def transfer(self, nbytes: int, earliest: float) -> Tuple[float, float]:
+        """Occupy the link for one migration; returns ``(start, end)``."""
+        duration = self.spec.transfer_time(nbytes)
+        return self.stream.schedule(duration, CAT_P2P, earliest=earliest)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PeerChannel {self.src}->{self.dst} {self.spec.name} "
+            f"sent={self.sent_walks} delivered={self.delivered_walks}>"
+        )
+
+
+class DeviceCluster:
+    """``N`` device shards over one range-partitioned graph.
+
+    Holds the partition owner map and the directed channel mesh; the
+    multi-device engine asks :meth:`channel` for the link of each
+    migration, and the sanitizer walks :attr:`channels` to audit
+    send/receive conservation.
+    """
+
+    def __init__(
+        self,
+        partition_sizes: np.ndarray,
+        num_devices: int,
+        link: PeerLinkSpec = NVLINK_P2P,
+        record_ops: bool = False,
+    ) -> None:
+        self.num_devices = num_devices
+        self.link = link
+        self.record_ops = record_ops
+        self.device_of = assign_partitions(partition_sizes, num_devices)
+        self.channels: Dict[Tuple[int, int], PeerChannel] = {}
+
+    def owner(self, partition: int) -> int:
+        """Device owning ``partition``."""
+        return int(self.device_of[partition])
+
+    def owned_mask(self, device: int) -> np.ndarray:
+        """Boolean mask over partitions owned by ``device``."""
+        return self.device_of == device
+
+    def owned_partitions(self, device: int) -> np.ndarray:
+        """Partition indices owned by ``device`` (ascending)."""
+        return np.nonzero(self.device_of == device)[0]
+
+    def channel(self, src: int, dst: int) -> PeerChannel:
+        """The directed channel ``src -> dst`` (built on first use)."""
+        for dev in (src, dst):
+            if not 0 <= dev < self.num_devices:
+                raise IndexError(f"device {dev} out of range")
+        key = (src, dst)
+        chan = self.channels.get(key)
+        if chan is None:
+            chan = PeerChannel(src, dst, self.link, self.record_ops)
+            self.channels[key] = chan
+        return chan
+
+    def all_streams(self) -> List[Stream]:
+        """Streams of every built channel (for makespan / validation)."""
+        return [chan.stream for chan in self.channels.values()]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<DeviceCluster devices={self.num_devices} "
+            f"partitions={self.device_of.size} link={self.link.name}>"
+        )

@@ -132,6 +132,35 @@ class TestRun:
         assert code == 1
         assert "walk-conservation" in capsys.readouterr().out
 
+    def test_run_multi_device(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--algorithm", "uniform",
+             "--walks", "300", "--devices", "2", "--sanitize"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lighttraffic/uniform" in out
+        assert "devices         : 2" in out
+        assert "walks migrated" in out
+        assert "sanitizer: clean" in out
+
+    def test_run_multi_device_pcie_p2p(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--algorithm", "uniform",
+             "--walks", "200", "--devices", "2",
+             "--peer-interconnect", "pcie-p2p"]
+        )
+        assert code == 0
+        assert "devices         : 2" in capsys.readouterr().out
+
+    def test_devices_rejects_non_lighttraffic(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100",
+             "--system", "thunderrw", "--devices", "2"]
+        )
+        assert code == 2
+        assert "--devices requires" in capsys.readouterr().err
+
     def test_metrics_json_stdout(self, graph_file, capsys):
         import json
 

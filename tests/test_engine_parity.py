@@ -96,6 +96,60 @@ def test_golden_parity_holds_under_sanitizer(record, parity_graph):
     assert stats.breakdown == record["breakdown"]
 
 
+@pytest.mark.parametrize("record", GOLDEN, ids=_case_id)
+def test_single_shard_cluster_bit_identical(record, parity_graph):
+    """``devices=1`` on the sharded engine is the single-device engine.
+
+    The multi-device path (:class:`repro.core.cluster.MultiDeviceEngine`)
+    must collapse at one shard to the exact single-device code path — no
+    owned-mask filtering in the scheduler, no migration router, no
+    channel streams — so every golden stays bit-identical, times
+    included.
+    """
+    from repro.core.cluster import MultiDeviceEngine
+
+    golden_stats = _run_record(record, parity_graph)
+
+    if record.get("algorithm") == "ppr":
+        algorithm = PersonalizedPageRank(stop_prob=0.2)
+        config = EngineConfig(
+            partition_bytes=2048,
+            batch_walks=32,
+            graph_pool_partitions=4,
+            seed=123,
+            devices=1,
+        )
+        num_walks = 200
+    else:
+        algorithm = PageRank(length=8)
+        config = EngineConfig(
+            partition_bytes=2048,
+            batch_walks=32,
+            graph_pool_partitions=4,
+            walk_pool_walks=256,
+            selective=record["selective"],
+            preemptive=record["preemptive"],
+            copy_mode=record["copy_mode"],
+            seed=123,
+            devices=1,
+        )
+        num_walks = 300
+    stats = MultiDeviceEngine(parity_graph, algorithm, config).run(num_walks)
+
+    assert stats.num_devices == 1
+    assert stats.walks_migrated == 0
+    assert stats.iterations == golden_stats.iterations
+    assert stats.total_steps == golden_stats.total_steps
+    assert stats.explicit_copies == golden_stats.explicit_copies
+    assert stats.zero_copy_iterations == golden_stats.zero_copy_iterations
+    assert stats.graph_pool_hits == golden_stats.graph_pool_hits
+    assert stats.graph_pool_misses == golden_stats.graph_pool_misses
+    assert stats.walk_batches_loaded == golden_stats.walk_batches_loaded
+    assert stats.walk_batches_evicted == golden_stats.walk_batches_evicted
+    assert stats.total_time == record["total_time"]
+    assert stats.breakdown == record["breakdown"]
+
+
 def test_golden_covers_every_scheduler_combination():
     combos = {
         (r["selective"], r["preemptive"], r["copy_mode"])

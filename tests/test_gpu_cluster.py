@@ -1,0 +1,167 @@
+"""Units for the multi-device substrate (:mod:`repro.gpu.cluster`).
+
+Covers the partition→device assignment (contiguity, coverage, byte
+balance, degenerate shapes), the P2P link cost model (packet
+quantization), channel stream serialization, and the cluster owner maps
+the sharded engine and sanitizer rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.cluster import (
+    CAT_P2P,
+    NVLINK_P2P,
+    PCIE_P2P,
+    DeviceCluster,
+    PeerChannel,
+    PeerLinkSpec,
+    assign_partitions,
+    available_peer_links,
+    peer_link_by_name,
+)
+
+
+class TestAssignPartitions:
+    def test_equal_sizes_split_evenly(self):
+        device_of = assign_partitions(np.full(8, 100), 4)
+        assert device_of.tolist() == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_single_device_owns_everything(self):
+        device_of = assign_partitions(np.full(5, 10), 1)
+        assert device_of.tolist() == [0] * 5
+
+    @pytest.mark.parametrize("num_devices", [1, 2, 3, 4, 7])
+    def test_contiguous_and_covering(self, num_devices):
+        rng = np.random.default_rng(3)
+        sizes = rng.integers(1, 1000, size=16)
+        device_of = assign_partitions(sizes, num_devices)
+        # Non-decreasing => each device owns one contiguous range.
+        assert (np.diff(device_of) >= 0).all()
+        # Every device owns at least one partition.
+        assert set(device_of.tolist()) == set(range(num_devices))
+
+    def test_byte_balance_tracks_quota(self):
+        # One huge partition followed by small ones: the huge one alone
+        # exceeds device 0's quota, so everything after it moves on.
+        sizes = np.array([1000, 10, 10, 10])
+        device_of = assign_partitions(sizes, 2)
+        assert device_of.tolist() == [0, 1, 1, 1]
+
+    def test_forced_advance_leaves_one_each(self):
+        # Byte-greedy assignment would starve the last device; the
+        # forced advance guarantees every device at least one partition.
+        sizes = np.array([1, 1, 1000])
+        device_of = assign_partitions(sizes, 3)
+        assert device_of.tolist() == [0, 1, 2]
+
+    def test_more_devices_than_partitions_rejected(self):
+        with pytest.raises(ValueError, match="cannot shard"):
+            assign_partitions(np.array([10, 10]), 3)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ValueError, match="num_devices"):
+            assign_partitions(np.array([10]), 0)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError, match="at least one partition"):
+            assign_partitions(np.array([], dtype=np.int64), 1)
+
+
+class TestPeerLinkSpec:
+    def test_presets_registered(self):
+        assert available_peer_links() == ("nvlink", "pcie-p2p")
+        assert peer_link_by_name("nvlink") is NVLINK_P2P
+        assert peer_link_by_name("pcie-p2p") is PCIE_P2P
+        with pytest.raises(KeyError, match="unknown peer link"):
+            peer_link_by_name("infiniband")
+
+    def test_transfer_time_packet_quantized(self):
+        spec = PeerLinkSpec(
+            name="t", bandwidth=1e9, latency_seconds=1e-6, packet_bytes=256
+        )
+        one_packet = 1e-6 + 256 / 1e9
+        # 1 byte and 256 bytes both occupy exactly one packet.
+        assert spec.transfer_time(1) == pytest.approx(one_packet)
+        assert spec.transfer_time(256) == pytest.approx(one_packet)
+        # 257 bytes tips into a second packet.
+        assert spec.transfer_time(257) == pytest.approx(
+            1e-6 + 512 / 1e9
+        )
+
+    def test_empty_transfer_is_free(self):
+        assert NVLINK_P2P.transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            NVLINK_P2P.transfer_time(-1)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            PeerLinkSpec(name="x", bandwidth=0.0)
+        with pytest.raises(ValueError, match="latency"):
+            PeerLinkSpec(name="x", bandwidth=1.0, latency_seconds=-1.0)
+        with pytest.raises(ValueError, match="packet_bytes"):
+            PeerLinkSpec(name="x", bandwidth=1.0, packet_bytes=0)
+
+
+class TestPeerChannel:
+    def test_transfers_serialize_on_the_stream(self):
+        spec = PeerLinkSpec(
+            name="t", bandwidth=1e9, latency_seconds=0.0, packet_bytes=1
+        )
+        chan = PeerChannel(0, 1, spec)
+        s0, e0 = chan.transfer(1000, earliest=0.0)
+        s1, e1 = chan.transfer(1000, earliest=0.0)
+        assert (s0, e0) == (0.0, pytest.approx(1e-6))
+        # Second transfer waits for the first even though released at 0.
+        assert s1 == e0
+        assert e1 == pytest.approx(2e-6)
+
+    def test_earliest_release_respected(self):
+        chan = PeerChannel(0, 1, NVLINK_P2P)
+        start, end = chan.transfer(100, earliest=5.0)
+        assert start == 5.0
+        assert end > start
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="distinct devices"):
+            PeerChannel(2, 2, NVLINK_P2P)
+
+    def test_op_category_recorded(self):
+        chan = PeerChannel(0, 1, NVLINK_P2P, record_ops=True)
+        chan.transfer(100, earliest=0.0)
+        assert [op.category for op in chan.stream.ops] == [CAT_P2P]
+
+
+class TestDeviceCluster:
+    def make(self, num_devices=2):
+        return DeviceCluster(np.full(8, 64), num_devices)
+
+    def test_owner_maps_agree(self):
+        cluster = self.make(4)
+        for part in range(8):
+            dev = cluster.owner(part)
+            assert cluster.owned_mask(dev)[part]
+            assert part in cluster.owned_partitions(dev)
+
+    def test_owned_masks_partition_the_graph(self):
+        cluster = self.make(3)
+        stacked = np.stack(
+            [cluster.owned_mask(d) for d in range(3)]
+        )
+        # Every partition owned by exactly one device.
+        assert (stacked.sum(axis=0) == 1).all()
+
+    def test_channels_cached_and_directed(self):
+        cluster = self.make(2)
+        forward = cluster.channel(0, 1)
+        backward = cluster.channel(1, 0)
+        assert forward is cluster.channel(0, 1)
+        assert forward is not backward
+        assert len(cluster.all_streams()) == 2
+
+    def test_channel_device_range_checked(self):
+        cluster = self.make(2)
+        with pytest.raises(IndexError, match="out of range"):
+            cluster.channel(0, 2)

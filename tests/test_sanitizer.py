@@ -17,8 +17,10 @@ import pytest
 
 from repro.algorithms import PageRank, UniformSampling
 from repro.analysis import (
+    RULE_CROSS_DEVICE,
     RULE_DOUBLE_CONSUME,
     RULE_EVICT_IN_FLIGHT,
+    RULE_MIGRATION,
     RULE_RESIDENCY,
     RULE_STREAM_AFFINITY,
     RULE_STREAM_MONOTONIC,
@@ -34,9 +36,12 @@ from repro.core.events import (
     BatchLoaded,
     EventBus,
     GraphServed,
+    IterationStarted,
     KernelDispatched,
     Reshuffled,
     RunCompleted,
+    WalksDelivered,
+    WalksMigrated,
 )
 from repro.core.stats import CAT_WALK_EVICT, CAT_WALK_LOAD, CAT_WALK_UPDATE
 from repro.gpu.memory import BlockPool
@@ -276,6 +281,72 @@ class TestFaultInjection:
         summary = sanitizer.summary()
         assert summary["violation_count"] == 5
         assert "truncated" in format_summary(summary)
+
+
+class TestCrossDeviceFaults:
+    """Multi-device invariants: each fault yields exactly one violation."""
+
+    def test_duplicate_walk_on_two_devices_caught(self):
+        pool0 = DeviceWalkPool(4, batch_capacity=32, capacity_walks=128)
+        pool1 = DeviceWalkPool(4, batch_capacity=32, capacity_walks=128)
+        sanitizer = (
+            Sanitizer()
+            .bind_shard(0, device=pool0)
+            .bind_shard(1, device=pool1)
+        )
+        bus = EventBus()
+        bus.attach(sanitizer)
+        # Walk id 7 resident on both shards: a migrated walk that was
+        # delivered without being removed from its source device.
+        pool0.append_walks(0, WalkArrays.fresh([5, 6, 7], first_id=5))
+        pool1.append_walks(1, WalkArrays.fresh([8, 9], first_id=7))
+        bus.emit(IterationStarted(iteration=1, partition=0, pending_walks=5))
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_CROSS_DEVICE)
+
+    def test_disjoint_shards_are_clean(self):
+        pool0 = DeviceWalkPool(4, batch_capacity=32, capacity_walks=128)
+        pool1 = DeviceWalkPool(4, batch_capacity=32, capacity_walks=128)
+        sanitizer = (
+            Sanitizer()
+            .bind_shard(0, device=pool0)
+            .bind_shard(1, device=pool1)
+        )
+        bus = EventBus()
+        bus.attach(sanitizer)
+        pool0.append_walks(0, WalkArrays.fresh([1, 2], first_id=0))
+        pool1.append_walks(1, WalkArrays.fresh([3, 4], first_id=2))
+        bus.emit(IterationStarted(iteration=1, partition=0, pending_walks=4))
+        sanitizer.unbind()
+        assert sanitizer.clean, sanitizer.format_report()
+
+    def test_lost_migration_caught(self):
+        sanitizer = Sanitizer()
+        bus = EventBus()
+        bus.attach(sanitizer)
+        # Five walks enter the 0->1 channel but the run completes before
+        # any delivery: the migration dropped walks in flight.
+        bus.emit(WalksMigrated(src_device=0, dst_device=1, walks=5))
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=0))
+        one_violation(sanitizer, RULE_MIGRATION)
+
+    def test_phantom_delivery_caught(self):
+        sanitizer = Sanitizer()
+        bus = EventBus()
+        bus.attach(sanitizer)
+        # A delivery with no matching send duplicates walks out of thin
+        # air; caught live, not just at run completion.
+        bus.emit(WalksDelivered(src_device=1, dst_device=0, walks=3))
+        one_violation(sanitizer, RULE_MIGRATION)
+
+    def test_balanced_migration_is_clean(self):
+        sanitizer = Sanitizer()
+        bus = EventBus()
+        bus.attach(sanitizer)
+        bus.emit(WalksMigrated(src_device=0, dst_device=1, walks=5))
+        bus.emit(WalksDelivered(src_device=0, dst_device=1, walks=5))
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=0))
+        assert sanitizer.clean, sanitizer.format_report()
 
 
 class TestSummary:
