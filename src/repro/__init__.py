@@ -25,6 +25,11 @@ Quickstart::
     print(stats.summary())
 """
 
+# repro.core first: leaf modules (graph.csr, gpu.calibration, ...) import
+# the unit aliases from repro.core.units, and resolving that submodule while
+# repro.core's own __init__ is mid-flight is safe only when core initiates
+# the import chain.
+from repro.core import EngineConfig, LightTrafficEngine, RunStats, run_walks
 from repro.graph import (
     CSRGraph,
     PartitionedGraph,
@@ -39,7 +44,6 @@ from repro.algorithms import (
     PersonalizedPageRank,
     UniformSampling,
 )
-from repro.core import EngineConfig, LightTrafficEngine, RunStats, run_walks
 from repro.gpu import A100, RTX3090, DeviceSpec, PCIE3, PCIE4
 
 __version__ = "1.0.0"

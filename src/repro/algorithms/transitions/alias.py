@@ -25,7 +25,7 @@ bit-identical — the golden parity tests pin exactly that.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Tuple
 
 import numpy as np
 
@@ -130,7 +130,7 @@ class AliasTransition(TransitionSampler):
     name = SAMPLER_ALIAS
     needs_weights = True
 
-    def _build(self, partition: GraphPartition):
+    def _build(self, partition: GraphPartition) -> Any:
         weights = self._require_weights(partition)
         return build_alias_tables(partition.offsets, weights)
 

@@ -28,7 +28,7 @@ Contract
 from __future__ import annotations
 
 import abc
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class TransitionSampler(abc.ABC):
         self.fallbacks = 0
 
     # ------------------------------------------------------------------
-    def prepare(self, partition: GraphPartition):
+    def prepare(self, partition: GraphPartition) -> Any:
         """Cached per-partition build state (alias tables, prefix sums)."""
         state = self._states.get(partition.index)
         if state is None:
@@ -69,7 +69,7 @@ class TransitionSampler(abc.ABC):
         return count
 
     # ------------------------------------------------------------------
-    def _build(self, partition: GraphPartition):
+    def _build(self, partition: GraphPartition) -> Any:
         """Build the per-partition state; default: no state."""
         return None
 
@@ -78,7 +78,7 @@ class TransitionSampler(abc.ABC):
         self,
         partition: GraphPartition,
         vertices: np.ndarray,
-        rng,
+        rng: Any,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Pick one neighbor per walk; returns ``(next_vertices, dead_end)``."""
 

@@ -14,7 +14,7 @@ clamped back into the lane's own edge range.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Tuple
 
 import numpy as np
 
@@ -32,7 +32,7 @@ class InverseTransformTransition(TransitionSampler):
     name = SAMPLER_INVERSE
     needs_weights = True
 
-    def _build(self, partition: GraphPartition):
+    def _build(self, partition: GraphPartition) -> Any:
         weights = self._require_weights(partition)
         weights = np.asarray(weights, dtype=np.float64)
         if np.any(weights < 0) or not np.all(np.isfinite(weights)):

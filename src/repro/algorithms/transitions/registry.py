@@ -9,7 +9,7 @@ sampler changes both the executed semantics and the modeled cost.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 from repro.algorithms.transitions.base import TransitionSampler
 
@@ -41,7 +41,7 @@ def available_samplers() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def make_sampler(name: str, **kwargs) -> TransitionSampler:
+def make_sampler(name: str, **kwargs: Any) -> TransitionSampler:
     """Instantiate the sampler registered under ``name``."""
     _ensure_builtins()
     try:

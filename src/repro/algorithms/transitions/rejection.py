@@ -13,7 +13,7 @@ quality degradation instead of hiding it.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Tuple
 
 import numpy as np
 
@@ -38,7 +38,7 @@ class RejectionTransition(TransitionSampler):
         super().__init__()
         self.max_rounds = max_rounds
 
-    def _build(self, partition: GraphPartition):
+    def _build(self, partition: GraphPartition) -> Any:
         weights = self._require_weights(partition)
         # Per-vertex maximum edge weight (vectorized segment max).
         max_w = np.zeros(partition.num_vertices, dtype=np.float64)

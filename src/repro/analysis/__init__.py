@@ -8,11 +8,16 @@ refactor aggressively without corrupting the cost model:
   causality, PCIe duplex/stream affinity, partition residency, walk-batch
   lifecycle and global walk conservation.  Enabled per run via
   ``EngineConfig(sanitize=True)`` / ``repro run --sanitize``.
-* :mod:`~repro.analysis.lint` — an AST pass (``repro lint``) enforcing
-  the house rules that keep runs deterministic and the bus observable.
+* :mod:`~repro.analysis.static` — the multi-pass static-analysis
+  framework behind ``repro lint``: the ported house rules plus, under
+  ``--strict``, a unit-of-measure pass over the cost stack and a
+  cross-stage aliasing pass over the pipeline, all sharing one symbol
+  table, one :class:`~repro.analysis.static.findings.Finding` type, one
+  waiver syntax and one suppression baseline.
 """
 
 from repro.analysis.lint import LintViolation, lint_paths, run_lint
+from repro.analysis.static import Finding, analyze_paths
 from repro.analysis.sanitizer import STREAM_AFFINITY, Sanitizer, format_summary
 from repro.analysis.violations import (
     ALL_RULES,
@@ -30,7 +35,9 @@ from repro.analysis.violations import (
 
 __all__ = [
     "ALL_RULES",
+    "Finding",
     "LintViolation",
+    "analyze_paths",
     "RULE_CROSS_DEVICE",
     "RULE_DOUBLE_CONSUME",
     "RULE_EVICT_IN_FLIGHT",

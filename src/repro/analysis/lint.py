@@ -1,334 +1,39 @@
-"""``repro lint`` — repo-specific static checks over ``src/repro``.
+"""Back-compat shim for the old single-file linter.
 
-Generic linters cannot know that this codebase's determinism hinges on a
-single RNG factory, that simulated timestamps are accumulated floats, or
-that the event bus must cover every event type.  This AST pass encodes
-those house rules:
-
-``rng-factory``
-    Every ``numpy`` generator must come from
-    :func:`repro.core.prng.seeded_rng` (or ``CounterRNG``); direct
-    ``np.random.default_rng`` / ``np.random.*`` calls and the stdlib
-    ``random`` module are banned outside ``core/prng.py``.  Ad-hoc
-    generators fork untracked RNG streams and silently break
-    counter-RNG replay and cross-system seed alignment.
-
-``float-timestamp-eq``
-    No ``==`` / ``!=`` on simulated-timeline timestamps (``busy_until``,
-    ``ready_time``, ``now``, ``*_time`` names).  Timestamps are sums of
-    float durations accumulated in program order; exact equality is
-    order-sensitive — use :func:`repro.gpu.timeline.times_close`.
-
-``frozen-event``
-    Every ``@dataclass`` in an ``events.py`` module (and every subclass
-    of ``EngineEvent`` anywhere) must be declared ``frozen=True``:
-    events are delivered synchronously to multiple subscribers, and a
-    subscriber mutating a shared event corrupts everyone downstream.
-
-``event-handler-coverage``
-    Every event type registered in ``core/events.py``'s ``EVENT_TYPES``
-    must have at least one ``on_<snake_case>`` handler defined somewhere
-    in the tree (or an explicit waiver) — an event nobody consumes is
-    either dead weight or a silently unobserved engine fact.
-
-Any rule can be waived on a specific line with a trailing
-``# lint: allow-<rule>`` comment; waivers are deliberate and grep-able.
+The linter grew into the multi-pass framework in
+:mod:`repro.analysis.static` (shared symbol table + def-use dataflow
+core, unit-of-measure and cross-stage aliasing passes, suppression
+baseline).  This module keeps the historical import surface alive —
+rule constants, :class:`LintViolation` (now an alias of the unified
+:class:`~repro.analysis.static.findings.Finding`), :func:`lint_paths`
+and :func:`run_lint` — so existing callers and tests keep working.
+There is no separate legacy implementation behind it.
 """
 
 from __future__ import annotations
 
-import ast
-import re
-import sys
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
-
-#: anything ``Path()`` accepts — callers may pass plain strings.
-PathInput = Union[str, "Path"]
-
-RULE_RNG = "rng-factory"
-RULE_FLOAT_EQ = "float-timestamp-eq"
-RULE_FROZEN_EVENT = "frozen-event"
-RULE_HANDLER_COVERAGE = "event-handler-coverage"
-
-#: module path (as posix suffix) allowed to construct raw generators.
-RNG_FACTORY_MODULE = "core/prng.py"
-
-#: identifiers treated as simulated timestamps by ``float-timestamp-eq``.
-TIMESTAMP_NAMES = re.compile(
-    r"^(busy_until|ready_time|now|graph_t|batch_t|k_end|earliest"
-    r"|[a-z0-9_]*_time)$"
+from repro.analysis.static.dataflow import PathInput, iter_python_files
+from repro.analysis.static.findings import Finding as LintViolation
+from repro.analysis.static.houserules import (
+    RNG_FACTORY_MODULE,
+    RULE_FLOAT_EQ,
+    RULE_FROZEN_EVENT,
+    RULE_HANDLER_COVERAGE,
+    RULE_RNG,
+    TIMESTAMP_NAMES,
 )
+from repro.analysis.static.runner import lint_paths, run_lint
 
-_WAIVER_RE = re.compile(r"#\s*lint:\s*allow-([a-z\-]+)")
-_SNAKE_RE = re.compile(r"(?<!^)(?=[A-Z])")
-
-
-@dataclass(frozen=True)
-class LintViolation:
-    """One static-rule violation at a specific source line."""
-
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def _waivers_by_line(source: str) -> Dict[int, Set[str]]:
-    """``# lint: allow-<rule>`` comments, keyed by 1-based line number."""
-    waivers: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        for match in _WAIVER_RE.finditer(line):
-            waivers.setdefault(lineno, set()).add(match.group(1))
-    return waivers
-
-
-def _dotted(node: ast.AST) -> str:
-    """Best-effort dotted name of an expression (``np.random.default_rng``)."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-    return ".".join(reversed(parts))
-
-
-def _is_timestamp_operand(node: ast.AST) -> bool:
-    if isinstance(node, ast.Name):
-        return bool(TIMESTAMP_NAMES.match(node.id))
-    if isinstance(node, ast.Attribute):
-        return bool(TIMESTAMP_NAMES.match(node.attr))
-    return False
-
-
-class _FileLinter(ast.NodeVisitor):
-    """Single-file visitor producing violations (waivers applied later)."""
-
-    def __init__(self, path: Path, rel: str, allow_rng: bool) -> None:
-        self.path = path
-        self.rel = rel
-        self.allow_rng = allow_rng
-        self.violations: List[LintViolation] = []
-        self.handler_names: Set[str] = set()
-
-    def _report(self, node: ast.AST, rule: str, message: str) -> None:
-        self.violations.append(
-            LintViolation(self.rel, getattr(node, "lineno", 0), rule, message)
-        )
-
-    # -- rng-factory ---------------------------------------------------
-    def visit_Import(self, node: ast.Import) -> None:
-        if not self.allow_rng:
-            for alias in node.names:
-                if alias.name == "random" or alias.name.startswith("random."):
-                    self._report(
-                        node,
-                        RULE_RNG,
-                        "stdlib 'random' bypasses core/prng.py; use "
-                        "repro.core.prng.seeded_rng",
-                    )
-        self.generic_visit(node)
-
-    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if not self.allow_rng and node.module is not None:
-            if node.module == "random" or node.module.startswith("random."):
-                self._report(
-                    node,
-                    RULE_RNG,
-                    "stdlib 'random' bypasses core/prng.py; use "
-                    "repro.core.prng.seeded_rng",
-                )
-            if node.module in ("numpy.random",) or node.module.startswith(
-                "numpy.random."
-            ):
-                self._report(
-                    node,
-                    RULE_RNG,
-                    "importing from numpy.random bypasses core/prng.py; "
-                    "use repro.core.prng.seeded_rng",
-                )
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if not self.allow_rng:
-            dotted = _dotted(node.func)
-            if ".random." in f".{dotted}." and (
-                dotted.startswith("np.random")
-                or dotted.startswith("numpy.random")
-            ):
-                self._report(
-                    node,
-                    RULE_RNG,
-                    f"direct '{dotted}' call outside core/prng.py; "
-                    "construct generators via repro.core.prng.seeded_rng "
-                    "so runs stay counter-RNG deterministic",
-                )
-        self.generic_visit(node)
-
-    # -- float-timestamp-eq --------------------------------------------
-    def visit_Compare(self, node: ast.Compare) -> None:
-        operands = [node.left, *node.comparators]
-        for op, left, right in zip(node.ops, operands, operands[1:]):
-            if not isinstance(op, (ast.Eq, ast.NotEq)):
-                continue
-            for side in (left, right):
-                if _is_timestamp_operand(side):
-                    name = _dotted(side) or "<timestamp>"
-                    self._report(
-                        node,
-                        RULE_FLOAT_EQ,
-                        f"exact {'==' if isinstance(op, ast.Eq) else '!='} "
-                        f"on simulated timestamp '{name}'; use "
-                        "repro.gpu.timeline.times_close",
-                    )
-                    break
-        self.generic_visit(node)
-
-    # -- frozen-event ----------------------------------------------------
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        is_event_module = self.path.name == "events.py"
-        subclasses_event = any(
-            _dotted(base).split(".")[-1] == "EngineEvent"
-            for base in node.bases
-        )
-        for decorator in node.decorator_list:
-            target = decorator
-            frozen = False
-            if isinstance(decorator, ast.Call):
-                target = decorator.func
-                frozen = any(
-                    kw.arg == "frozen"
-                    and isinstance(kw.value, ast.Constant)
-                    and kw.value.value is True
-                    for kw in decorator.keywords
-                )
-            if _dotted(target).split(".")[-1] != "dataclass":
-                continue
-            if (is_event_module or subclasses_event) and not frozen:
-                self._report(
-                    node,
-                    RULE_FROZEN_EVENT,
-                    f"event dataclass '{node.name}' must be "
-                    "@dataclass(frozen=True): events are shared across "
-                    "bus subscribers",
-                )
-        self.generic_visit(node)
-
-    # -- handler collection (for event-handler-coverage) -----------------
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        if node.name.startswith("on_"):
-            self.handler_names.add(node.name)
-        self.generic_visit(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        if node.name.startswith("on_"):
-            self.handler_names.add(node.name)
-        self.generic_visit(node)
-
-
-def _event_types(tree: ast.Module) -> List[Tuple[str, int]]:
-    """``(class name, lineno)`` of every EngineEvent subclass in a module."""
-    out: List[Tuple[str, int]] = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef) and any(
-            _dotted(base).split(".")[-1] == "EngineEvent"
-            for base in node.bases
-        ):
-            out.append((node.name, node.lineno))
-    return out
-
-
-def _handler_name(event_name: str) -> str:
-    return "on_" + _SNAKE_RE.sub("_", event_name).lower()
-
-
-def iter_python_files(paths: Sequence["PathInput"]) -> Iterable[Path]:
-    for raw in paths:
-        path = Path(raw)
-        if path.is_dir():
-            yield from sorted(path.rglob("*.py"))
-        elif path.suffix == ".py":
-            yield path
-
-
-def lint_paths(paths: Sequence["PathInput"]) -> List[LintViolation]:
-    """Run every rule over ``paths``; returns unwaived violations."""
-    violations: List[LintViolation] = []
-    all_handlers: Set[str] = set()
-    events_modules: List[Tuple[str, ast.Module, Dict[int, Set[str]]]] = []
-
-    for path in iter_python_files(paths):
-        rel = path.as_posix()
-        source = path.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=rel)
-        except SyntaxError as exc:
-            violations.append(
-                LintViolation(
-                    rel, exc.lineno or 0, "syntax", f"cannot parse: {exc.msg}"
-                )
-            )
-            continue
-        waivers = _waivers_by_line(source)
-        linter = _FileLinter(
-            path, rel, allow_rng=rel.endswith(RNG_FACTORY_MODULE)
-        )
-        linter.visit(tree)
-        all_handlers.update(linter.handler_names)
-        violations.extend(
-            v
-            for v in linter.violations
-            if v.rule not in waivers.get(v.line, set())
-        )
-        if rel.endswith("core/events.py"):
-            events_modules.append((rel, tree, waivers))
-
-    # event-handler-coverage spans files: needs all handlers collected.
-    for rel, tree, waivers in events_modules:
-        for event_name, lineno in _event_types(tree):
-            handler = _handler_name(event_name)
-            if handler in all_handlers:
-                continue
-            if RULE_HANDLER_COVERAGE in waivers.get(lineno, set()):
-                continue
-            violations.append(
-                LintViolation(
-                    rel,
-                    lineno,
-                    RULE_HANDLER_COVERAGE,
-                    f"event type '{event_name}' has no '{handler}' "
-                    "subscriber anywhere in the tree; register a handler "
-                    "or waive with '# lint: allow-event-handler-coverage'",
-                )
-            )
-
-    violations.sort(key=lambda v: (v.path, v.line, v.rule))
-    return violations
-
-
-def run_lint(paths: Sequence[str]) -> int:
-    """CLI entry: print violations, return the exit code."""
-    resolved = [Path(p) for p in paths]
-    missing = [p for p in resolved if not p.exists()]
-    if missing:
-        for path in missing:
-            print(f"repro lint: no such path: {path}", file=sys.stderr)
-        return 2
-    violations = lint_paths(resolved)
-    for violation in violations:
-        print(violation)
-    checked = sum(1 for _ in iter_python_files(resolved))
-    if violations:
-        print(
-            f"repro lint: {len(violations)} violation(s) in "
-            f"{checked} file(s)",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"repro lint: {checked} file(s) clean")
-    return 0
+__all__ = [
+    "LintViolation",
+    "PathInput",
+    "RNG_FACTORY_MODULE",
+    "RULE_FLOAT_EQ",
+    "RULE_FROZEN_EVENT",
+    "RULE_HANDLER_COVERAGE",
+    "RULE_RNG",
+    "TIMESTAMP_NAMES",
+    "iter_python_files",
+    "lint_paths",
+    "run_lint",
+]

@@ -93,6 +93,7 @@ from repro.core.events import (
     WalkFinished,
     WalksDelivered,
     WalksMigrated,
+    WalksSeeded,
 )
 from repro.core.stats import (
     CAT_CPU_COMPUTE,
@@ -372,6 +373,19 @@ class Sanitizer:
     # ------------------------------------------------------------------
     # Bus event handlers (bound by EventBus.attach)
     # ------------------------------------------------------------------
+    def on_walks_seeded(self, event: WalksSeeded) -> None:
+        self._record(f"{event!r}")
+        if self._expected_walks is None:
+            # Arms the conservation checks even when bind() was not told
+            # the walk count — the seeding event is the ground truth.
+            self._expected_walks = event.walks
+        elif event.walks != self._expected_walks:
+            self._violate(
+                RULE_WALK_CONSERVATION,
+                f"seeded {event.walks} walks but the run expects "
+                f"{self._expected_walks}",
+            )
+
     def on_iteration_started(self, event: IterationStarted) -> None:
         self._iteration = event.iteration
         self._record(f"{event!r}")

@@ -1,0 +1,62 @@
+"""Multi-pass static-analysis framework (``repro lint``).
+
+Built on a shared per-module symbol table and def-use dataflow core
+(:mod:`~repro.analysis.static.dataflow`); every pass produces the same
+:class:`~repro.analysis.static.findings.Finding` type, suppressible by
+``# lint: allow-<rule>`` waivers or the committed baseline file.
+
+Passes:
+
+* :mod:`~repro.analysis.static.houserules` — the four original repo
+  rules (RNG factory, timestamp equality, frozen events, event-handler
+  coverage); always on.
+* :mod:`~repro.analysis.static.unitcheck` — unit-of-measure checking
+  over the cost stack (``--strict``).
+* :mod:`~repro.analysis.static.aliasing` — cross-stage StageContext
+  aliasing / unpublished-mutation checking (``--strict``).
+"""
+
+from repro.analysis.static.aliasing import (
+    RULE_UNDECLARED,
+    RULE_UNPUBLISHED,
+)
+from repro.analysis.static.findings import Baseline, Finding
+from repro.analysis.static.houserules import (
+    RULE_FLOAT_EQ,
+    RULE_FROZEN_EVENT,
+    RULE_HANDLER_COVERAGE,
+    RULE_RNG,
+)
+from repro.analysis.static.runner import (
+    DEFAULT_BASELINE,
+    PASSES,
+    analyze_paths,
+    lint_paths,
+    run_lint,
+)
+from repro.analysis.static.unitcheck import (
+    RULE_CYCLES_SECONDS,
+    RULE_RETURN_MISMATCH,
+    RULE_RETURN_UNTYPED,
+    RULE_UNIT_MIX,
+)
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "PASSES",
+    "RULE_CYCLES_SECONDS",
+    "RULE_FLOAT_EQ",
+    "RULE_FROZEN_EVENT",
+    "RULE_HANDLER_COVERAGE",
+    "RULE_RETURN_MISMATCH",
+    "RULE_RETURN_UNTYPED",
+    "RULE_RNG",
+    "RULE_UNDECLARED",
+    "RULE_UNIT_MIX",
+    "RULE_UNPUBLISHED",
+    "analyze_paths",
+    "lint_paths",
+    "run_lint",
+]

@@ -1,0 +1,137 @@
+"""Unified finding records, waivers and the suppression baseline.
+
+Every pass of the static-analysis framework — the ported house rules,
+the unit-of-measure pass and the cross-stage aliasing pass — produces
+the same :class:`Finding` type, suppressible the same two ways:
+
+* a trailing ``# lint: allow-<rule>`` comment waives one rule on one
+  source line (deliberate, grep-able, reviewed with the code);
+* a committed :class:`Baseline` JSON file suppresses known findings so
+  ``repro lint --strict`` can gate CI on *new* findings only while a
+  justified backlog is burned down.
+
+Baseline entries key on ``(path, rule, message)`` rather than line
+numbers, so unrelated edits shifting a file do not resurrect suppressed
+findings; any drift in the finding itself (message text changes when
+the flagged expression changes) un-suppresses it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+_WAIVER_RE = re.compile(r"#\s*lint:\s*allow-([a-z0-9\-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding at a specific source line."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    #: which pass produced the finding (``house-rules`` / ``units`` /
+    #: ``aliasing``); cosmetic in text output, kept in JSON.
+    pass_name: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "pass": self.pass_name,
+        }
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-insensitive identity used by the suppression baseline."""
+        return (self.path, self.rule, self.message)
+
+
+def waivers_by_line(source: str) -> Dict[int, Set[str]]:
+    """``# lint: allow-<rule>`` comments, keyed by 1-based line number."""
+    waivers: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in _WAIVER_RE.finditer(line):
+            waivers.setdefault(lineno, set()).add(match.group(1))
+    return waivers
+
+
+def apply_waivers(
+    findings: Iterable[Finding], waivers: Dict[int, Set[str]]
+) -> List[Finding]:
+    """Drop findings waived on their own line."""
+    return [
+        f for f in findings if f.rule not in waivers.get(f.line, set())
+    ]
+
+
+class Baseline:
+    """A committed set of accepted findings (the suppression file).
+
+    The file is JSON so CI artifacts and humans read the same thing::
+
+        {
+          "comment": "why each entry is tolerated",
+          "findings": [
+            {"path": "...", "rule": "...", "message": "..."}
+          ]
+        }
+    """
+
+    def __init__(self, entries: Set[Tuple[str, str, str]]) -> None:
+        self.entries = entries
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(set())
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls.empty()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries: Set[Tuple[str, str, str]] = set()
+        for row in payload.get("findings", []):
+            entries.add(
+                (str(row["path"]), str(row["rule"]), str(row["message"]))
+            )
+        return cls(entries)
+
+    @staticmethod
+    def save(path: Path, findings: Sequence[Finding], comment: str) -> None:
+        """Write ``findings`` as the new baseline (sorted, stable)."""
+        rows = sorted(
+            (
+                {"path": f.path, "rule": f.rule, "message": f.message}
+                for f in findings
+            ),
+            key=lambda r: (r["path"], r["rule"], r["message"]),
+        )
+        payload = {"comment": comment, "findings": rows}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, suppressed-by-baseline)."""
+        fresh: List[Finding] = []
+        known: List[Finding] = []
+        for finding in findings:
+            if finding.baseline_key() in self.entries:
+                known.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, known

@@ -1,0 +1,255 @@
+"""House-rules pass: the original repo-specific AST checks.
+
+These four rules predate the dataflow framework (they were
+``analysis/lint.py``); they are ported onto the shared
+:class:`~repro.analysis.static.dataflow.ModuleInfo` /
+:class:`~repro.analysis.static.dataflow.SymbolTable` plumbing so the
+whole linter has one :class:`Finding` type, one waiver syntax and one
+CLI path:
+
+``rng-factory``
+    Every ``numpy`` generator must come from
+    :func:`repro.core.prng.seeded_rng` (or ``CounterRNG``); direct
+    ``np.random.default_rng`` / ``np.random.*`` calls and the stdlib
+    ``random`` module are banned outside ``core/prng.py``.  Ad-hoc
+    generators fork untracked RNG streams and silently break
+    counter-RNG replay and cross-system seed alignment.
+
+``float-timestamp-eq``
+    No ``==`` / ``!=`` on simulated-timeline timestamps (``busy_until``,
+    ``ready_time``, ``now``, ``*_time`` names).  Timestamps are sums of
+    float durations accumulated in program order; exact equality is
+    order-sensitive — use :func:`repro.gpu.timeline.times_close`.
+
+``frozen-event``
+    Every ``@dataclass`` in an ``events.py`` module (and every subclass
+    of ``EngineEvent`` anywhere) must be declared ``frozen=True``:
+    events are delivered synchronously to multiple subscribers, and a
+    subscriber mutating a shared event corrupts everyone downstream.
+
+``event-handler-coverage``
+    Every event type defined in ``core/events.py`` must have at least
+    one ``on_<snake_case>`` handler defined somewhere in the tree (or
+    an explicit waiver) — an event nobody consumes is either dead
+    weight or a silently unobserved engine fact.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Sequence, Set, Tuple
+
+from repro.analysis.static.dataflow import (
+    ModuleInfo,
+    SymbolTable,
+    dotted,
+    snake_case,
+)
+from repro.analysis.static.findings import Finding
+
+PASS_NAME = "house-rules"
+
+RULE_RNG = "rng-factory"
+RULE_FLOAT_EQ = "float-timestamp-eq"
+RULE_FROZEN_EVENT = "frozen-event"
+RULE_HANDLER_COVERAGE = "event-handler-coverage"
+
+#: module path (as posix suffix) allowed to construct raw generators.
+RNG_FACTORY_MODULE = "core/prng.py"
+
+#: identifiers treated as simulated timestamps by ``float-timestamp-eq``.
+TIMESTAMP_NAMES = re.compile(
+    r"^(busy_until|ready_time|now|graph_t|batch_t|k_end|earliest"
+    r"|[a-z0-9_]*_time)$"
+)
+
+
+def _is_timestamp_operand(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(TIMESTAMP_NAMES.match(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(TIMESTAMP_NAMES.match(node.attr))
+    return False
+
+
+class _FileVisitor(ast.NodeVisitor):
+    """Single-file visitor for the per-file house rules."""
+
+    def __init__(self, module: ModuleInfo, allow_rng: bool) -> None:
+        self.module = module
+        self.allow_rng = allow_rng
+        self.findings: List[Finding] = []
+        self.handler_names: Set[str] = set()
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                self.module.rel,
+                getattr(node, "lineno", 0),
+                rule,
+                message,
+                PASS_NAME,
+            )
+        )
+
+    # -- rng-factory ---------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self.allow_rng:
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith(
+                    "random."
+                ):
+                    self._report(
+                        node,
+                        RULE_RNG,
+                        "stdlib 'random' bypasses core/prng.py; use "
+                        "repro.core.prng.seeded_rng",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self.allow_rng and node.module is not None:
+            if node.module == "random" or node.module.startswith("random."):
+                self._report(
+                    node,
+                    RULE_RNG,
+                    "stdlib 'random' bypasses core/prng.py; use "
+                    "repro.core.prng.seeded_rng",
+                )
+            if node.module in ("numpy.random",) or node.module.startswith(
+                "numpy.random."
+            ):
+                self._report(
+                    node,
+                    RULE_RNG,
+                    "importing from numpy.random bypasses core/prng.py; "
+                    "use repro.core.prng.seeded_rng",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self.allow_rng:
+            name = dotted(node.func)
+            if ".random." in f".{name}." and (
+                name.startswith("np.random")
+                or name.startswith("numpy.random")
+            ):
+                self._report(
+                    node,
+                    RULE_RNG,
+                    f"direct '{name}' call outside core/prng.py; "
+                    "construct generators via repro.core.prng.seeded_rng "
+                    "so runs stay counter-RNG deterministic",
+                )
+        self.generic_visit(node)
+
+    # -- float-timestamp-eq --------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if _is_timestamp_operand(side):
+                    name = dotted(side) or "<timestamp>"
+                    self._report(
+                        node,
+                        RULE_FLOAT_EQ,
+                        f"exact {'==' if isinstance(op, ast.Eq) else '!='} "
+                        f"on simulated timestamp '{name}'; use "
+                        "repro.gpu.timeline.times_close",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- frozen-event ----------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        is_event_module = self.module.path.name == "events.py"
+        subclasses_event = any(
+            dotted(base).split(".")[-1] == "EngineEvent"
+            for base in node.bases
+        )
+        for decorator in node.decorator_list:
+            target = decorator
+            frozen = False
+            if isinstance(decorator, ast.Call):
+                target = decorator.func
+                frozen = any(
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in decorator.keywords
+                )
+            if dotted(target).split(".")[-1] != "dataclass":
+                continue
+            if (is_event_module or subclasses_event) and not frozen:
+                self._report(
+                    node,
+                    RULE_FROZEN_EVENT,
+                    f"event dataclass '{node.name}' must be "
+                    "@dataclass(frozen=True): events are shared across "
+                    "bus subscribers",
+                )
+        self.generic_visit(node)
+
+    # -- handler collection (for event-handler-coverage) -----------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name.startswith("on_"):
+            self.handler_names.add(node.name)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        if node.name.startswith("on_"):
+            self.handler_names.add(node.name)
+        self.generic_visit(node)
+
+
+def _event_types(tree: ast.Module) -> List[Tuple[str, int]]:
+    """``(class name, lineno)`` of every EngineEvent subclass in a module."""
+    out: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and any(
+            dotted(base).split(".")[-1] == "EngineEvent"
+            for base in node.bases
+        ):
+            out.append((node.name, node.lineno))
+    return out
+
+
+def run_pass(
+    modules: Sequence[ModuleInfo], table: SymbolTable
+) -> List[Finding]:
+    """Run the four house rules over parsed modules."""
+    findings: List[Finding] = []
+    all_handlers: Set[str] = set()
+    events_modules: List[ModuleInfo] = []
+
+    for module in modules:
+        visitor = _FileVisitor(
+            module, allow_rng=module.rel.endswith(RNG_FACTORY_MODULE)
+        )
+        visitor.visit(module.tree)
+        all_handlers.update(visitor.handler_names)
+        findings.extend(visitor.findings)
+        if module.rel.endswith("core/events.py"):
+            events_modules.append(module)
+
+    # event-handler-coverage spans files: needs all handlers collected.
+    for module in events_modules:
+        for event_name, lineno in _event_types(module.tree):
+            handler = "on_" + snake_case(event_name)
+            if handler in all_handlers:
+                continue
+            findings.append(
+                Finding(
+                    module.rel,
+                    lineno,
+                    RULE_HANDLER_COVERAGE,
+                    f"event type '{event_name}' has no '{handler}' "
+                    "subscriber anywhere in the tree; register a handler "
+                    "or waive with '# lint: allow-event-handler-coverage'",
+                    PASS_NAME,
+                )
+            )
+    return findings

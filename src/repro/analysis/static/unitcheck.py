@@ -1,0 +1,586 @@
+"""Unit-of-measure pass: dimensional analysis over the cost stack.
+
+Every expression is mapped to a point in the unit lattice — an exponent
+vector over the six base dimensions of :data:`repro.core.units.
+BASE_DIMENSIONS` (seconds, cycles, bytes, cache lines, walks, packets)
+— via three sources of truth, strongest first:
+
+1. **Annotations.** A call to a function annotated ``-> Seconds`` (any
+   alias in :data:`~repro.core.units.UNIT_DIMENSIONS`, resolved through
+   the shared :class:`~repro.analysis.static.dataflow.SymbolTable`) has
+   that alias's dimension vector, as does a parameter or variable
+   annotated with one, and an explicit cast ``Seconds(expr)``.
+2. **Dataflow.** Assignments propagate dimensions through local
+   variables; arithmetic combines them (multiplication adds exponents,
+   division subtracts, so ``Cycles / Hertz`` cancels to ``Seconds``).
+3. **Naming convention.** ``latency_seconds``, ``step_cycles``,
+   ``nbytes``, ``clock_hz``, ``bytes_per_walk`` … — snake-case tokens
+   carry dimensions, with ``_per_`` / ``_from_`` / ``_to_`` compounds
+   split into ratios and conversions.
+
+Count dimensions (cache lines, walks, packets) are *absorbed* by
+multiplication and division — ``walks * bytes_per_walk`` is bytes, not
+byte-walks — because counts legitimately scale other quantities; they
+still participate in addition/comparison checks, where adding walks to
+bytes is always a bug.
+
+Rules:
+
+* ``unit-mix`` — addition, subtraction or ordering comparison between
+  two different concrete dimensions.
+* ``cycles-vs-seconds`` — the special case the cost stack is most
+  exposed to (kernel cycle counts vs timeline seconds); points at the
+  blessed conversions.
+* ``unit-return-mismatch`` — a ``return`` whose inferred dimension
+  contradicts the declared (or name-implied) unit of the function.
+* ``unit-return-untyped`` — a function named ``*_seconds`` /
+  ``*_cycles`` / ``*_bytes`` whose return annotation is not a unit
+  alias, so mypy cannot hold callers to it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.units import UNIT_DIMENSIONS
+from repro.analysis.static.dataflow import (
+    AbstractInterpreter,
+    FunctionScope,
+    ModuleInfo,
+    SymbolTable,
+)
+from repro.analysis.static.findings import Finding
+
+PASS_NAME = "units"
+
+RULE_UNIT_MIX = "unit-mix"
+RULE_CYCLES_SECONDS = "cycles-vs-seconds"
+RULE_RETURN_MISMATCH = "unit-return-mismatch"
+RULE_RETURN_UNTYPED = "unit-return-untyped"
+
+# ---------------------------------------------------------------------------
+# The dimension domain
+# ---------------------------------------------------------------------------
+
+#: Canonical dimension vector: sorted ((base, exponent), ...), no zeros.
+Dims = Tuple[Tuple[str, int], ...]
+
+#: Polymorphic / dimensionless: literals, ratios — unifies with anything.
+POLY: Dims = ()
+
+#: Dimensions that are counts: absorbed by * and /, checked by + and <.
+COUNT_DIMS = frozenset({"cache_lines", "walks", "packets"})
+
+_DIM_SYMBOL = {
+    "seconds": "s",
+    "cycles": "cy",
+    "bytes": "B",
+    "cache_lines": "line",
+    "walks": "walk",
+    "packets": "pkt",
+}
+
+
+def make_dims(exponents: Dict[str, int]) -> Dims:
+    return tuple(sorted((k, v) for k, v in exponents.items() if v != 0))
+
+
+_SECONDS = make_dims({"seconds": 1})
+_CYCLES = make_dims({"cycles": 1})
+_BYTES = make_dims({"bytes": 1})
+_LINES = make_dims({"cache_lines": 1})
+_WALKS = make_dims({"walks": 1})
+_PACKETS = make_dims({"packets": 1})
+_HERTZ = make_dims({"cycles": 1, "seconds": -1})
+_BANDWIDTH = make_dims({"bytes": 1, "seconds": -1})
+
+_ALIAS_DIMS: Dict[str, Dims] = {
+    alias: make_dims(vector) for alias, vector in UNIT_DIMENSIONS.items()
+}
+
+#: Annotations that positively mean "no dimension" — stop name inference.
+_NEUTRAL_ANNOTATIONS = frozenset({"bool", "str", "None"})
+
+
+def fmt_dims(dims: Optional[Dims]) -> str:
+    """Human-readable vector: ``s``, ``cy``, ``B/s``, ``1/s``, ``s^2``."""
+    if dims is None:
+        return "?"
+    if not dims:
+        return "1"
+    num = [
+        _DIM_SYMBOL[d] + (f"^{e}" if e > 1 else "")
+        for d, e in dims
+        if e > 0
+    ]
+    den = [
+        _DIM_SYMBOL[d] + (f"^{-e}" if e < -1 else "")
+        for d, e in dims
+        if e < 0
+    ]
+    head = "*".join(num) if num else "1"
+    if den:
+        return head + "/" + "*".join(den)
+    return head
+
+
+def is_count_only(dims: Optional[Dims]) -> bool:
+    return bool(dims) and all(d in COUNT_DIMS for d, _ in dims)
+
+
+def _invert(dims: Optional[Dims]) -> Optional[Dims]:
+    if dims is None:
+        return None
+    if is_count_only(dims):
+        return dims  # counts are absorbed regardless of side
+    return tuple(sorted((d, -e) for d, e in dims))
+
+
+def dims_mul(a: Optional[Dims], b: Optional[Dims]) -> Optional[Dims]:
+    """Product of two dimension vectors; counts are absorbed."""
+    if a is None or b is None:
+        return None
+    if a == POLY:
+        return b
+    if b == POLY:
+        return a
+    a_count, b_count = is_count_only(a), is_count_only(b)
+    if a_count and b_count:
+        return a if a == b else None
+    if a_count:
+        return b
+    if b_count:
+        return a
+    merged: Dict[str, int] = dict(a)
+    for dim, exp in b:
+        merged[dim] = merged.get(dim, 0) + exp
+    return make_dims(merged)
+
+
+def dims_div(a: Optional[Dims], b: Optional[Dims]) -> Optional[Dims]:
+    return dims_mul(a, _invert(b))
+
+
+# ---------------------------------------------------------------------------
+# Naming-convention inference
+# ---------------------------------------------------------------------------
+
+_TOKEN_DIMS: Dict[str, Dims] = {
+    "seconds": _SECONDS,
+    "second": _SECONDS,
+    "secs": _SECONDS,
+    "sec": _SECONDS,
+    "time": _SECONDS,
+    "duration": _SECONDS,
+    "latency": _SECONDS,
+    "deadline": _SECONDS,
+    "makespan": _SECONDS,
+    "cycles": _CYCLES,
+    "cycle": _CYCLES,
+    "hz": _HERTZ,
+    "hertz": _HERTZ,
+    "bytes": _BYTES,
+    "byte": _BYTES,
+    "nbytes": _BYTES,
+    "bandwidth": _BANDWIDTH,
+    "cachelines": _LINES,
+    "walks": _WALKS,
+    "walk": _WALKS,
+    "packets": _PACKETS,
+    "pkts": _PACKETS,
+}
+
+#: Whole names with a conventional meaning that tokens alone miss.
+_EXACT_NAMES: Dict[str, Dims] = {
+    "now": _SECONDS,
+    "busy_until": _SECONDS,
+    "earliest": _SECONDS,
+    "k_end": _SECONDS,
+}
+
+_TIMESTAMP_SUFFIX_RE = re.compile(r"(^|_)(t|until)$")
+
+#: Function-name suffix that *requires* a unit-alias return annotation.
+RETURN_SUFFIX_DIMS: Dict[str, Dims] = {
+    "seconds": _SECONDS,
+    "cycles": _CYCLES,
+    "bytes": _BYTES,
+}
+
+
+#: Tokens that positively mean "dimensionless" and stop inference:
+#: ``zero_copy_bandwidth_fraction`` is a pure ratio, not a bandwidth.
+_POLY_TOKENS = frozenset(
+    {"fraction", "frac", "ratio", "scale", "factor", "pct", "percent"}
+)
+
+
+def _tokens_dim(tokens: Sequence[str]) -> Optional[Dims]:
+    """Rightmost dimension-bearing token wins (``cacheline_bytes``→B)."""
+    for token in reversed(tokens):
+        if token in _POLY_TOKENS:
+            return POLY
+        dims = _TOKEN_DIMS.get(token)
+        if dims is not None:
+            return dims
+    return None
+
+
+def infer_name_dims(name: str) -> Optional[Dims]:
+    """Dimension implied by a snake-case identifier, or None.
+
+    ``_per_`` splits into a ratio (``bytes_per_second`` → B/s),
+    ``_from_`` / ``_to_`` name conversions (``seconds_from_cycles`` →
+    s; ``cycles_to_seconds`` → s).
+    """
+    exact = _EXACT_NAMES.get(name)
+    if exact is not None:
+        return exact
+    if _TIMESTAMP_SUFFIX_RE.search(name):
+        return _SECONDS
+    tokens = name.lower().split("_")
+    if "from" in tokens:
+        tokens = tokens[: tokens.index("from")]
+    elif "to" in tokens:
+        tokens = tokens[tokens.index("to") + 1 :]
+    if "per" in tokens:
+        split = tokens.index("per")
+        numer = _tokens_dim(tokens[:split])
+        denom = _tokens_dim(tokens[split + 1 :])
+        if denom is None:
+            return None
+        if numer is None:
+            # ``_serial_per_walk``: an unknown per-count quantity stays
+            # unknown (counts are absorbed, so POLY/walk would wrongly
+            # claim the whole expression is dimensionless).
+            return None if is_count_only(denom) else dims_div(POLY, denom)
+        return dims_div(numer, denom)
+    return _tokens_dim(tokens)
+
+
+# ---------------------------------------------------------------------------
+# The interpreter
+# ---------------------------------------------------------------------------
+
+#: builtins that preserve the dimension of their (first) argument
+_PASSTHROUGH_CALLS = frozenset(
+    {"abs", "float", "int", "round", "sum", "ceil", "floor", "fsum"}
+)
+#: builtins whose result carries the common dimension of all arguments
+_EXTREMUM_CALLS = frozenset({"min", "max"})
+
+#: method names shared with dict/list/set — never resolved through the
+#: symbol table (``TimeBreakdown.get -> Seconds`` must not claim every
+#: ``somedict.get(...)`` in the repo returns seconds).
+_GENERIC_METHODS = frozenset(
+    {
+        "get",
+        "pop",
+        "add",
+        "append",
+        "update",
+        "copy",
+        "setdefault",
+        "remove",
+        "discard",
+        "insert",
+        "extend",
+        "clear",
+        "count",
+        "index",
+        "items",
+        "keys",
+        "values",
+    }
+)
+
+_CHECKED_CMPOPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+class _UnitInterpreter(AbstractInterpreter[Optional[Dims]]):
+    """Flow-sensitive dimension inference over one function body."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        scope: FunctionScope,
+        table: SymbolTable,
+        findings: List[Finding],
+    ) -> None:
+        super().__init__()
+        self.module = module
+        self.scope = scope
+        self.table = table
+        self.findings = findings
+        self.expected_return = self._declared_return()
+        self._seed_parameters()
+
+    # -- setup ----------------------------------------------------------
+    def _declared_return(self) -> Optional[Dims]:
+        from repro.analysis.static.dataflow import annotation_name
+
+        ann = annotation_name(self.scope.node.returns)
+        if ann in _ALIAS_DIMS:
+            return _ALIAS_DIMS[ann]
+        if ann in _NEUTRAL_ANNOTATIONS:
+            return None
+        return infer_name_dims(self.scope.node.name)
+
+    def _seed_parameters(self) -> None:
+        from repro.analysis.static.dataflow import annotation_name
+
+        args = self.scope.node.args
+        every = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        for arg in every:
+            if arg.arg in ("self", "cls"):
+                continue
+            ann = annotation_name(arg.annotation)
+            if ann in _ALIAS_DIMS:
+                self.env[arg.arg] = _ALIAS_DIMS[ann]
+            elif ann in _NEUTRAL_ANNOTATIONS:
+                self.env[arg.arg] = None
+            else:
+                self.env[arg.arg] = infer_name_dims(arg.arg)
+
+    # -- domain ---------------------------------------------------------
+    def top(self) -> Optional[Dims]:
+        return None
+
+    def merge(
+        self, a: Optional[Dims], b: Optional[Dims]
+    ) -> Optional[Dims]:
+        if a == b:
+            return a
+        if a == POLY:
+            return b
+        if b == POLY:
+            return a
+        return None
+
+    def value_from_annotation(self, node: ast.expr) -> Optional[Dims]:
+        from repro.analysis.static.dataflow import annotation_name
+
+        ann = annotation_name(node)
+        if ann in _ALIAS_DIMS:
+            return _ALIAS_DIMS[ann]
+        return None
+
+    # -- reporting ------------------------------------------------------
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                self.module.rel,
+                getattr(node, "lineno", self.scope.node.lineno),
+                rule,
+                message,
+                PASS_NAME,
+            )
+        )
+
+    def _check_mix(
+        self,
+        node: ast.AST,
+        a: Optional[Dims],
+        b: Optional[Dims],
+        verb: str,
+    ) -> None:
+        if not a or not b or a == b:
+            return
+        pair = {a, b}
+        if pair == {_CYCLES, _SECONDS}:
+            self._report(
+                node,
+                RULE_CYCLES_SECONDS,
+                f"cycles {verb} seconds in {self.scope.qualname}; convert"
+                " via seconds_from_cycles()/DeviceSpec.cycles_to_seconds()",
+            )
+        else:
+            self._report(
+                node,
+                RULE_UNIT_MIX,
+                f"mixed units in {self.scope.qualname}:"
+                f" {fmt_dims(a)} {verb} {fmt_dims(b)}",
+            )
+
+    def on_return(
+        self, node: ast.Return, value: Optional[Optional[Dims]]
+    ) -> None:
+        if value is None or not value or not self.expected_return:
+            return
+        if value != self.expected_return:
+            self._report(
+                node,
+                RULE_RETURN_MISMATCH,
+                f"{self.scope.qualname} returns {fmt_dims(value)} but its"
+                f" unit is {fmt_dims(self.expected_return)}",
+            )
+
+    # -- expression evaluation ------------------------------------------
+    def eval_expr(self, node: ast.expr) -> Optional[Dims]:
+        if isinstance(node, ast.Constant):
+            return POLY
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return infer_name_dims(node.id)
+        if isinstance(node, ast.Attribute):
+            self.eval_expr(node.value)
+            return infer_name_dims(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.eval_expr(node.operand)
+            if isinstance(node.op, (ast.USub, ast.UAdd)):
+                return inner
+            return POLY
+        if isinstance(node, ast.Compare):
+            self._eval_compare(node)
+            return POLY
+        if isinstance(node, ast.BoolOp):
+            merged: Optional[Dims] = POLY
+            for value in node.values:
+                merged = self.merge(merged, self.eval_expr(value))
+            return merged
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.IfExp):
+            self.eval_expr(node.test)
+            return self.merge(
+                self.eval_expr(node.body), self.eval_expr(node.orelse)
+            )
+        if isinstance(node, ast.Subscript):
+            container = self.eval_expr(node.value)
+            self.eval_expr(node.slice)
+            if container:  # a dict/list named *_seconds holds seconds
+                return container
+            name = self._expr_name(node.value)
+            return infer_name_dims(name) if name else None
+        if isinstance(node, ast.Starred):
+            return self.eval_expr(node.value)
+        # everything else (containers, comprehensions, f-strings, …):
+        # visit children so nested calls are still checked, no dimension.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child)
+        return None
+
+    @staticmethod
+    def _expr_name(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def _eval_binop(self, node: ast.BinOp) -> Optional[Dims]:
+        left = self.eval_expr(node.left)
+        right = self.eval_expr(node.right)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            verb = "+" if isinstance(op, ast.Add) else "-"
+            self._check_mix(node, left, right, verb)
+            if left:
+                return left
+            if right:
+                return right
+            return POLY if left == POLY and right == POLY else None
+        if isinstance(op, ast.Mult):
+            return dims_mul(left, right)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return dims_div(left, right)
+        if isinstance(op, ast.Mod):
+            return left
+        if isinstance(op, ast.Pow):
+            return POLY if left == POLY else None
+        return None
+
+    def _eval_compare(self, node: ast.Compare) -> None:
+        values = [self.eval_expr(node.left)]
+        values.extend(self.eval_expr(comp) for comp in node.comparators)
+        for i, op in enumerate(node.ops):
+            if isinstance(op, _CHECKED_CMPOPS):
+                self._check_mix(
+                    node, values[i], values[i + 1], "compared with"
+                )
+
+    def _eval_call(self, node: ast.Call) -> Optional[Dims]:
+        arg_dims = [self.eval_expr(arg) for arg in node.args]
+        for keyword in node.keywords:
+            self.eval_expr(keyword.value)
+        func = node.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            self.eval_expr(func.value)
+            name = func.attr
+        else:
+            self.eval_expr(func)
+        if name is None:
+            return None
+        # explicit unit cast: Seconds(expr), Cycles(expr), ...
+        if name in _ALIAS_DIMS:
+            return _ALIAS_DIMS[name]
+        if name in _PASSTHROUGH_CALLS:
+            return arg_dims[0] if arg_dims else None
+        if name in _EXTREMUM_CALLS:
+            concrete = {d for d in arg_dims if d}
+            if len(concrete) == 1:
+                return next(iter(concrete))
+            return None
+        if name in _GENERIC_METHODS:
+            return None
+        ann = self.table.unique_return(name)
+        if ann in _ALIAS_DIMS:
+            return _ALIAS_DIMS[ann]
+        if ann in _NEUTRAL_ANNOTATIONS:
+            return None
+        return infer_name_dims(name)
+
+
+def _check_return_annotation(
+    module: ModuleInfo, scope: FunctionScope, findings: List[Finding]
+) -> None:
+    """``unit-return-untyped``: *_seconds/*_cycles/*_bytes must declare
+    a unit alias so mypy enforces what the name promises."""
+    from repro.analysis.static.dataflow import annotation_name
+
+    suffix = scope.node.name.rsplit("_", 1)[-1]
+    if suffix not in RETURN_SUFFIX_DIMS:
+        return
+    ann = annotation_name(scope.node.returns)
+    if ann in _ALIAS_DIMS:
+        return
+    if ann in _NEUTRAL_ANNOTATIONS:
+        return  # e.g. format_seconds() -> str: a formatter, not a cost
+    found = ann if ann is not None else "missing"
+    findings.append(
+        Finding(
+            module.rel,
+            scope.node.lineno,
+            RULE_RETURN_UNTYPED,
+            f"{scope.qualname} is named *_{suffix} but its return"
+            f" annotation is {found}; annotate with a unit alias from"
+            " core/units.py",
+            PASS_NAME,
+        )
+    )
+
+
+def run_pass(
+    modules: Sequence[ModuleInfo], table: SymbolTable
+) -> List[Finding]:
+    """Run the unit-of-measure pass over parsed modules."""
+    findings: List[Finding] = []
+    for module in modules:
+        for scope in module.functions():
+            _check_return_annotation(module, scope, findings)
+            interp = _UnitInterpreter(module, scope, table, findings)
+            interp.run(scope.node.body)
+    return findings

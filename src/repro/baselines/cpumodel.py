@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.core.units import StepsPerSecond
+
 
 @dataclass(frozen=True)
 class CPUSpec:
@@ -117,14 +119,14 @@ class CPUCostModel:
         return math.log2(max(1.0, graph_bytes / self.spec.llc_bytes))
 
     # ------------------------------------------------------------------
-    def thunderrw_steps_per_second(self, graph_bytes: int) -> float:
+    def thunderrw_steps_per_second(self, graph_bytes: int) -> StepsPerSecond:
         """Machine-wide sustainable step rate of the interleaved engine."""
         bits = self._llc_ratio_bits(graph_bytes)
         per_step = self.TRW_WORK_SECONDS + self.TRW_DEGRADE_SECONDS * bits * bits
-        return self.spec.cores / per_step
+        return StepsPerSecond(self.spec.cores / per_step)
 
     # ------------------------------------------------------------------
-    def flashmob_steps_per_second(self, graph_bytes: int) -> float:
+    def flashmob_steps_per_second(self, graph_bytes: int) -> StepsPerSecond:
         """Machine-wide sustainable step rate of the sort-based engine."""
         spec = self.spec
         shuffle = self.FM_SHUFFLE_SECONDS * (
@@ -135,4 +137,4 @@ class CPUCostModel:
         bandwidth_bound = (
             spec.dram_bandwidth * self.FM_SEQ_EFFICIENCY / self.FM_SEQ_BYTES
         )
-        return min(compute_bound, bandwidth_bound)
+        return StepsPerSecond(min(compute_bound, bandwidth_bound))

@@ -8,7 +8,7 @@ the paper-style tables.  All runners honor ``REPRO_SCALE``.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms import PageRank, PersonalizedPageRank, UniformSampling
 from repro.algorithms.base import RandomWalkAlgorithm
@@ -645,7 +645,7 @@ def metrics_observatory(
     graph = load_dataset(dataset)
     walks = standard_walks(graph)
 
-    def build(system: str):
+    def build(system: str) -> "Tuple[Any, MetricsCollector]":
         bus = EventBus()
         metrics = MetricsCollector()
         if system == "lighttraffic":

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -164,7 +164,7 @@ def bench_node2vec_step(
 
 
 def bench_sampling_throughput(
-    graph: CSRGraph, batch_sizes, repeats: int
+    graph: CSRGraph, batch_sizes: Sequence[int], repeats: int
 ) -> Dict[str, Dict[str, float]]:
     """Steps/second of each registered first-order sampler per batch size."""
     partition = _whole_partition(graph)

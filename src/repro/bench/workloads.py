@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
@@ -231,7 +231,7 @@ def standard_config(
     interconnect: str = "pcie3",
     num_walks: Optional[int] = None,
     graph_pool_fraction: float = 0.6,
-    **overrides,
+    **overrides: Any,
 ) -> EngineConfig:
     """The default LightTraffic configuration for one dataset.
 
@@ -249,7 +249,8 @@ def standard_config(
     # what the walk index actually needs (capped at 1 - graph_pool_fraction
     # of memory, which forces walk eviction on cw-sim exactly as the paper's
     # CW walk index overflows 24 GB), and the graph pool gets the rest.
-    walk_bytes_wanted = 16 * num_walks  # S_w upper bound (walk_id carried)
+    bytes_per_walk_record = 16  # (walk_id, vertex) state per walk
+    walk_bytes_wanted = bytes_per_walk_record * num_walks  # S_w upper bound
     walk_bytes = min(
         walk_bytes_wanted,
         int(platform.gpu_memory_bytes * (1.0 - graph_pool_fraction)),

@@ -21,9 +21,14 @@ Commands
     migration, simulated speedup + migration counts) and write
     ``BENCH_devices.json``.
 ``lint``
-    Run the repo's AST lint pass (:mod:`repro.analysis.lint`): RNG calls
-    outside the ``core/prng.py`` factory, ``==`` on float timestamps,
-    unfrozen event dataclasses, bus events without a registered handler.
+    Run the repo's static-analysis framework
+    (:mod:`repro.analysis.static`).  The default pass set is the cheap
+    house rules: RNG calls outside the ``core/prng.py`` factory, ``==``
+    on float timestamps, unfrozen event dataclasses, bus events without
+    a registered handler.  ``--strict`` adds the dataflow passes
+    (unit-of-measure over the cost stack, cross-stage aliasing over the
+    pipeline) and gates on the committed ``lint-baseline.json``;
+    ``--json`` writes the machine-readable findings report CI uploads.
 
 Examples
 --------
@@ -41,6 +46,7 @@ Examples
     python -m repro bench samplers --quick --out BENCH_samplers.json
     python -m repro bench devices --quick --out BENCH_devices.json
     python -m repro lint src/repro
+    python -m repro lint --strict --json lint-report.json src/repro
 """
 
 from __future__ import annotations
@@ -48,7 +54,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
 from repro.bench import harness, reporting
 from repro.bench.workloads import (
@@ -61,6 +67,9 @@ from repro.bench.workloads import (
 from repro.core.engine import LightTrafficEngine
 from repro.core.metrics import MetricsCollector
 from repro.core.stats import RunStats
+
+if TYPE_CHECKING:
+    from repro.graph.csr import CSRGraph
 
 SYSTEMS = (
     "lighttraffic",
@@ -206,12 +215,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     lint = sub.add_parser(
-        "lint", help="run the repo-specific AST lint pass"
+        "lint", help="run the repo-specific static-analysis passes"
     )
     lint.add_argument(
         "paths", nargs="*", default=None, metavar="PATH",
         help="files or directories to lint (default: the repro package "
              "sources)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="also run the dataflow passes (unit-of-measure, cross-stage "
+             "aliasing) and gate on the suppression baseline",
+    )
+    lint.add_argument(
+        "--json", default=None, metavar="PATH", dest="json_path",
+        help="write the machine-readable findings report to PATH",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="suppression baseline for --strict (default: "
+             "lint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the suppression baseline from the current findings "
+             "(a reviewed, committed action)",
     )
 
     gen = sub.add_parser("generate", help="generate a synthetic graph")
@@ -227,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_graph(args) -> "CSRGraph":
+def _load_graph(args: argparse.Namespace) -> "CSRGraph":
     from repro.graph.io import load_csr, load_edge_list
 
     if args.dataset:
@@ -238,7 +266,9 @@ def _load_graph(args) -> "CSRGraph":
 
 
 def _run_system(
-    args, graph, metrics: Optional[MetricsCollector] = None
+    args: argparse.Namespace,
+    graph: "CSRGraph",
+    metrics: Optional[MetricsCollector] = None,
 ) -> RunStats:
     from repro.baselines import (
         FlashMobEngine,
@@ -320,7 +350,7 @@ def _run_system(
     return NextDoorEngine(graph, algorithm, config).run(walks)
 
 
-def _run_bus_baseline(engine, walks: int, sanitize: bool) -> RunStats:
+def _run_bus_baseline(engine: Any, walks: int, sanitize: bool) -> RunStats:
     """Run a bus-emitting baseline, optionally under an event-only sanitizer.
 
     Subway/UVM have no partition pools or simulated streams to hook, so
@@ -366,7 +396,7 @@ def cmd_datasets() -> int:
     return 0
 
 
-def cmd_run(args) -> int:
+def cmd_run(args: argparse.Namespace) -> int:
     metrics: Optional[MetricsCollector] = None
     if args.metrics_json is not None:
         if args.system not in BUS_SYSTEMS:
@@ -456,7 +486,7 @@ def cmd_experiment(name: str) -> int:
     return 0
 
 
-def cmd_bench(args) -> int:
+def cmd_bench(args: argparse.Namespace) -> int:
     if args.bench_target == "devices":
         from repro.bench import devices as bench_devices
 
@@ -493,17 +523,27 @@ def cmd_bench(args) -> int:
     return 0
 
 
-def cmd_lint(args) -> int:
+def cmd_lint(args: argparse.Namespace) -> int:
     import os
 
     from repro.analysis import run_lint
+    from repro.analysis.static import DEFAULT_BASELINE
 
     # Default target: the installed repro package sources themselves.
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
-    return run_lint(paths)
+    baseline = args.baseline
+    if baseline is None and args.strict and os.path.exists(DEFAULT_BASELINE):
+        baseline = DEFAULT_BASELINE
+    return run_lint(
+        paths,
+        strict=args.strict,
+        json_path=args.json_path,
+        baseline_path=baseline,
+        update_baseline=args.update_baseline,
+    )
 
 
-def cmd_generate(args) -> int:
+def cmd_generate(args: argparse.Namespace) -> int:
     from repro.graph import generators
     from repro.graph.io import save_csr, save_edge_list
 

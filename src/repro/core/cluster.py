@@ -34,7 +34,7 @@ and the iteration loop degenerates to exactly the single-device engine —
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +45,7 @@ from repro.core.events import (
     RunCompleted,
     WalksDelivered,
     WalksMigrated,
+    WalksSeeded,
 )
 from repro.core.scheduler import Scheduler
 from repro.core.stages import (
@@ -77,6 +78,11 @@ from repro.walks.reshuffle import (
     group_by_partition,
 )
 from repro.walks.state import WalkArrays
+
+if TYPE_CHECKING:
+    from repro.algorithms.base import RandomWalkAlgorithm
+    from repro.core.config import EngineConfig
+    from repro.graph.csr import CSRGraph
 
 
 class _Shard:
@@ -115,7 +121,7 @@ class WalkMigrator:
         active: WalkArrays,
         new_parts: np.ndarray,
         kernel_end: float,
-    ):
+    ) -> Tuple[WalkArrays, np.ndarray]:
         """Split ``active`` into (kept-local, migrated); returns the local part."""
         src = ctx.device_id
         dest = self.cluster.device_of[new_parts]
@@ -194,7 +200,7 @@ class MultiDeviceEngine(LightTrafficEngine):
         self,
         device_id: int,
         cluster: DeviceCluster,
-        rng,
+        rng: Any,
         num_walks: int,
         bus: EventBus,
     ) -> _Shard:
@@ -248,7 +254,7 @@ class MultiDeviceEngine(LightTrafficEngine):
         self,
         shards: List[_Shard],
         cluster: DeviceCluster,
-        rng,
+        rng: Any,
         num_walks: int,
     ) -> None:
         """Seed every walk into the host pool of its start partition's owner."""
@@ -256,8 +262,12 @@ class MultiDeviceEngine(LightTrafficEngine):
         walks = WalkArrays.fresh(starts)
         self.algorithm.on_start(walks, self.graph)
         start_parts = self.partitioned.find_partitions(walks.vertices)
-        for part, group in group_by_partition(walks, start_parts).items():
+        groups = group_by_partition(walks, start_parts)
+        for part, group in groups.items():
             shards[cluster.owner(part)].ctx.host.append_walks(part, group)
+        shards[0].ctx.bus.emit(
+            WalksSeeded(walks=num_walks, partitions=len(groups))
+        )
 
     # ------------------------------------------------------------------
     def run(self, num_walks: int) -> RunStats:
@@ -428,10 +438,10 @@ class MultiDeviceEngine(LightTrafficEngine):
 
 
 def run_sharded(
-    graph,
-    algorithm,
+    graph: "CSRGraph",
+    algorithm: "RandomWalkAlgorithm",
     num_walks: int,
-    config=None,
+    config: "Optional[EngineConfig]" = None,
     devices: Optional[int] = None,
 ) -> RunStats:
     """One-call convenience: build a multi-device engine and run it."""

@@ -10,7 +10,7 @@ three scheduling optimizations enabled.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.gpu.device import RTX3090, DeviceSpec
@@ -165,6 +165,6 @@ class EngineConfig:
             return self.batch_walks
         return 16 * self.device.total_cores
 
-    def with_options(self, **changes) -> "EngineConfig":
+    def with_options(self, **changes: Any) -> "EngineConfig":
         """Functional update (convenience for benchmark sweeps)."""
         return replace(self, **changes)

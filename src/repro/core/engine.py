@@ -31,12 +31,17 @@ reshuffles, evictions, finishes — is emitted as a typed event on an
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.algorithms.base import RandomWalkAlgorithm
 from repro.core.adaptive import AdaptivePolicy
 from repro.core.config import EngineConfig
-from repro.core.events import EventBus, IterationStarted, RunCompleted
+from repro.core.events import (
+    EventBus,
+    IterationStarted,
+    RunCompleted,
+    WalksSeeded,
+)
 from repro.core.metrics import MetricsCollector
 from repro.core.prng import seeded_rng
 from repro.core.scheduler import Scheduler
@@ -101,7 +106,7 @@ class LightTrafficEngine:
             self.ship_link = interconnect_by_name(config.ship_interconnect)
 
     # ------------------------------------------------------------------
-    def _make_rng(self):
+    def _make_rng(self) -> Any:
         """The run's RNG (sequential stream or counter-based Philox)."""
         cfg = self.config
         if cfg.rng_mode == "counter":
@@ -163,8 +168,10 @@ class LightTrafficEngine:
         walks = WalkArrays.fresh(starts)
         self.algorithm.on_start(walks, self.graph)
         start_parts = ctx.pgraph.find_partitions(walks.vertices)
-        for part, group in group_by_partition(walks, start_parts).items():
+        groups = group_by_partition(walks, start_parts)
+        for part, group in groups.items():
             ctx.host.append_walks(part, group)
+        ctx.bus.emit(WalksSeeded(walks=num_walks, partitions=len(groups)))
 
     # ------------------------------------------------------------------
     def run(self, num_walks: int) -> RunStats:

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Type
+from typing import Any, Callable, Dict, List, Mapping, Type
 
 #: How the selected partition's graph data was served (GraphServed.mode).
 SERVED_HIT = "hit"
@@ -44,6 +44,23 @@ SERVED_MODES = (SERVED_HIT, SERVED_EXPLICIT, SERVED_ZERO_COPY)
 @dataclass(frozen=True)
 class EngineEvent:
     """Base class of every event carried by the :class:`EventBus`."""
+
+
+@dataclass(frozen=True)
+class WalksSeeded(EngineEvent):
+    """All of a run's walks were seeded into host pools, pre-iteration.
+
+    Emitted exactly once per run, after
+    :meth:`~repro.core.engine.LightTrafficEngine._seed_walks` (or the
+    multi-device sharded seeding) populates the host pools — the one
+    mutation of shared pipeline state that happens before the iteration
+    loop, made observable so subscribers (notably the runtime sanitizer's
+    walk-conservation check) see the run's true starting population.
+    ``partitions`` is the number of distinct start partitions.
+    """
+
+    walks: int
+    partitions: int = 0
 
 
 @dataclass(frozen=True)
@@ -183,6 +200,7 @@ class RunCompleted(EngineEvent):
 
 #: Every event type, in rough emission order (drives subscriber binding).
 EVENT_TYPES = (
+    WalksSeeded,
     IterationStarted,
     GraphServed,
     BatchLoaded,
@@ -246,7 +264,7 @@ class EventBus:
         if not handlers:
             del self._handlers[event_type]
 
-    def attach(self, subscriber):
+    def attach(self, subscriber: Any) -> Any:
         """Bind every ``on_<event>`` method of ``subscriber``; returns it."""
         bound = 0
         for event_type in EVENT_TYPES:
@@ -260,7 +278,7 @@ class EventBus:
             )
         return subscriber
 
-    def detach(self, subscriber) -> None:
+    def detach(self, subscriber: Any) -> None:
         """Remove every handler previously bound by :meth:`attach`."""
         for event_type in EVENT_TYPES:
             method = getattr(subscriber, _handler_name(event_type), None)

@@ -20,7 +20,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.core.events import SERVED_MODES
+from repro.core.events import (
+    SERVED_MODES,
+    BatchEvicted,
+    BatchLoaded,
+    GraphServed,
+    IterationStarted,
+    KernelDispatched,
+    Reshuffled,
+    RunCompleted,
+    WalkFinished,
+    WalksDelivered,
+    WalksMigrated,
+)
 
 
 @dataclass
@@ -102,23 +114,23 @@ class MetricsCollector:
         return metrics
 
     # -- event handlers (bound by EventBus.attach) ----------------------
-    def on_iteration_started(self, event) -> None:
+    def on_iteration_started(self, event: IterationStarted) -> None:
         self.iterations += 1
         self._device(getattr(event, "device", 0)).iterations += 1
 
-    def on_graph_served(self, event) -> None:
+    def on_graph_served(self, event: GraphServed) -> None:
         metrics = self._partition(event.partition)
         metrics.serve_modes[event.mode] = (
             metrics.serve_modes.get(event.mode, 0) + 1
         )
         metrics.load_seconds += event.copy_seconds
 
-    def on_batch_loaded(self, event) -> None:
+    def on_batch_loaded(self, event: BatchLoaded) -> None:
         metrics = self._partition(event.partition)
         metrics.batches_loaded += 1
         metrics.load_seconds += event.seconds
 
-    def on_kernel_dispatched(self, event) -> None:
+    def on_kernel_dispatched(self, event: KernelDispatched) -> None:
         metrics = self._partition(event.partition)
         metrics.walks_computed += event.walks
         metrics.steps += event.steps
@@ -130,26 +142,26 @@ class MetricsCollector:
         device.walks_computed += event.walks
         device.steps += event.steps
 
-    def on_walks_migrated(self, event) -> None:
+    def on_walks_migrated(self, event: WalksMigrated) -> None:
         device = self._device(event.src_device)
         device.walks_migrated_out += event.walks
         device.migrate_seconds += event.seconds
 
-    def on_walks_delivered(self, event) -> None:
+    def on_walks_delivered(self, event: WalksDelivered) -> None:
         self._device(event.dst_device).walks_migrated_in += event.walks
 
-    def on_reshuffled(self, event) -> None:
+    def on_reshuffled(self, event: Reshuffled) -> None:
         self._partition(event.partition).compute_seconds += event.seconds
 
-    def on_batch_evicted(self, event) -> None:
+    def on_batch_evicted(self, event: BatchEvicted) -> None:
         metrics = self._partition(event.partition)
         metrics.batches_evicted += 1
         metrics.evict_seconds += event.seconds
 
-    def on_walk_finished(self, event) -> None:
+    def on_walk_finished(self, event: WalkFinished) -> None:
         self._partition(event.partition).walks_finished += event.count
 
-    def on_run_completed(self, event) -> None:
+    def on_run_completed(self, event: RunCompleted) -> None:
         self.runs_completed += 1
         self.total_time += event.total_time
 

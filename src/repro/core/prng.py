@@ -22,7 +22,7 @@ ordinary seeded ``Generator``.
 from __future__ import annotations
 
 import zlib
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -143,7 +143,13 @@ class CounterRNG:
         # 53-bit mantissa conversion, same as numpy's.
         return (self._uint64(size) >> np.uint64(11)) * (2.0 ** -53)
 
-    def integers(self, low, high=None, size=None, dtype=np.int64):
+    def integers(
+        self,
+        low: Any,
+        high: Any = None,
+        size: Any = None,
+        dtype: Any = np.int64,
+    ) -> np.ndarray:
         """Uniform integers, one per context lane (or init fallback)."""
         if not self.has_context:
             return self._init_rng.integers(low, high, size=size, dtype=dtype)

@@ -13,7 +13,19 @@ the LightTraffic engine and every baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:
+    from repro.core.events import (
+        BatchEvicted,
+        BatchLoaded,
+        GraphServed,
+        IterationStarted,
+        KernelDispatched,
+        RunCompleted,
+        WalksMigrated,
+    )
+    from repro.core.metrics import MetricsCollector
 
 #: breakdown categories used across engines (Fig 15 / Fig 17 / Table I).
 CAT_GRAPH_LOAD = "graph_load"
@@ -127,7 +139,9 @@ class StatsCollector:
     the aggregate statistics of all of them.
     """
 
-    def __init__(self, stats: RunStats, metrics=None) -> None:
+    def __init__(
+        self, stats: RunStats, metrics: "Optional[MetricsCollector]" = None
+    ) -> None:
         from repro.core.events import SERVED_EXPLICIT, SERVED_ZERO_COPY
 
         self.stats = stats
@@ -136,29 +150,29 @@ class StatsCollector:
         self._zero_copy = SERVED_ZERO_COPY
 
     # -- event handlers (bound by EventBus.attach) ----------------------
-    def on_iteration_started(self, event) -> None:
+    def on_iteration_started(self, event: "IterationStarted") -> None:
         self.stats.iterations += 1
 
-    def on_graph_served(self, event) -> None:
+    def on_graph_served(self, event: "GraphServed") -> None:
         if event.mode == self._explicit:
             self.stats.explicit_copies += 1
         elif event.mode == self._zero_copy:
             self.stats.zero_copy_iterations += 1
 
-    def on_batch_loaded(self, event) -> None:
+    def on_batch_loaded(self, event: "BatchLoaded") -> None:
         self.stats.walk_batches_loaded += 1
 
-    def on_batch_evicted(self, event) -> None:
+    def on_batch_evicted(self, event: "BatchEvicted") -> None:
         self.stats.walk_batches_evicted += 1
 
-    def on_kernel_dispatched(self, event) -> None:
+    def on_kernel_dispatched(self, event: "KernelDispatched") -> None:
         self.stats.total_steps += event.steps
         self.stats.sampler_fallbacks += getattr(event, "sampler_fallbacks", 0)
 
-    def on_walks_migrated(self, event) -> None:
+    def on_walks_migrated(self, event: "WalksMigrated") -> None:
         self.stats.walks_migrated += event.walks
 
-    def on_run_completed(self, event) -> None:
+    def on_run_completed(self, event: "RunCompleted") -> None:
         stats = self.stats
         stats.total_time += event.total_time
         stats.graph_pool_hits += event.graph_pool_hits

@@ -11,7 +11,10 @@ LightTraffic itself) and make scheduler behaviour assertable in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    import numpy as np
 
 # Canonical serve-mode constants live with the event taxonomy; re-exported
 # here because trace consumers historically import them from this module.
@@ -19,6 +22,9 @@ from repro.core.events import (  # noqa: F401  (re-export)
     SERVED_EXPLICIT,
     SERVED_HIT,
     SERVED_ZERO_COPY,
+    BatchEvicted,
+    GraphServed,
+    KernelDispatched,
 )
 
 
@@ -92,7 +98,7 @@ class TraceRecorder:
             return 0.0
         return sum(it.walks_preempted for it in self.iterations) / total
 
-    def partition_visit_counts(self, num_partitions: int):
+    def partition_visit_counts(self, num_partitions: int) -> "np.ndarray":
         """Per-partition selection frequency (hot-partition analysis)."""
         import numpy as np
 
@@ -118,15 +124,15 @@ class TraceSubscriber:
     def __init__(self, trace: TraceRecorder) -> None:
         self.trace = trace
 
-    def on_graph_served(self, event) -> None:
+    def on_graph_served(self, event: GraphServed) -> None:
         self.trace.begin_iteration(
             event.iteration, event.partition, event.mode
         )
 
-    def on_kernel_dispatched(self, event) -> None:
+    def on_kernel_dispatched(self, event: KernelDispatched) -> None:
         self.trace.record_compute(
             event.partition, event.walks, event.steps, event.preemptive
         )
 
-    def on_batch_evicted(self, event) -> None:
+    def on_batch_evicted(self, event: BatchEvicted) -> None:
         self.trace.record_eviction()

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.units import Cycles, Seconds
+
 
 @dataclass(frozen=True)
 class Calibration:
@@ -124,28 +126,28 @@ class Calibration:
     #: update kernel (NextDoor's transit-parallel bookkeeping).
     nextdoor_overhead_factor: float = 1.18
 
-    def sampler_extra_cycles(self, sampler: str = "uniform") -> float:
+    def sampler_extra_cycles(self, sampler: str = "uniform") -> Cycles:
         """Extra per-step cycles of one transition-sampling method."""
         if sampler == "uniform":
-            return 0.0
+            return Cycles(0.0)
         extra = getattr(self, f"sampler_extra_cycles_{sampler}", None)
         if extra is None:
             raise ValueError(f"no cost calibration for sampler {sampler!r}")
-        return extra
+        return Cycles(extra)
 
-    def step_cycles_for(self, sampler: str = "uniform") -> float:
+    def step_cycles_for(self, sampler: str = "uniform") -> Cycles:
         """Per-step cycles of a sampling method, before the locality factor."""
-        return self.step_cycles_base + self.sampler_extra_cycles(sampler)
+        return Cycles(self.step_cycles_base + self.sampler_extra_cycles(sampler))
 
     @property
-    def scaled_kernel_launch_seconds(self) -> float:
+    def scaled_kernel_launch_seconds(self) -> Seconds:
         """Kernel launch cost at the configured simulation scale."""
-        return self.kernel_launch_seconds * self.sim_scale
+        return Seconds(self.kernel_launch_seconds * self.sim_scale)
 
     @property
-    def scaled_memcpy_call_seconds(self) -> float:
+    def scaled_memcpy_call_seconds(self) -> Seconds:
         """memcpy-call cost at the configured simulation scale."""
-        return self.memcpy_call_seconds * self.sim_scale
+        return Seconds(self.memcpy_call_seconds * self.sim_scale)
 
     def validate(self) -> None:
         """Sanity-check the constants (used by tests)."""

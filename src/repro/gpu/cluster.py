@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.units import Seconds
 from repro.gpu.timeline import Stream
 
 #: Category of channel-occupancy ops (channel streams carry no breakdown;
@@ -66,14 +67,16 @@ class PeerLinkSpec:
         if self.packet_bytes < 1:
             raise ValueError("packet_bytes must be >= 1")
 
-    def transfer_time(self, nbytes: int) -> float:
+    def transfer_time(self, nbytes: int) -> Seconds:
         """Duration of one P2P message of ``nbytes`` payload."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if nbytes == 0:
-            return 0.0
+            return Seconds(0.0)
         packets = math.ceil(nbytes / self.packet_bytes)
-        return self.latency_seconds + packets * self.packet_bytes / self.bandwidth
+        return Seconds(
+            self.latency_seconds + packets * self.packet_bytes / self.bandwidth
+        )
 
 
 #: NVLink-class mesh (per-direction channel bandwidth, NVSwitch topology).

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.core.units import Seconds
+
 
 @dataclass(frozen=True)
 class DeviceSpec:
@@ -62,9 +64,9 @@ class DeviceSpec:
         """Total CUDA cores (sets the paper's default batch size, §III-B)."""
         return self.num_sms * self.cores_per_sm
 
-    def cycles_to_seconds(self, cycles: float) -> float:
+    def cycles_to_seconds(self, cycles: float) -> Seconds:
         """Convert a cycle count to seconds at the device clock."""
-        return cycles / self.clock_hz
+        return Seconds(cycles / self.clock_hz)
 
     def with_memory(self, mem_bytes: int) -> "DeviceSpec":
         """Copy of this spec with a different memory capacity.

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.units import Cycles, Seconds, StepsPerSecond
 from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.gpu.device import DeviceSpec
 
@@ -37,8 +38,10 @@ class KernelCost:
     other_seconds: float
 
     @property
-    def total_seconds(self) -> float:
-        return self.update_seconds + self.reshuffle_seconds + self.other_seconds
+    def total_seconds(self) -> Seconds:
+        return Seconds(
+            self.update_seconds + self.reshuffle_seconds + self.other_seconds
+        )
 
 
 class KernelModel:
@@ -65,20 +68,21 @@ class KernelModel:
 
     def step_cycles(
         self, partition_bytes: int, sampler: str = "uniform"
-    ) -> float:
+    ) -> Cycles:
         """Cycles per walk step against a partition of the given size.
 
         ``sampler`` selects the transition-sampling method's per-step cost
         (:meth:`Calibration.step_cycles_for`); uniform adds exactly zero
         cycles, so the default is bit-identical to the historical model.
         """
-        return self.calibration.step_cycles_for(sampler) * self.locality_factor(
-            partition_bytes
+        return Cycles(
+            self.calibration.step_cycles_for(sampler)
+            * self.locality_factor(partition_bytes)
         )
 
     def steps_per_second(
         self, partition_bytes: int, sampler: str = "uniform"
-    ) -> float:
+    ) -> StepsPerSecond:
         """Sustainable device-wide step throughput for a partition size."""
         cal = self.calibration
         cycles = self.step_cycles(partition_bytes, sampler)
@@ -90,7 +94,7 @@ class KernelModel:
             * cal.random_access_efficiency
             / cal.step_bytes_effective
         ) / self.locality_factor(partition_bytes)
-        return min(compute_bound, memory_bound)
+        return StepsPerSecond(min(compute_bound, memory_bound))
 
     def update_time(
         self,
@@ -98,7 +102,7 @@ class KernelModel:
         longest_run: int,
         partition_bytes: int,
         sampler: str = "uniform",
-    ) -> float:
+    ) -> Seconds:
         """Duration of updating one batch.
 
         Parameters
@@ -115,7 +119,7 @@ class KernelModel:
         if total_steps < 0 or longest_run < 0:
             raise ValueError("step counts must be non-negative")
         if total_steps == 0:
-            return 0.0
+            return Seconds(0.0)
         # The latency bound is a fixed-size term (per-walk dependent chain),
         # so it shrinks with sim_scale like the other fixed costs.
         latency_bound = self.calibration.sim_scale * self.device.cycles_to_seconds(
@@ -124,14 +128,14 @@ class KernelModel:
         throughput_bound = total_steps / self.steps_per_second(
             partition_bytes, sampler
         )
-        return max(latency_bound, throughput_bound)
+        return Seconds(max(latency_bound, throughput_bound))
 
     # ------------------------------------------------------------------
     # Reshuffle (Algorithm 1, lines 6-14; Fig 12)
     # ------------------------------------------------------------------
     def reshuffle_serial_seconds(
         self, num_partitions: int, mode: str = TWO_LEVEL
-    ) -> float:
+    ) -> Seconds:
         """Single-lane duration of reshuffling one walk.
 
         This is *the* per-walk cost formula; both :meth:`reshuffle_time`
@@ -157,17 +161,17 @@ class KernelModel:
 
     def reshuffle_time(
         self, num_walks: int, num_partitions: int, mode: str = TWO_LEVEL
-    ) -> float:
+    ) -> Seconds:
         """Duration of inserting ``num_walks`` updated walks into frontiers."""
         if num_walks < 0:
             raise ValueError("num_walks must be non-negative")
         if num_walks == 0:
             if num_partitions < 1:
                 raise ValueError("num_partitions must be >= 1")
-            return 0.0
+            return Seconds(0.0)
         serial = self.reshuffle_serial_seconds(num_partitions, mode)
         lanes = min(num_walks, self.calibration.reshuffle_parallel_lanes)
-        return num_walks * serial / lanes
+        return Seconds(num_walks * serial / lanes)
 
     # ------------------------------------------------------------------
     # Full kernel
@@ -198,7 +202,7 @@ class KernelModel:
     # ------------------------------------------------------------------
     def vertex_centric_time(
         self, total_steps: int, max_walks_per_vertex: int
-    ) -> float:
+    ) -> Seconds:
         """One Subway-style iteration kernel: one thread per active vertex.
 
         Walks co-located on a vertex are processed serially by that vertex's
@@ -206,7 +210,7 @@ class KernelModel:
         is the load imbalance §IV-B attributes Subway's compute gap to.
         """
         if total_steps == 0:
-            return 0.0
+            return Seconds(0.0)
         cal = self.calibration
         # max_walks_per_vertex already shrinks with the dataset scale (it is
         # proportional to the walk count), so no sim_scale here.
@@ -216,4 +220,4 @@ class KernelModel:
         throughput_bound = self.device.cycles_to_seconds(
             total_steps * cal.subway_step_cycles / cal.subway_lane_count
         )
-        return max(latency_bound, throughput_bound)
+        return Seconds(max(latency_bound, throughput_bound))

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 import math
 
+from repro.core.units import BytesPerSecond, Seconds
 from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
 
 
@@ -47,23 +48,25 @@ class PCIeSpec:
         if self.latency_seconds < 0:
             raise ValueError("latency must be non-negative")
 
-    def explicit_copy_time(self, nbytes: int) -> float:
+    def explicit_copy_time(self, nbytes: int) -> Seconds:
         """Duration of a contiguous DMA of ``nbytes``."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if nbytes == 0:
-            return 0.0
-        return self.latency_seconds + nbytes / self.bandwidth
+            return Seconds(0.0)
+        return Seconds(self.latency_seconds + nbytes / self.bandwidth)
 
     def zero_copy_bandwidth(
         self, calibration: Calibration = DEFAULT_CALIBRATION
-    ) -> float:
+    ) -> BytesPerSecond:
         """Effective bandwidth of random cache-line zero-copy reads."""
-        return self.bandwidth * calibration.zero_copy_bandwidth_fraction
+        return BytesPerSecond(
+            self.bandwidth * calibration.zero_copy_bandwidth_fraction
+        )
 
     def zero_copy_time(
         self, nbytes: int, calibration: Calibration = DEFAULT_CALIBRATION
-    ) -> float:
+    ) -> Seconds:
         """Duration of ``nbytes`` of random zero-copy traffic.
 
         Traffic is rounded up to whole cache lines; there is no per-call
@@ -72,10 +75,10 @@ class PCIeSpec:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if nbytes == 0:
-            return 0.0
+            return Seconds(0.0)
         lines = math.ceil(nbytes / calibration.cacheline_bytes)
         traffic = lines * calibration.cacheline_bytes
-        return traffic / self.zero_copy_bandwidth(calibration)
+        return Seconds(traffic / self.zero_copy_bandwidth(calibration))
 
 
 #: PCIe 3.0 x16 at the paper's measured practical bandwidth.

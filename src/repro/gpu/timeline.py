@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.units import Seconds
+
 #: Tolerance for comparing simulated timestamps.  Timestamps are sums of
 #: float durations accumulated in program order, so two "simultaneous"
 #: times can differ by accumulated rounding; exact ``==``/``!=`` on them
@@ -49,8 +51,8 @@ class StreamOp:
             )
 
     @property
-    def duration(self) -> float:
-        return self.end - self.start
+    def duration(self) -> Seconds:
+        return Seconds(self.end - self.start)
 
 
 class TimeBreakdown:
@@ -64,14 +66,14 @@ class TimeBreakdown:
             raise ValueError("duration must be non-negative")
         self._totals[category] = self._totals.get(category, 0.0) + duration
 
-    def get(self, category: str) -> float:
-        return self._totals.get(category, 0.0)
+    def get(self, category: str) -> Seconds:
+        return Seconds(self._totals.get(category, 0.0))
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self._totals)
 
-    def total(self) -> float:
-        return sum(self._totals.values())
+    def total(self) -> Seconds:
+        return Seconds(sum(self._totals.values()))
 
     def merge(self, other: "TimeBreakdown") -> None:
         for category, duration in other._totals.items():
@@ -104,7 +106,7 @@ class Stream:
 
     def schedule(
         self, duration: float, category: str, earliest: float = 0.0
-    ) -> Tuple[float, float]:
+    ) -> Tuple[Seconds, Seconds]:
         """Append an op; returns its ``(start, end)`` times.
 
         ``earliest`` expresses a cross-stream dependency (the op cannot start
@@ -124,11 +126,11 @@ class Stream:
             self.ops.append(StreamOp(category, start, end))
         if self.observer is not None:
             self.observer(self, category, start, end, earliest)
-        return start, end
+        return Seconds(start), Seconds(end)
 
-    def idle_before(self, time: float) -> float:
+    def idle_before(self, time: float) -> Seconds:
         """How long this stream would sit idle until ``time`` (>= 0)."""
-        return max(0.0, time - self.busy_until)
+        return Seconds(max(0.0, time - self.busy_until))
 
     def leads(self, other: "Stream") -> bool:
         """Whether this stream's completion frontier is ahead of ``other``.
@@ -178,11 +180,11 @@ class Timeline:
             stream.observer = None
 
     @property
-    def now(self) -> float:
+    def now(self) -> Seconds:
         """The makespan so far (max across streams)."""
-        return max(stream.busy_until for stream in self.streams)
+        return Seconds(max(stream.busy_until for stream in self.streams))
 
-    def total_time(self) -> float:
+    def total_time(self) -> Seconds:
         return self.now
 
     def validate(self) -> None:

@@ -16,6 +16,8 @@ from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.units import Bytes
+
 #: Bytes used per vertex-array entry when accounting CSR sizes.
 VERTEX_ENTRY_BYTES = 8
 #: Bytes used per edge-array entry when accounting CSR sizes.
@@ -96,13 +98,13 @@ class CSRGraph:
         return self.weights is not None
 
     @property
-    def csr_bytes(self) -> int:
+    def csr_bytes(self) -> Bytes:
         """Size of the CSR arrays using the paper's 8-byte entries."""
         size = VERTEX_ENTRY_BYTES * (self.num_vertices + 1)
         size += EDGE_ENTRY_BYTES * self.num_edges
         if self.weights is not None:
             size += EDGE_ENTRY_BYTES * self.num_edges
-        return size
+        return Bytes(size)
 
     def degrees(self) -> np.ndarray:
         """Out-degree of every vertex as an ``int64`` array."""

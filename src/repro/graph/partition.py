@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.units import Bytes
 from repro.graph.csr import CSRGraph, EDGE_ENTRY_BYTES, VERTEX_ENTRY_BYTES
 
 
@@ -84,7 +85,9 @@ class GraphPartition:
 class PartitionedGraph:
     """A CSR graph plus its static range partitioning."""
 
-    def __init__(self, graph: CSRGraph, partitions: List[GraphPartition]):
+    def __init__(
+        self, graph: CSRGraph, partitions: List[GraphPartition]
+    ) -> None:
         if not partitions:
             raise ValueError("need at least one partition")
         self.graph = graph
@@ -110,8 +113,8 @@ class PartitionedGraph:
         return len(self.partitions)
 
     @property
-    def max_partition_bytes(self) -> int:
-        return max(p.nbytes for p in self.partitions)
+    def max_partition_bytes(self) -> Bytes:
+        return Bytes(max(p.nbytes for p in self.partitions))
 
     def find_partition(self, vertex: int) -> int:
         """Partition index of ``vertex`` via binary search (paper §III-B)."""

@@ -20,6 +20,7 @@ from typing import Dict, Iterator, Optional, Protocol
 
 import numpy as np
 
+from repro.core.units import Bytes
 from repro.walks.batch import WalkBatch
 from repro.walks.queue import BatchQueue
 from repro.walks.state import WalkArrays
@@ -181,9 +182,9 @@ class DeviceWalkPool:
     def free_capacity(self) -> int:
         return max(0, self.capacity_walks - self.cached_walks)
 
-    def reserved_bytes(self, bytes_per_walk: int) -> int:
+    def reserved_bytes(self, bytes_per_walk: int) -> Bytes:
         """The §III-B bound: (2P + 1) batches of frontier/free reservation."""
-        return (
+        return Bytes(
             (2 * self.num_partitions + 1)
             * self.batch_capacity
             * bytes_per_walk

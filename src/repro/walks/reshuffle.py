@@ -23,6 +23,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.units import Seconds
 from repro.gpu.kernels import DIRECT_WRITE, TWO_LEVEL, KernelModel
 from repro.walks.pool import DeviceWalkPool
 from repro.walks.state import WalkArrays
@@ -114,11 +115,13 @@ class _BaseReshuffler:
         )
         self._lanes = kernel_model.calibration.reshuffle_parallel_lanes
 
-    def seconds_for(self, num_walks: int) -> float:
+    def seconds_for(self, num_walks: int) -> Seconds:
         """Modeled reshuffle duration (``KernelModel.reshuffle_time``)."""
         if num_walks <= 0:
-            return 0.0
-        return num_walks * self._serial_per_walk / min(num_walks, self._lanes)
+            return Seconds(0.0)
+        return Seconds(
+            num_walks * self._serial_per_walk / min(num_walks, self._lanes)
+        )
 
     def reshuffle(
         self,

@@ -1,0 +1,367 @@
+"""The strict static-analysis passes: seeded unit-mixing and
+stage-aliasing defects are each caught exactly once, waivers and the
+suppression baseline behave, and the real source tree is strict-clean.
+
+Also the unit-consistency regression tests for the two cost paths the
+unit audit singled out (satellite of the static-analysis PR):
+``PeerLinkSpec.transfer_time`` packetization and
+``Calibration.step_cycles_for``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.static import (
+    DEFAULT_BASELINE,
+    RULE_CYCLES_SECONDS,
+    RULE_RETURN_MISMATCH,
+    RULE_RETURN_UNTYPED,
+    RULE_UNDECLARED,
+    RULE_UNIT_MIX,
+    RULE_UNPUBLISHED,
+    analyze_paths,
+    run_lint,
+)
+from repro.core.units import seconds_from_cycles
+from repro.gpu.calibration import Calibration
+from repro.gpu.cluster import NVLINK_P2P, PCIE_P2P, PeerLinkSpec
+from repro.gpu.device import RTX3090
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+
+def strict_findings(tmp_path, source, name="module.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    findings, checked = analyze_paths([path], strict=True)
+    assert checked == 1
+    return findings
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# Unit-of-measure pass: each seeded defect caught exactly once
+# ---------------------------------------------------------------------------
+
+
+class TestUnitPass:
+    def test_mixed_unit_addition_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "def total(nbytes: int, walks: int) -> float:\n"
+            "    return nbytes + walks\n",
+        )
+        assert rules_of(findings) == [RULE_UNIT_MIX]
+        assert "B + walk" in findings[0].message
+
+    def test_cycles_plus_seconds_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "def combine(step_cycles: float, busy_seconds: float) -> float:\n"
+            "    return step_cycles + busy_seconds\n",
+        )
+        assert rules_of(findings) == [RULE_CYCLES_SECONDS]
+        assert "seconds_from_cycles" in findings[0].message
+
+    def test_blessed_conversion_is_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "def combine(step_cycles: float, busy_seconds: float,\n"
+            "            clock_hz: float) -> float:\n"
+            "    return step_cycles / clock_hz + busy_seconds\n",
+        )
+        assert findings == []
+
+    def test_unit_return_mismatch_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "from repro.core.units import Seconds\n"
+            "def launch_cost(delay_cycles: float) -> Seconds:\n"
+            "    return delay_cycles\n",
+        )
+        assert rules_of(findings) == [RULE_RETURN_MISMATCH]
+        assert "returns cy" in findings[0].message
+
+    def test_unitless_seconds_function_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "def copy_seconds(n: int) -> float:\n"
+            "    return 0.0\n",
+        )
+        assert rules_of(findings) == [RULE_RETURN_UNTYPED]
+        assert "core/units.py" in findings[0].message
+
+    def test_unit_mix_waiver_suppresses(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "def total(nbytes: int, walks: int) -> float:\n"
+            "    return nbytes + walks  # lint: allow-unit-mix\n",
+        )
+        assert findings == []
+
+    def test_dimension_cancellation_through_locals(self, tmp_path):
+        # walks * bytes_per_walk is bytes (counts absorbed); dividing by
+        # bandwidth yields seconds, which adds cleanly to a latency.
+        findings = strict_findings(
+            tmp_path,
+            "def xfer(walks: int, bytes_per_walk: int, bandwidth: float,\n"
+            "         latency_seconds: float) -> float:\n"
+            "    payload = walks * bytes_per_walk\n"
+            "    return latency_seconds + payload / bandwidth\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Cross-stage aliasing pass
+# ---------------------------------------------------------------------------
+
+_CTX_PREAMBLE = (
+    "from dataclasses import dataclass\n"
+    "@dataclass\n"
+    "class StageContext:\n"
+    "    frontier: list\n"
+    "    bus: object\n"
+)
+
+
+class TestAliasingPass:
+    def test_unpublished_shared_mutation_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _CTX_PREAMBLE
+            + "class LoadStage:\n"
+            "    def run(self, ctx):\n"
+            "        ctx.frontier.append(1)\n"
+            "class ComputeStage:\n"
+            "    def run(self, ctx):\n"
+            "        return len(ctx.frontier)\n",
+        )
+        assert rules_of(findings) == [RULE_UNPUBLISHED]
+        assert "LoadStage.run" in findings[0].message
+        assert "'frontier'" in findings[0].message
+
+    def test_publishing_stage_is_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _CTX_PREAMBLE
+            + "class LoadStage:\n"
+            "    def run(self, ctx):\n"
+            "        ctx.frontier.append(1)\n"
+            "        ctx.bus.emit(FrontierGrew())\n"
+            "class ComputeStage:\n"
+            "    def run(self, ctx):\n"
+            "        return len(ctx.frontier)\n",
+        )
+        assert findings == []
+
+    def test_transitive_publish_through_helper(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _CTX_PREAMBLE
+            + "class LoadStage:\n"
+            "    def run(self, ctx):\n"
+            "        ctx.frontier.append(1)\n"
+            "        self._announce(ctx)\n"
+            "    def _announce(self, ctx):\n"
+            "        ctx.bus.emit(FrontierGrew())\n"
+            "class ComputeStage:\n"
+            "    def run(self, ctx):\n"
+            "        return len(ctx.frontier)\n",
+        )
+        assert findings == []
+
+    def test_private_field_needs_no_event(self, tmp_path):
+        # Only one actor touches the field: no cross-stage contract.
+        findings = strict_findings(
+            tmp_path,
+            _CTX_PREAMBLE
+            + "class LoadStage:\n"
+            "    def run(self, ctx):\n"
+            "        ctx.frontier.append(1)\n",
+        )
+        assert findings == []
+
+    def test_undeclared_context_field_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _CTX_PREAMBLE
+            + "class TypoStage:\n"
+            "    def run(self, ctx):\n"
+            "        ctx.fronteir = []\n",
+        )
+        assert rules_of(findings) == [RULE_UNDECLARED]
+        assert "'fronteir'" in findings[0].message
+
+    def test_local_alias_of_field_tracked(self, tmp_path):
+        # pool = ctx.frontier; pool.append(...) is still a write.
+        findings = strict_findings(
+            tmp_path,
+            _CTX_PREAMBLE
+            + "class LoadStage:\n"
+            "    def run(self, ctx):\n"
+            "        pool = ctx.frontier\n"
+            "        pool.append(1)\n"
+            "class ComputeStage:\n"
+            "    def run(self, ctx):\n"
+            "        return len(ctx.frontier)\n",
+        )
+        assert rules_of(findings) == [RULE_UNPUBLISHED]
+
+
+# ---------------------------------------------------------------------------
+# Baseline + CLI behaviour
+# ---------------------------------------------------------------------------
+
+_DEFECT = (
+    "def total(nbytes: int, walks: int) -> float:\n"
+    "    return nbytes + walks\n"
+)
+
+
+class TestBaseline:
+    def test_strict_without_baseline_fails(self, tmp_path, capsys):
+        path = tmp_path / "defect.py"
+        path.write_text(_DEFECT)
+        assert run_lint([str(path)], strict=True) == 1
+        assert "unit-mix" in capsys.readouterr().out
+
+    def test_update_then_rerun_suppresses(self, tmp_path, capsys):
+        path = tmp_path / "defect.py"
+        path.write_text(_DEFECT)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            run_lint(
+                [str(path)],
+                strict=True,
+                baseline_path=str(baseline),
+                update_baseline=True,
+            )
+            == 0
+        )
+        entries = json.loads(baseline.read_text())["findings"]
+        assert len(entries) == 1 and entries[0]["rule"] == RULE_UNIT_MIX
+        capsys.readouterr()
+        assert (
+            run_lint([str(path)], strict=True, baseline_path=str(baseline))
+            == 0
+        )
+        assert "1 baseline-suppressed" in capsys.readouterr().out
+
+    def test_new_finding_not_masked_by_baseline(self, tmp_path, capsys):
+        path = tmp_path / "defect.py"
+        path.write_text(_DEFECT)
+        baseline = tmp_path / "baseline.json"
+        run_lint(
+            [str(path)],
+            strict=True,
+            baseline_path=str(baseline),
+            update_baseline=True,
+        )
+        path.write_text(
+            _DEFECT
+            + "def later(step_cycles: float, busy_seconds: float) -> float:\n"
+            "    return step_cycles - busy_seconds\n"
+        )
+        capsys.readouterr()
+        assert (
+            run_lint([str(path)], strict=True, baseline_path=str(baseline))
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "cycles-vs-seconds" in out
+
+    def test_json_report_schema(self, tmp_path):
+        path = tmp_path / "defect.py"
+        path.write_text(_DEFECT)
+        report = tmp_path / "report.json"
+        run_lint([str(path)], strict=True, json_path=str(report))
+        payload = json.loads(report.read_text())
+        assert payload["strict"] is True
+        assert payload["checked_files"] == 1
+        assert payload["passes"] == ["house-rules", "units", "aliasing"]
+        assert [f["rule"] for f in payload["findings"]] == [RULE_UNIT_MIX]
+        assert payload["suppressed"] == []
+
+    def test_missing_path_exit_code(self, tmp_path, capsys):
+        assert run_lint([str(tmp_path / "nope.py")], strict=True) == 2
+        capsys.readouterr()
+
+
+class TestRealTreeStrictClean:
+    def test_source_tree_has_no_strict_findings(self):
+        findings, checked = analyze_paths([SRC], strict=True)
+        assert checked > 80
+        assert findings == []
+
+    def test_committed_baseline_is_empty(self):
+        baseline = Path(__file__).parent.parent / DEFAULT_BASELINE
+        assert json.loads(baseline.read_text())["findings"] == []
+
+
+# ---------------------------------------------------------------------------
+# Unit-consistency regression tests (the audited cost paths)
+# ---------------------------------------------------------------------------
+
+
+class TestPeerLinkUnitConsistency:
+    def test_sub_packet_payload_pays_a_whole_packet(self):
+        spec = PeerLinkSpec(name="test", bandwidth=1e9, packet_bytes=256)
+        assert spec.transfer_time(1) == spec.transfer_time(256)
+        assert spec.transfer_time(257) > spec.transfer_time(256)
+
+    def test_packetized_cost_is_latency_plus_wire_seconds(self):
+        spec = PeerLinkSpec(
+            name="test", bandwidth=2e9, latency_seconds=3e-6, packet_bytes=128
+        )
+        nbytes = 1000  # 8 packets of 128B = 1024 wire bytes
+        wire_bytes = 8 * 128
+        expected = 3e-6 + wire_bytes / 2e9
+        assert spec.transfer_time(nbytes) == pytest.approx(expected)
+
+    def test_bandwidth_term_scales_inversely_with_bandwidth(self):
+        # The unit audit's check: (t - latency) must carry B/(B/s) = s,
+        # so doubling bandwidth exactly halves it.
+        slow = PeerLinkSpec(name="s", bandwidth=10e9, latency_seconds=1e-6)
+        fast = PeerLinkSpec(name="f", bandwidth=20e9, latency_seconds=1e-6)
+        nbytes = 4096
+        slow_wire = slow.transfer_time(nbytes) - slow.latency_seconds
+        fast_wire = fast.transfer_time(nbytes) - fast.latency_seconds
+        assert slow_wire == pytest.approx(2.0 * fast_wire)
+
+    def test_zero_payload_is_free(self):
+        assert NVLINK_P2P.transfer_time(0) == 0.0
+        assert PCIE_P2P.transfer_time(0) == 0.0
+
+
+class TestCalibrationUnitConsistency:
+    def test_step_cycles_for_is_cycles_not_seconds(self):
+        cal = Calibration()
+        for sampler in ("uniform", "alias", "inverse", "rejection"):
+            cycles = cal.step_cycles_for(sampler)
+            assert cycles >= cal.step_cycles_base
+            # Cycle counts sit far above any plausible per-step seconds
+            # value; a cycles/seconds confusion would collapse this.
+            assert cycles > 1.0
+
+    def test_step_cycles_compose_base_plus_extra(self):
+        cal = Calibration()
+        assert cal.step_cycles_for("alias") == pytest.approx(
+            cal.step_cycles_base + cal.sampler_extra_cycles_alias
+        )
+        assert cal.step_cycles_for("uniform") == pytest.approx(
+            cal.step_cycles_base
+        )
+
+    def test_cycles_cross_to_seconds_only_via_clock(self):
+        cal = Calibration()
+        cycles = cal.step_cycles_for("rejection")
+        via_helper = seconds_from_cycles(cycles, RTX3090.clock_hz)
+        via_device = RTX3090.cycles_to_seconds(cycles)
+        assert via_helper == pytest.approx(via_device)
+        assert via_helper == pytest.approx(cycles / RTX3090.clock_hz)
