@@ -26,6 +26,7 @@ from repro.analysis.violations import (
     RULE_EVICT_IN_FLIGHT,
     RULE_MIGRATION,
     RULE_RESIDENCY,
+    RULE_STALE_OWNER,
     RULE_STREAM_AFFINITY,
     RULE_STREAM_MONOTONIC,
     RULE_WALK_CAPACITY,
@@ -43,6 +44,7 @@ __all__ = [
     "RULE_EVICT_IN_FLIGHT",
     "RULE_MIGRATION",
     "RULE_RESIDENCY",
+    "RULE_STALE_OWNER",
     "RULE_STREAM_AFFINITY",
     "RULE_STREAM_MONOTONIC",
     "RULE_WALK_CAPACITY",

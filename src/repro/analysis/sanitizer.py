@@ -53,7 +53,17 @@ Checked invariants (rule ids in :mod:`repro.analysis.violations`):
                             at an iteration boundary.
 ``migration-conservation``  per peer channel, walks delivered never
                             exceed walks sent, and a completed run has
-                            sent == delivered.
+                            sent == delivered; extended over the failure
+                            and rebalance paths — walks recovered from a
+                            failed device must equal its drained pending
+                            count, and rebalance handoffs ride the same
+                            per-channel send/deliver accounting.
+``stale-owner-mask``        every iteration targets a partition its
+                            device owns per the cluster's live owner
+                            map, and the device is alive — a scheduler
+                            running on a stale mask after a rebalance
+                            or failure is caught at the very next
+                            iteration.
 ==========================  ============================================
 
 Violations are collected (never raised) with a provenance trail of the
@@ -75,6 +85,7 @@ from repro.analysis.violations import (
     RULE_EVICT_IN_FLIGHT,
     RULE_MIGRATION,
     RULE_RESIDENCY,
+    RULE_STALE_OWNER,
     RULE_STREAM_AFFINITY,
     RULE_STREAM_MONOTONIC,
     RULE_WALK_CAPACITY,
@@ -85,11 +96,14 @@ from repro.core.events import (
     SERVED_EXPLICIT,
     BatchEvicted,
     BatchLoaded,
+    DeviceFailed,
+    DeviceRecoveredWalks,
     GraphServed,
     IterationStarted,
     KernelDispatched,
     Reshuffled,
     RunCompleted,
+    ShardRebalanced,
     WalkFinished,
     WalksDelivered,
     WalksMigrated,
@@ -179,6 +193,12 @@ class Sanitizer:
         #: migration counters per directed (src, dst) channel.
         self._migrated_sent: Dict[Tuple[int, int], int] = {}
         self._migrated_recv: Dict[Tuple[int, int], int] = {}
+        #: cluster owner map / liveness, wired by bind_cluster().
+        self._cluster: Optional[object] = None
+        #: pending walks drained per failed device (DeviceFailed).
+        self._failed_pending: Dict[int, int] = {}
+        #: walks recovered per failed source (DeviceRecoveredWalks).
+        self._recovered: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -236,6 +256,18 @@ class Sanitizer:
             device.observer = self
             shard.batch_capacity = device.batch_capacity
             self._wpool_device[id(device)] = device_id
+        return self
+
+    def bind_cluster(self, cluster: object) -> "Sanitizer":
+        """Wire the cluster's owner map for stale-owner-mask auditing.
+
+        ``cluster`` is a :class:`~repro.gpu.cluster.DeviceCluster` (typed
+        as ``object`` to keep the analysis layer import-light); its live
+        ``device_of`` array and ``alive`` mask let the sanitizer verify
+        each iteration against current — not construction-time —
+        ownership.
+        """
+        self._cluster = cluster
         return self
 
     def unbind(self) -> None:
@@ -389,6 +421,7 @@ class Sanitizer:
     def on_iteration_started(self, event: IterationStarted) -> None:
         self._iteration = event.iteration
         self._record(f"{event!r}")
+        self._check_stale_owner(event)
         self._check_walk_capacity()
         self._check_conservation("iteration start")
         self._check_cross_device()
@@ -453,10 +486,40 @@ class Sanitizer:
                 f"only {sent} were sent (phantom delivery)",
             )
 
+    def on_device_failed(self, event: DeviceFailed) -> None:
+        self._record(f"{event!r}")
+        self._failed_pending[event.device] = event.pending_walks
+        # The engine emits DeviceFailed only after recovery re-appended
+        # the drained walks, so the population must already balance.
+        self._check_conservation("device failure")
+
+    def on_device_recovered_walks(self, event: DeviceRecoveredWalks) -> None:
+        self._record(f"{event!r}")
+        src = event.src_device
+        recovered = self._recovered.get(src, 0) + event.walks
+        self._recovered[src] = recovered
+        self.checks += 1
+        drained = self._failed_pending.get(src, 0)
+        if recovered > drained:
+            self._violate(
+                RULE_MIGRATION,
+                f"recovered {recovered} walks from failed device {src} "
+                f"which only drained {drained} (recovery duplicated "
+                f"walks)",
+            )
+
+    def on_shard_rebalanced(self, event: ShardRebalanced) -> None:
+        self._record(f"{event!r}")
+        # A handoff must leave the population intact and no walk resident
+        # on both the old and new owner.
+        self._check_conservation("shard rebalance")
+        self._check_cross_device()
+
     def on_run_completed(self, event: RunCompleted) -> None:
         self._record(f"{event!r}")
         self._check_conservation("run completion")
         self._check_migration_closed()
+        self._check_recovery_closed()
         if self._expected_walks is not None:
             self.checks += 1
             if event.finished_walks != self._expected_walks:
@@ -560,6 +623,50 @@ class Sanitizer:
                     # At most one violation per boundary check: a single
                     # duplicated walk would otherwise flood the report.
                     return
+
+    def _check_stale_owner(self, event: IterationStarted) -> None:
+        """Each iteration's partition must be owned by its alive device."""
+        cluster = self._cluster
+        if cluster is None:
+            return
+        self.checks += 1
+        device_of = getattr(cluster, "device_of")
+        alive = getattr(cluster, "alive")
+        owner = int(device_of[event.partition])
+        if not bool(alive[event.device]):
+            self._violate(
+                RULE_STALE_OWNER,
+                f"iteration ran on device {event.device}, which has "
+                f"failed (the sweep loop did not observe the failure)",
+            )
+        elif owner != event.device:
+            self._violate(
+                RULE_STALE_OWNER,
+                f"device {event.device} iterated over partition "
+                f"{event.partition}, owned by device {owner} — its "
+                f"scheduler is deciding on a stale owned mask",
+            )
+
+    def _check_recovery_closed(self) -> None:
+        """Every failed device's drained walks must have been recovered.
+
+        The failure-path extension of migration conservation: walks
+        drained out of a dead shard are 'in flight' until a
+        ``DeviceRecoveredWalks`` lands them on a survivor, and a
+        completed run may not leave any behind (over-recovery is caught
+        live in :meth:`on_device_recovered_walks`).
+        """
+        for device in sorted(self._failed_pending):
+            self.checks += 1
+            drained = self._failed_pending[device]
+            recovered = self._recovered.get(device, 0)
+            if recovered < drained:
+                self._violate(
+                    RULE_MIGRATION,
+                    f"device {device} failed with {drained} pending walks "
+                    f"but only {recovered} were recovered onto survivors "
+                    f"({drained - recovered} lost to the failure)",
+                )
 
     def _check_migration_closed(self) -> None:
         """At run completion every channel must have sent == delivered."""

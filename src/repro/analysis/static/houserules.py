@@ -32,6 +32,18 @@ CLI path:
     one ``on_<snake_case>`` handler defined somewhere in the tree (or
     an explicit waiver) — an event nobody consumes is either dead
     weight or a silently unobserved engine fact.
+
+``device-failure-conservation``
+    Every ``DeviceFailed``-handling code path — a function named
+    ``on_device_failed`` or one that constructs/emits a
+    ``DeviceFailed`` event — must re-assert walk conservation: call
+    something whose name mentions ``conservation`` (e.g. the engine's
+    ``_assert_cluster_conservation`` or the sanitizer's
+    ``_check_conservation``).  Failure recovery moves whole walk
+    populations between shards; a path that mutates them without
+    re-checking the global count is exactly where walks get silently
+    lost.  Pure counter observers waive per line with
+    ``# lint: allow-device-failure-conservation``.
 """
 
 from __future__ import annotations
@@ -54,6 +66,7 @@ RULE_RNG = "rng-factory"
 RULE_FLOAT_EQ = "float-timestamp-eq"
 RULE_FROZEN_EVENT = "frozen-event"
 RULE_HANDLER_COVERAGE = "event-handler-coverage"
+RULE_FAILURE_CONSERVATION = "device-failure-conservation"
 
 #: module path (as posix suffix) allowed to construct raw generators.
 RNG_FACTORY_MODULE = "core/prng.py"
@@ -63,6 +76,24 @@ TIMESTAMP_NAMES = re.compile(
     r"^(busy_until|ready_time|now|graph_t|batch_t|k_end|earliest"
     r"|[a-z0-9_]*_time)$"
 )
+
+
+def _constructs_device_failed(node: ast.AST) -> bool:
+    """Does this subtree build (and therefore emit) a DeviceFailed event?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            if dotted(sub.func).split(".")[-1] == "DeviceFailed":
+                return True
+    return False
+
+
+def _reasserts_conservation(node: ast.AST) -> bool:
+    """Does this subtree call anything whose name mentions conservation?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            if "conservation" in dotted(sub.func).lower():
+                return True
+    return False
 
 
 def _is_timestamp_operand(node: ast.AST) -> bool:
@@ -193,15 +224,36 @@ class _FileVisitor(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
+    # -- device-failure-conservation -------------------------------------
+    def _check_device_failure(self, node: ast.AST) -> None:
+        name = getattr(node, "name", "")
+        handles = name == "on_device_failed" or _constructs_device_failed(
+            node
+        )
+        if not handles or "conservation" in name.lower():
+            return
+        if _reasserts_conservation(node):
+            return
+        self._report(
+            node,
+            RULE_FAILURE_CONSERVATION,
+            f"'{name}' handles DeviceFailed but never re-asserts walk "
+            "conservation; call a *conservation* check (e.g. "
+            "_assert_cluster_conservation) or waive with "
+            "'# lint: allow-device-failure-conservation'",
+        )
+
     # -- handler collection (for event-handler-coverage) -----------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         if node.name.startswith("on_"):
             self.handler_names.add(node.name)
+        self._check_device_failure(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         if node.name.startswith("on_"):
             self.handler_names.add(node.name)
+        self._check_device_failure(node)
         self.generic_visit(node)
 
 

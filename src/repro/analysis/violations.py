@@ -55,6 +55,12 @@ RULE_CROSS_DEVICE = "cross-device-residency"
 #: undelivered (migration dropped or duplicated walks in flight).
 RULE_MIGRATION = "migration-conservation"
 
+#: An iteration ran on a device that has failed, or processed a
+#: partition the cluster's ownership map assigns to another shard —
+#: the scheduler decided on a stale owned mask after a failure or
+#: elastic rebalance moved ownership.
+RULE_STALE_OWNER = "stale-owner-mask"
+
 ALL_RULES = (
     RULE_STREAM_MONOTONIC,
     RULE_STREAM_AFFINITY,
@@ -65,6 +71,7 @@ ALL_RULES = (
     RULE_WALK_CONSERVATION,
     RULE_CROSS_DEVICE,
     RULE_MIGRATION,
+    RULE_STALE_OWNER,
 )
 
 

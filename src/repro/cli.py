@@ -20,6 +20,11 @@ Commands
     Run the multi-device scaling benchmark (1/2/4 shards with P2P walk
     migration, simulated speedup + migration counts) and write
     ``BENCH_devices.json``.
+``bench elastic``
+    Run the elastic-cluster benchmark: heterogeneity-aware vs uniform
+    partition assignment on skewed 4-device specs, and a mid-run
+    single-device failure that must complete sanitizer-clean with zero
+    lost walks and bounded slowdown.  Writes ``BENCH_elastic.json``.
 ``lint``
     Run the repo's static-analysis framework
     (:mod:`repro.analysis.static`).  The default pass set is the cheap
@@ -41,10 +46,14 @@ Examples
     python -m repro run --dataset uk-sim --algorithm uniform --sampler alias
     python -m repro run --dataset uk-sim --algorithm uniform --sanitize
     python -m repro run --dataset uk-sim --devices 2 --sanitize
+    python -m repro run --dataset uk-sim --devices 3 --topology ring \
+        --device-spec compute=2 --device-spec compute=1 --device-spec compute=0.5 \
+        --fail 1@40 --rebalance-threshold 1.5 --metrics-prom metrics.prom
     python -m repro experiment table3
     python -m repro generate --kind rmat --scale 14 --edge-factor 8 --out g.npz
     python -m repro bench samplers --quick --out BENCH_samplers.json
     python -m repro bench devices --quick --out BENCH_devices.json
+    python -m repro bench elastic --quick --out BENCH_elastic.json
     python -m repro lint src/repro
     python -m repro lint --strict --json lint-report.json src/repro
 """
@@ -143,10 +152,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="peer link carrying cross-shard walk migrations "
              "(with --devices > 1)",
     )
+    run.add_argument(
+        "--topology", choices=("all-pairs", "ring", "switch"),
+        default="all-pairs",
+        help="peer interconnect topology (with --devices > 1): migrations "
+             "between non-adjacent shards are routed multi-hop",
+    )
+    run.add_argument(
+        "--device-spec", action="append", default=None, metavar="SPEC",
+        dest="device_specs",
+        help="heterogeneous per-device spec 'name:compute=2,memory=0.5,"
+             "link=1' (shorthands c/m/l; repeat once per device, in device "
+             "order; default: homogeneous)",
+    )
+    run.add_argument(
+        "--fail", action="append", default=None, metavar="DEV@ITER",
+        dest="failures",
+        help="inject a simulated failure of device DEV at iteration ITER "
+             "(repeatable); its pending walks are recovered onto survivors",
+    )
+    run.add_argument(
+        "--rebalance-threshold", type=float, default=None, metavar="X",
+        help="enable elastic shard rebalancing: hand partitions off when "
+             "the most loaded device exceeds X times the mean load "
+             "(X > 1.0; default: rebalancing off)",
+    )
     run.add_argument("--seed", type=int, default=42)
     run.add_argument(
         "--metrics-json", default=None, metavar="PATH",
         help="dump per-partition metrics as JSON ('-' for stdout); "
+             f"supported for {', '.join(BUS_SYSTEMS)}",
+    )
+    run.add_argument(
+        "--metrics-prom", default=None, metavar="PATH",
+        help="export run metrics (including the per-device pending-walk "
+             "time series) in Prometheus text format ('-' for stdout); "
              f"supported for {', '.join(BUS_SYSTEMS)}",
     )
     run.add_argument(
@@ -212,6 +252,29 @@ def build_parser() -> argparse.ArgumentParser:
     devices.add_argument(
         "--no-check", action="store_true",
         help="report without failing on conservation/speedup violations",
+    )
+    elastic = bench_sub.add_parser(
+        "elastic",
+        help="elastic-cluster benchmark: heterogeneity-aware assignment "
+             "on skewed specs + mid-run device failure with walk recovery",
+    )
+    elastic.add_argument(
+        "--quick", action="store_true",
+        help="small workload for CI smoke runs (speedup floor not enforced)",
+    )
+    elastic.add_argument("--scale", type=int, default=12,
+                         help="rmat scale of the benchmark workload")
+    elastic.add_argument("--edge-factor", type=int, default=8)
+    elastic.add_argument("--walks", type=int, default=None,
+                         help="walk count (default: workload-sized)")
+    elastic.add_argument("--seed", type=int, default=7)
+    elastic.add_argument(
+        "--out", default="BENCH_elastic.json",
+        help="results JSON path ('-' to skip the file and print only)",
+    )
+    elastic.add_argument(
+        "--no-check", action="store_true",
+        help="report without failing on conservation/slowdown violations",
     )
 
     lint = sub.add_parser(
@@ -298,6 +361,10 @@ def _run_system(
             sampler=sampler, sanitize=sanitize,
             devices=getattr(args, "devices", 1),
             peer_interconnect=getattr(args, "peer_interconnect", "nvlink"),
+            topology=getattr(args, "topology", "all-pairs"),
+            device_specs=getattr(args, "device_specs", None),
+            failure_schedule=getattr(args, "failure_schedule", None),
+            rebalance_threshold=getattr(args, "rebalance_threshold", None),
         )
         return LightTrafficEngine(
             graph, algorithm, config, metrics=metrics
@@ -396,30 +463,76 @@ def cmd_datasets() -> int:
     return 0
 
 
+def _unsupported_engine(flag: str, system: str, supported: tuple) -> int:
+    """Reject a flag/engine mismatch: hint goes to stderr, exit code 2.
+
+    Keeping the message off stdout matters for scripted callers piping
+    stats output — the hint must never be mistaken for run results.
+    """
+    print(
+        f"{flag} is not supported by system {system!r}; "
+        f"supported engines: {', '.join(supported)}",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.config import FailureSchedule
+    from repro.gpu.cluster import ClusterDeviceSpec
+
     metrics: Optional[MetricsCollector] = None
-    if args.metrics_json is not None:
-        if args.system not in BUS_SYSTEMS:
-            print(
-                f"--metrics-json requires a bus-routed system "
-                f"({', '.join(BUS_SYSTEMS)}), not {args.system!r}",
-                file=sys.stderr,
-            )
-            return 2
+    want_metrics = (
+        args.metrics_json is not None or args.metrics_prom is not None
+    )
+    if want_metrics and args.system not in BUS_SYSTEMS:
+        flag = (
+            "--metrics-json" if args.metrics_json is not None
+            else "--metrics-prom"
+        )
+        return _unsupported_engine(flag, args.system, BUS_SYSTEMS)
+    if want_metrics:
         metrics = MetricsCollector()
     if args.sanitize and args.system not in BUS_SYSTEMS:
-        print(
-            f"--sanitize requires a bus-routed system "
-            f"({', '.join(BUS_SYSTEMS)}), not {args.system!r}",
-            file=sys.stderr,
-        )
-        return 2
+        return _unsupported_engine("--sanitize", args.system, BUS_SYSTEMS)
     if args.devices > 1 and args.system != "lighttraffic":
-        print(
-            f"--devices requires the lighttraffic engine, "
-            f"not {args.system!r}",
-            file=sys.stderr,
+        return _unsupported_engine(
+            "--devices", args.system, ("lighttraffic",)
         )
+    cluster_flags = (
+        ("--device-spec", args.device_specs),
+        ("--fail", args.failures),
+        ("--rebalance-threshold", args.rebalance_threshold),
+        ("--topology", None if args.topology == "all-pairs" else args.topology),
+    )
+    for flag, value in cluster_flags:
+        if value is None:
+            continue
+        if args.system != "lighttraffic":
+            return _unsupported_engine(flag, args.system, ("lighttraffic",))
+        if args.devices <= 1:
+            print(f"{flag} requires --devices > 1", file=sys.stderr)
+            return 2
+    args.failure_schedule = None
+    try:
+        if args.device_specs is not None:
+            args.device_specs = tuple(
+                ClusterDeviceSpec.parse(spec) for spec in args.device_specs
+            )
+            if len(args.device_specs) != args.devices:
+                print(
+                    f"--device-spec given {len(args.device_specs)} time(s) "
+                    f"but --devices is {args.devices}; repeat it once per "
+                    "device",
+                    file=sys.stderr,
+                )
+                return 2
+        if args.failures is not None:
+            args.failure_schedule = FailureSchedule.parse(
+                ",".join(args.failures)
+            )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
         return 2
     graph = _load_graph(args)
     try:
@@ -429,7 +542,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(str(exc), file=sys.stderr)
             return 2
         raise
-    if metrics is not None:
+    if metrics is not None and args.metrics_json is not None:
         payload = json.dumps(metrics.snapshot(), indent=2, sort_keys=True)
         if args.metrics_json == "-":
             print(payload)
@@ -442,12 +555,34 @@ def cmd_run(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return 2
             print(f"wrote metrics to {args.metrics_json}")
+    if metrics is not None and args.metrics_prom is not None:
+        from repro.core.metrics import prometheus_text
+
+        labels = {"system": args.system, "graph": graph.name}
+        text = prometheus_text(metrics.snapshot(), extra_labels=labels)
+        if args.metrics_prom == "-":
+            print(text, end="")
+        else:
+            try:
+                with open(args.metrics_prom, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+            except OSError as exc:
+                print(f"cannot write metrics to {args.metrics_prom}: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"wrote Prometheus metrics to {args.metrics_prom}")
     print(stats.summary())
     print(f"  iterations      : {stats.iterations}")
     print(f"  explicit copies : {stats.explicit_copies}")
     if stats.num_devices > 1:
         print(f"  devices         : {stats.num_devices}")
         print(f"  walks migrated  : {stats.walks_migrated}")
+        if stats.device_failures:
+            print(f"  device failures : {stats.device_failures} "
+                  f"({stats.walks_recovered} walks recovered)")
+        if stats.rebalances:
+            print(f"  rebalances      : {stats.rebalances} "
+                  f"({stats.walks_rebalanced} walks handed off)")
         if stats.device_times:
             times = ", ".join(
                 f"d{dev}={reporting.format_seconds(t)}"
@@ -487,6 +622,24 @@ def cmd_experiment(name: str) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_target == "elastic":
+        from repro.bench import elastic as bench_elastic
+
+        results = bench_elastic.run_bench(
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            walks=args.walks,
+            seed=args.seed,
+            quick=args.quick,
+        )
+        print(bench_elastic.format_summary(results))
+        if args.out != "-":
+            bench_elastic.write_results(results, args.out)
+            print(f"wrote {args.out}")
+        if not args.no_check and not results["checks"]["all_ok"]:
+            print("elastic benchmark checks FAILED", file=sys.stderr)
+            return 1
+        return 0
     if args.bench_target == "devices":
         from repro.bench import devices as bench_devices
 

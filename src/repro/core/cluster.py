@@ -27,22 +27,55 @@ moves them over a :class:`~repro.gpu.cluster.PeerChannel`:
   ``frontier_ready`` so destination kernels never consume walks that are
   still in flight.
 
+Elastic, heterogeneous, failable
+--------------------------------
+The cluster is no longer assumed homogeneous, reliable or statically
+assigned:
+
+* **Heterogeneity** — per-device :class:`~repro.gpu.cluster.ClusterDeviceSpec`
+  scales each shard's kernel model, pool budgets and link bandwidth; the
+  initial assignment weights partition bytes by each device's
+  bottleneck capability (``ClusterDeviceSpec.assignment_weight``,
+  gated by ``EngineConfig.heterogeneous_assignment``).
+* **Topology** — migrations are routed by the cluster's
+  :class:`~repro.gpu.cluster.Topology` (all-pairs, ring or switch); a
+  route may relay over multiple channel hops, each serializing on its
+  own stream.
+* **Failure** — a :class:`~repro.core.config.FailureSchedule` kills
+  devices at sweep boundaries; the dead shard's pending walks are
+  drained and re-seeded onto survivors (``DeviceFailed`` /
+  ``DeviceRecoveredWalks``), ownership is reassigned through the same
+  byte-balanced :func:`~repro.gpu.cluster.assign_partitions`, and walk
+  conservation is re-asserted immediately.
+* **Elasticity** — a :class:`ClusterController` rides the metrics bus,
+  detects compute-normalized pending-walk skew and hands partitions off
+  between shards mid-run (``ShardRebalanced``), re-migrating their
+  pending walks over the ordinary peer channels so the sanitizer's
+  migration-conservation rule covers the rebalance path unchanged.
+
 With ``devices=1`` no cluster state is active (no owned mask, no router)
 and the iteration loop degenerates to exactly the single-device engine —
-:mod:`tests.test_engine_parity` pins bit-identical :class:`RunStats`.
+:mod:`tests.test_engine_parity` pins bit-identical :class:`RunStats`;
+homogeneous no-failure multi-device runs are pinned the same way against
+``tests/data/cluster_golden.json``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+from dataclasses import replace as dataclass_replace
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.engine import LightTrafficEngine
 from repro.core.events import (
+    DeviceFailed,
+    DeviceRecoveredWalks,
     EventBus,
     IterationStarted,
+    KernelDispatched,
     RunCompleted,
+    ShardRebalanced,
     WalksDelivered,
     WalksMigrated,
     WalksSeeded,
@@ -66,9 +99,12 @@ from repro.gpu.cluster import (
     DeviceCluster,
     PeerChannel,
     PeerLinkSpec,
+    assign_partitions,
+    homogeneous_specs,
     peer_link_by_name,
+    topology_by_name,
 )
-from repro.gpu.kernels import DIRECT_WRITE
+from repro.gpu.kernels import DIRECT_WRITE, KernelModel
 from repro.gpu.memory import BlockPool
 from repro.gpu.timeline import TimeBreakdown, Timeline
 from repro.walks.pool import DeviceWalkPool, HostWalkPool
@@ -88,7 +124,14 @@ if TYPE_CHECKING:
 class _Shard:
     """One device's context plus its pipeline stage instances."""
 
-    __slots__ = ("ctx", "graph_server", "loader", "compute", "preemptive")
+    __slots__ = (
+        "ctx",
+        "graph_server",
+        "loader",
+        "compute",
+        "preemptive",
+        "alive",
+    )
 
     def __init__(self, ctx: StageContext) -> None:
         self.ctx = ctx
@@ -96,10 +139,36 @@ class _Shard:
         self.loader = WalkLoader(ctx)
         self.compute = ComputeDispatcher(ctx)
         self.preemptive = PreemptiveDispatcher(ctx, self.compute)
+        self.alive = True
 
     @property
     def pending(self) -> int:
         return self.ctx.host.total_walks + self.ctx.device.cached_walks
+
+
+def _transit(
+    hops: Tuple[PeerChannel, ...],
+    nbytes: int,
+    walks: int,
+    send_start: float,
+) -> float:
+    """Carry one payload across the route's channel hops; returns arrival.
+
+    Each hop's link is occupied in sequence (a relay cannot forward
+    before it has received).  Conservation counters: every hop counts
+    the payload as sent; relay hops also count it as delivered the
+    moment it leaves them, so only the final hop's ``delivered_walks``
+    waits for the actual pool delivery — per-channel ``sent ==
+    delivered`` stays an invariant at run end under every topology.
+    """
+    arrival = send_start
+    last = hops[-1]
+    for hop in hops:
+        __, arrival = hop.transfer(nbytes, earliest=arrival)
+        hop.sent_walks += walks
+        if hop is not last:
+            hop.delivered_walks += walks
+    return arrival
 
 
 class WalkMigrator:
@@ -108,6 +177,9 @@ class WalkMigrator:
     Installed as ``ctx.router`` on every shard context when ``devices > 1``;
     :meth:`ComputeDispatcher.dispatch` calls :meth:`route` with the
     surviving walks and their new partition ids before reshuffling.
+    Routes come from the cluster topology and may span several channel
+    hops (ring relays, an explicit switch); the send cost on the source
+    evict stream is charged once, modeled on the first hop's link.
     """
 
     def __init__(self, cluster: DeviceCluster, shards: List[_Shard]) -> None:
@@ -137,9 +209,9 @@ class WalkMigrator:
             payload = active.select(sel)
             parts = new_parts[sel]
             nbytes = len(payload) * ctx.bytes_per_walk
-            chan = self.cluster.channel(src, dst)
+            hops = self.cluster.route(src, dst)
             send_t = (
-                chan.spec.transfer_time(nbytes)
+                hops[0].spec.transfer_time(nbytes)
                 + cal.scaled_memcpy_call_seconds
             )
             earliest = kernel_end
@@ -148,10 +220,9 @@ class WalkMigrator:
             send_start, __ = ctx.timeline.evict.schedule(
                 send_t, CAT_WALK_MIGRATE, earliest=earliest
             )
-            # The link is held while the source copy engine pushes the
-            # payload; the channel stream serializes concurrent senders.
-            __, arrival = chan.transfer(nbytes, earliest=send_start)
-            chan.sent_walks += len(payload)
+            # The first link is held while the source copy engine pushes
+            # the payload; relay hops forward it as soon as it lands.
+            arrival = _transit(hops, nbytes, len(payload), send_start)
             ctx.bus.emit(
                 WalksMigrated(
                     src_device=src,
@@ -161,18 +232,24 @@ class WalkMigrator:
                     seconds=send_t,
                 )
             )
-            self._deliver(chan, payload, parts, arrival)
+            self._deliver(src, dst, hops[-1], payload, parts, arrival)
         return active.select(local_mask), new_parts[local_mask]
 
     def _deliver(
         self,
+        src: int,
+        dst: int,
         chan: PeerChannel,
         payload: WalkArrays,
         parts: np.ndarray,
         arrival: float,
     ) -> None:
-        """Scatter a migrated payload into the destination shard's pool."""
-        shard = self.shards[chan.dst]
+        """Scatter a migrated payload into the destination shard's pool.
+
+        ``src``/``dst`` are the route's true endpoints — under multi-hop
+        topologies the final hop's source is a relay, not the origin.
+        """
+        shard = self.shards[dst]
         dctx = shard.ctx
         cost, __ = dctx.reshuffler.reshuffle(dctx.device, payload, parts)
         ready = dctx.sched(dctx.timeline.compute, cost, CAT_RESHUFFLE, arrival)
@@ -184,13 +261,177 @@ class WalkMigrator:
         chan.delivered_walks += len(payload)
         dctx.bus.emit(
             WalksDelivered(
-                src_device=chan.src,
-                dst_device=chan.dst,
+                src_device=src,
+                dst_device=dst,
                 walks=len(payload),
                 arrival=arrival,
             )
         )
         shard.compute.enforce_walk_capacity(protect=None)
+
+
+class ClusterController:
+    """Elastic load controller: watches the metrics bus, hands off shards.
+
+    The controller subscribes to the engine's event bus (the PR-1
+    metrics backbone): ``IterationStarted`` samples each shard's pending
+    walks, ``KernelDispatched`` accumulates a per-device activity
+    window.  At every sweep boundary the engine calls
+    :meth:`maybe_rebalance`; when the most loaded alive shard's
+    compute-normalized pending walks exceed ``rebalance_threshold``
+    times the alive mean (and the cooldown has elapsed), ownership is
+    recomputed from per-partition pending load through the shared
+    byte-balanced :func:`~repro.gpu.cluster.assign_partitions`, and the
+    changed partitions are handed off: pending walks drained from the
+    old owner, re-migrated over the ordinary peer channels (so the
+    sanitizer's migration-conservation rule audits the rebalance path
+    unchanged) and appended to the new owner's host pool.
+    """
+
+    def __init__(
+        self,
+        cluster: DeviceCluster,
+        shards: List[_Shard],
+        threshold: float,
+        cooldown: int,
+        heterogeneous: bool,
+        conservation_check: Callable[[], None],
+    ) -> None:
+        self.cluster = cluster
+        self.shards = shards
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.heterogeneous = heterogeneous
+        self._assert_conservation = conservation_check
+        #: bus-sampled pending walks per device (IterationStarted).
+        self._pending: Dict[int, int] = {}
+        #: walks computed per device since the last rebalance.
+        self._window: Dict[int, int] = {}
+        self._last_rebalance = 0
+        self.rebalances = 0
+
+    # -- event handlers (bound by EventBus.attach) ----------------------
+    def on_iteration_started(self, event: IterationStarted) -> None:
+        self._pending[event.device] = event.pending_walks
+
+    def on_kernel_dispatched(self, event: KernelDispatched) -> None:
+        device = event.device
+        self._window[device] = self._window.get(device, 0) + event.walks
+
+    # ------------------------------------------------------------------
+    def _normalized_loads(self) -> Dict[int, float]:
+        """Compute-normalized pending load per alive device.
+
+        The signal is the bus-sampled pending count; a shard that went
+        idle stops emitting ``IterationStarted``, so its (stale) sample
+        is clamped by the live pool count at the sweep boundary.
+        """
+        loads: Dict[int, float] = {}
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            device = shard.ctx.device_id
+            sample = min(self._pending.get(device, 0), shard.pending)
+            loads[device] = (
+                sample / self.cluster.spec(device).assignment_weight
+            )
+        return loads
+
+    def maybe_rebalance(self, iteration: int, bus: EventBus) -> bool:
+        """Rebalance if skew warrants it; returns whether it happened."""
+        if iteration - self._last_rebalance < self.cooldown:
+            return False
+        loads = self._normalized_loads()
+        if len(loads) < 2:
+            return False
+        mean = sum(loads.values()) / len(loads)
+        if mean <= 0.0 or max(loads.values()) <= self.threshold * mean:
+            return False
+        cluster = self.cluster
+        shards = self.shards
+        alive_ids = cluster.alive_devices()
+        # Recompute ownership from *pending load* (+1 keeps drained
+        # partitions spreadable), weighted by bottleneck capability.
+        num_partitions = cluster.device_of.size
+        counts = np.empty(num_partitions, dtype=np.int64)
+        for p in range(num_partitions):
+            counts[p] = (
+                shards[cluster.owner(p)].ctx.partition_walks(p) + 1
+            )
+        weights = None
+        if self.heterogeneous:
+            weights = np.array(
+                [cluster.spec(int(d)).assignment_weight for d in alive_ids],
+                dtype=np.float64,
+            )
+        sub = assign_partitions(counts, len(alive_ids), weights=weights)
+        new_owner = alive_ids[sub]
+        moved = np.nonzero(new_owner != cluster.device_of)[0]
+        self._last_rebalance = iteration
+        self._window.clear()
+        if moved.size == 0:
+            return False
+        walks_moved = 0
+        for p in (int(x) for x in moved):
+            src = cluster.owner(p)
+            dst = int(new_owner[p])
+            src_ctx = shards[src].ctx
+            groups = src_ctx.release_partition(p)
+            walks = sum(len(group) for group in groups)
+            if walks == 0:
+                continue
+            walks_moved += walks
+            nbytes = walks * src_ctx.bytes_per_walk
+            hops = cluster.route(src, dst)
+            send_t = (
+                hops[0].spec.transfer_time(nbytes)
+                + src_ctx.config.calibration.scaled_memcpy_call_seconds
+            )
+            # The handoff starts once the old owner's pipeline quiesces.
+            send_start, __ = src_ctx.timeline.evict.schedule(
+                send_t, CAT_WALK_MIGRATE, earliest=src_ctx.timeline.now
+            )
+            arrival = _transit(hops, nbytes, walks, send_start)
+            bus.emit(
+                WalksMigrated(
+                    src_device=src,
+                    dst_device=dst,
+                    walks=walks,
+                    nbytes=nbytes,
+                    seconds=send_t,
+                )
+            )
+            dctx = shards[dst].ctx
+            for group in groups:
+                dctx.host.append_walks(p, group)
+            hops[-1].delivered_walks += walks
+            prev = dctx.frontier_ready.get(p, 0.0)
+            if arrival > prev:
+                dctx.frontier_ready[p] = arrival
+            bus.emit(
+                WalksDelivered(
+                    src_device=src,
+                    dst_device=dst,
+                    walks=walks,
+                    arrival=arrival,
+                )
+            )
+        cluster.set_owners(moved, new_owner[moved])
+        for shard in shards:
+            if shard.alive:
+                shard.ctx.scheduler.set_owned(
+                    cluster.owned_mask(shard.ctx.device_id)
+                )
+        bus.emit(
+            ShardRebalanced(
+                iteration=iteration,
+                moved_partitions=int(moved.size),
+                walks_moved=walks_moved,
+            )
+        )
+        self.rebalances += 1
+        self._assert_conservation()
+        return True
 
 
 class MultiDeviceEngine(LightTrafficEngine):
@@ -217,6 +458,46 @@ class MultiDeviceEngine(LightTrafficEngine):
             else TwoLevelReshuffler
         )
         multi = cluster.num_devices > 1
+        # Heterogeneity: scale this shard's cost model and memory budgets
+        # by its capability spec.  The == 1.0 guards keep the homogeneous
+        # path on the exact shared objects/ints (bit-identity).
+        spec = cluster.spec(device_id)
+        kernel_model = self.kernel_model
+        if spec.compute_scale != 1.0:
+            device = dataclass_replace(
+                cfg.device,
+                name=f"{cfg.device.name}-{spec.name}",
+                clock_hz=cfg.device.clock_hz * spec.compute_scale,
+                mem_bandwidth=cfg.device.mem_bandwidth * spec.compute_scale,
+            )
+            kernel_model = KernelModel(device, cfg.calibration)
+        if spec.memory_scale != 1.0:
+            capacity = max(batch_cap, int(capacity * spec.memory_scale))
+        pool_partitions = cfg.graph_pool_partitions
+        if spec.memory_scale != 1.0:
+            pool_partitions = max(
+                1, int(cfg.graph_pool_partitions * spec.memory_scale)
+            )
+        # link_scale covers the device's whole I/O complex: the host
+        # interconnect carrying graph/walk DMA as well as the peer links
+        # (which DeviceCluster.channel scales on its own).
+        pcie = self.pcie
+        ship_link = self.ship_link
+        if spec.link_scale != 1.0:
+            pcie = dataclass_replace(
+                self.pcie,
+                name=f"{self.pcie.name}x{spec.link_scale:g}",
+                bandwidth=self.pcie.bandwidth * spec.link_scale,
+                latency_seconds=self.pcie.latency_seconds / spec.link_scale,
+            )
+            ship_link = dataclass_replace(
+                self.ship_link,
+                name=f"{self.ship_link.name}x{spec.link_scale:g}",
+                bandwidth=self.ship_link.bandwidth * spec.link_scale,
+                latency_seconds=(
+                    self.ship_link.latency_seconds / spec.link_scale
+                ),
+            )
         ctx = StageContext(
             config=cfg,
             graph=self.graph,
@@ -233,16 +514,16 @@ class MultiDeviceEngine(LightTrafficEngine):
             host=HostWalkPool(num_partitions, batch_cap),
             device=DeviceWalkPool(num_partitions, batch_cap, capacity),
             graph_pool=BlockPool(
-                cfg.graph_pool_partitions,
+                pool_partitions,
                 name=f"graph-pool-d{device_id}",
                 track_recency=(cfg.eviction_policy == "lru"),
             ),
             timeline=Timeline(record_ops=cfg.record_ops),
             bus=bus,
-            reshuffler=reshuffler_cls(self.kernel_model, num_partitions),
-            kernel_model=self.kernel_model,
-            pcie=self.pcie,
-            ship_link=self.ship_link,
+            reshuffler=reshuffler_cls(kernel_model, num_partitions),
+            kernel_model=kernel_model,
+            pcie=pcie,
+            ship_link=ship_link,
             bytes_per_walk=self.algorithm.bytes_per_walk,
             adaptive=self.adaptive,
             device_id=device_id,
@@ -270,6 +551,123 @@ class MultiDeviceEngine(LightTrafficEngine):
         )
 
     # ------------------------------------------------------------------
+    def _assert_cluster_conservation(
+        self, shards: List[_Shard], expected: int
+    ) -> None:
+        """Re-assert walk conservation after a cluster mutation.
+
+        Failure recovery and elastic rebalance both move walks between
+        pools outside the audited kernel/migration flow; every such
+        mutation ends with this check so a lost or duplicated walk
+        surfaces at the mutation that caused it, not at run end.
+        """
+        pending = sum(shard.pending for shard in shards)
+        finished = sum(shard.ctx.finished for shard in shards)
+        if pending + finished != expected:
+            raise RuntimeError(
+                f"walk conservation violated after cluster mutation: "
+                f"{pending} pending + {finished} finished != {expected}"
+            )
+
+    def _fail_device(
+        self,
+        shards: List[_Shard],
+        cluster: DeviceCluster,
+        device: int,
+        iteration: int,
+        bus: EventBus,
+        num_walks: int,
+    ) -> None:
+        """Kill one device shard and recover its walks onto survivors.
+
+        The dead shard's pending walks are drained (there are no walks
+        in flight between iterations — migration delivery is synchronous
+        within a dispatch), its partitions reassigned over the alive
+        devices through the shared byte-balanced assignment, survivors'
+        owned masks refreshed, and the walks appended to the new owners'
+        host pools.  ``DeviceFailed`` is emitted only after the cluster
+        is consistent again, so auditing subscribers always observe a
+        conserved population.
+        """
+        shard = shards[device]
+        if not shard.alive:
+            return
+        cluster.fail_device(device)
+        shard.alive = False
+        moved = cluster.owned_partitions(device)
+        drained = {
+            int(p): shard.ctx.release_partition(int(p)) for p in moved
+        }
+        pending = sum(
+            len(group) for groups in drained.values() for group in groups
+        )
+        alive_ids = cluster.alive_devices()
+        sizes = np.asarray(
+            self.partitioned.partition_sizes(), dtype=np.int64
+        )
+        # The dead device may own fewer partitions than there are
+        # survivors; spread over the least-loaded ones in that case
+        # (deterministic: load then device id).
+        if moved.size < alive_ids.size:
+            ranked = sorted(
+                (
+                    shards[int(d)].pending
+                    / cluster.spec(int(d)).assignment_weight,
+                    int(d),
+                )
+                for d in alive_ids
+            )
+            chosen = sorted(dev for __, dev in ranked[: moved.size])
+            alive_ids = np.asarray(chosen, dtype=np.int64)
+        weights = None
+        if self.config.heterogeneous_assignment and any(
+            cluster.spec(int(d)).assignment_weight != 1.0
+            for d in alive_ids
+        ):
+            weights = np.array(
+                [cluster.spec(int(d)).assignment_weight for d in alive_ids],
+                dtype=np.float64,
+            )
+        sub = assign_partitions(
+            sizes[moved], len(alive_ids), weights=weights
+        )
+        new_owners = alive_ids[sub]
+        cluster.set_owners(moved, new_owners)
+        for survivor in shards:
+            if survivor.alive:
+                survivor.ctx.scheduler.set_owned(
+                    cluster.owned_mask(survivor.ctx.device_id)
+                )
+        recovered: Dict[int, List[int]] = {}
+        for idx, p in enumerate(int(x) for x in moved):
+            dst = int(new_owners[idx])
+            walks = sum(len(group) for group in drained[p])
+            for group in drained[p]:
+                shards[dst].ctx.host.append_walks(p, group)
+            entry = recovered.setdefault(dst, [0, 0])
+            entry[0] += walks
+            entry[1] += 1
+        bus.emit(
+            DeviceFailed(
+                device=device,
+                iteration=iteration,
+                pending_walks=pending,
+                partitions=int(moved.size),
+            )
+        )
+        for dst in sorted(recovered):
+            walks, partitions = recovered[dst]
+            bus.emit(
+                DeviceRecoveredWalks(
+                    src_device=device,
+                    dst_device=dst,
+                    walks=walks,
+                    partitions=partitions,
+                )
+            )
+        self._assert_cluster_conservation(shards, num_walks)
+
+    # ------------------------------------------------------------------
     def run(self, num_walks: int) -> RunStats:
         """Run ``num_walks`` walks across the device shards."""
         if num_walks < 1:
@@ -285,8 +683,32 @@ class MultiDeviceEngine(LightTrafficEngine):
         sizes = np.asarray(
             self.partitioned.partition_sizes(), dtype=np.int64
         )
+        specs = (
+            tuple(cfg.device_specs)
+            if cfg.device_specs is not None
+            else homogeneous_specs(num_devices)
+        )
+        topology = (
+            topology_by_name(cfg.topology, num_devices)
+            if num_devices > 1
+            else None
+        )
+        weights = None
+        if cfg.heterogeneous_assignment and any(
+            spec.assignment_weight != 1.0 for spec in specs
+        ):
+            weights = np.array(
+                [spec.assignment_weight for spec in specs],
+                dtype=np.float64,
+            )
         cluster = DeviceCluster(
-            sizes, num_devices, link=link, record_ops=cfg.record_ops
+            sizes,
+            num_devices,
+            link=link,
+            record_ops=cfg.record_ops,
+            specs=specs,
+            topology=topology,
+            assignment_weights=weights,
         )
         bus = self.bus if self.bus is not None else EventBus()
         rng = self._make_rng()
@@ -326,67 +748,127 @@ class MultiDeviceEngine(LightTrafficEngine):
                     device=shard.ctx.device,
                     expected_walks=num_walks,
                 )
+            if num_devices > 1:
+                sanitizer.bind_cluster(cluster)
             observers.append(bus.attach(sanitizer))
+        controller = None
+        if num_devices > 1 and cfg.rebalance_threshold is not None:
+            controller = ClusterController(
+                cluster,
+                shards,
+                threshold=cfg.rebalance_threshold,
+                cooldown=cfg.rebalance_cooldown,
+                heterogeneous=cfg.heterogeneous_assignment,
+                conservation_check=(
+                    lambda: self._assert_cluster_conservation(
+                        shards, num_walks
+                    )
+                ),
+            )
+            observers.append(bus.attach(controller))
+        pending_failures = (
+            sorted(
+                cfg.failure_schedule.failures,
+                key=lambda f: (f.at_iteration, f.device),
+            )
+            if cfg.failure_schedule is not None and num_devices > 1
+            else []
+        )
 
         iteration = 0
+        #: fractional dispatch credits of non-uniform shards (sweep-rate
+        #: model); uniform shards never touch it.
+        credits = [0.0] * num_devices
         try:
             self._seed_shards(shards, cluster, rng, num_walks)
             while any(shard.pending > 0 for shard in shards):
+                # Sweep boundary: fire any device failure whose iteration
+                # has come due before running further kernels.
+                while (
+                    pending_failures
+                    and pending_failures[0].at_iteration <= iteration + 1
+                ):
+                    failure = pending_failures.pop(0)
+                    self._fail_device(
+                        shards,
+                        cluster,
+                        failure.device,
+                        iteration,
+                        bus,
+                        num_walks,
+                    )
                 # One round-robin sweep: each shard with pending walks runs
-                # one pipeline iteration.  Migration may hand walks to a
-                # shard later in the sweep (processed the same sweep) or
-                # earlier (picked up next sweep); the outer loop drains
+                # pipeline iterations in proportion to its compute rate —
+                # a 2x shard dispatches two partitions per sweep, a 0.5x
+                # shard one every other sweep (whole credits are spent,
+                # fractions carry over).  Uniform shards take the exact
+                # historical one-iteration path.  Migration may hand walks
+                # to a shard later in the sweep (processed the same sweep)
+                # or earlier (picked up next sweep); the outer loop drains
                 # until every shard is empty.
                 for shard in shards:
                     ctx = shard.ctx
-                    if shard.pending == 0:
+                    if not shard.alive or shard.pending == 0:
                         continue
-                    iteration += 1
-                    if (
-                        cfg.max_iterations is not None
-                        and iteration > cfg.max_iterations
-                    ):
-                        left = sum(s.pending for s in shards)
-                        raise RuntimeError(
-                            f"exceeded max_iterations={cfg.max_iterations} "
-                            f"with {left} walks left"
+                    rate = cluster.spec(ctx.device_id).compute_scale
+                    if rate == 1.0:
+                        rounds = 1
+                    else:
+                        credits[ctx.device_id] += rate
+                        rounds = int(credits[ctx.device_id])
+                        credits[ctx.device_id] -= rounds
+                    for __ in range(rounds):
+                        if shard.pending == 0:
+                            break
+                        iteration += 1
+                        if (
+                            cfg.max_iterations is not None
+                            and iteration > cfg.max_iterations
+                        ):
+                            left = sum(s.pending for s in shards)
+                            raise RuntimeError(
+                                f"exceeded max_iterations="
+                                f"{cfg.max_iterations} with {left} walks "
+                                "left"
+                            )
+                        ctx.iteration = iteration
+                        selected = ctx.scheduler.select_partition(
+                            ctx.host, ctx.device
                         )
-                    ctx.iteration = iteration
-                    selected = ctx.scheduler.select_partition(
-                        ctx.host, ctx.device
-                    )
-                    if selected is None:  # pragma: no cover - pending > 0
-                        continue
-                    bus.emit(
-                        IterationStarted(
-                            iteration,
-                            selected,
-                            ctx.partition_walks(selected),
-                            device=ctx.device_id,
+                        if selected is None:  # pragma: no cover
+                            continue
+                        bus.emit(
+                            IterationStarted(
+                                iteration,
+                                selected,
+                                ctx.partition_walks(selected),
+                                device=ctx.device_id,
+                            )
                         )
-                    )
-                    served = shard.graph_server.serve(selected)
-                    shard.preemptive.fill(exclude=selected)
-                    contents, batch_t = shard.loader.stream(selected)
-                    frontier_t = ctx.frontier_ready.get(selected, 0.0)
-                    if contents is not None:
+                        served = shard.graph_server.serve(selected)
+                        shard.preemptive.fill(exclude=selected)
+                        contents, batch_t = shard.loader.stream(selected)
+                        frontier_t = ctx.frontier_ready.get(selected, 0.0)
+                        if contents is not None:
+                            shard.compute.dispatch(
+                                selected,
+                                contents,
+                                earliest=max(
+                                    served.ready_time, batch_t, frontier_t
+                                ),
+                                zero_copy=served.zero_copy,
+                            )
                         shard.compute.dispatch(
                             selected,
-                            contents,
-                            earliest=max(
-                                served.ready_time, batch_t, frontier_t
-                            ),
+                            ctx.device.pop_all(selected),
+                            earliest=max(served.ready_time, frontier_t),
                             zero_copy=served.zero_copy,
                         )
-                    shard.compute.dispatch(
-                        selected,
-                        ctx.device.pop_all(selected),
-                        earliest=max(served.ready_time, frontier_t),
-                        zero_copy=served.zero_copy,
-                    )
-                    # Everything delivered so far has been consumed; later
-                    # deliveries re-arm the bound.
-                    ctx.frontier_ready.pop(selected, None)
+                        # Everything delivered so far has been consumed;
+                        # later deliveries re-arm the bound.
+                        ctx.frontier_ready.pop(selected, None)
+                if controller is not None:
+                    controller.maybe_rebalance(iteration, bus)
 
             finished = sum(shard.ctx.finished for shard in shards)
             if finished != num_walks:

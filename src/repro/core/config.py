@@ -10,7 +10,7 @@ three scheduling optimizations enabled.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Optional, Union
+from typing import Any, Optional, Tuple, Union
 
 from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.gpu.device import RTX3090, DeviceSpec
@@ -25,6 +25,69 @@ COPY_ZERO = "zero_copy"
 #: partition-selection / eviction policy values.
 SCHED_SELECTIVE = "selective"
 SCHED_ROUND_ROBIN = "round_robin"
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """One injected device failure: ``device`` dies at ``at_iteration``.
+
+    The failure fires at the sweep boundary before the engine would run
+    global iteration ``at_iteration`` — the shard's pending walks are
+    recovered onto surviving devices before any further kernel runs.
+    """
+
+    device: int
+    at_iteration: int
+
+    def __post_init__(self) -> None:
+        if self.device < 0:
+            raise ValueError("device must be >= 0")
+        if self.at_iteration < 1:
+            raise ValueError("at_iteration must be >= 1")
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """Deterministic mid-run device-failure injection plan.
+
+    Carried by :attr:`EngineConfig.failure_schedule`; the multi-device
+    engine fires each :class:`DeviceFailure` once, in iteration order.
+    Failing every device is rejected at run time (the last survivor
+    must be able to absorb the recovered walks).
+    """
+
+    failures: Tuple[DeviceFailure, ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for failure in self.failures:
+            if not isinstance(failure, DeviceFailure):
+                raise TypeError("failures must hold DeviceFailure entries")
+            if failure.device in seen:
+                raise ValueError(
+                    f"device {failure.device} scheduled to fail twice"
+                )
+            seen.add(failure.device)
+
+    @classmethod
+    def single(cls, device: int, at_iteration: int) -> "FailureSchedule":
+        """One device failing once (the common bench/test case)."""
+        return cls(failures=(DeviceFailure(device, at_iteration),))
+
+    @classmethod
+    def parse(cls, text: str) -> "FailureSchedule":
+        """Parse ``DEV@ITER[,DEV@ITER...]``, e.g. ``1@40`` or ``1@40,2@90``."""
+        failures = []
+        for item in text.split(","):
+            dev_text, sep, iter_text = item.partition("@")
+            if not sep:
+                raise ValueError(
+                    f"bad failure {item!r}; expected DEVICE@ITERATION"
+                )
+            failures.append(
+                DeviceFailure(device=int(dev_text), at_iteration=int(iter_text))
+            )
+        return cls(failures=tuple(failures))
 
 
 @dataclass(frozen=True)
@@ -115,6 +178,29 @@ class EngineConfig:
     #: from :func:`repro.gpu.cluster.peer_link_by_name` or a custom
     #: :class:`~repro.gpu.cluster.PeerLinkSpec`.
     peer_interconnect: Union[str, "object"] = "nvlink"
+    #: per-device capability specs (one
+    #: :class:`~repro.gpu.cluster.ClusterDeviceSpec` per shard); ``None``
+    #: = homogeneous (the historical uniform cluster, bit-identical).
+    device_specs: Optional[Tuple[Any, ...]] = None
+    #: interconnect topology routing cross-shard migrations — one of
+    #: ``all-pairs`` | ``ring`` | ``switch`` (multi-hop routes relay
+    #: through intermediate devices / an explicit switch node).
+    topology: str = "all-pairs"
+    #: deterministic mid-run device-failure injection; ``None`` = the
+    #: historical reliable cluster.
+    failure_schedule: Optional[FailureSchedule] = None
+    #: elastic rebalance trigger: when the most loaded alive device's
+    #: compute-normalized pending walks exceed ``threshold x`` the alive
+    #: mean, partitions are handed off to rebalance.  ``None`` disables
+    #: elasticity (static assignment, the historical behavior).
+    rebalance_threshold: Optional[float] = None
+    #: minimum sweeps between two elastic rebalances.
+    rebalance_cooldown: int = 8
+    #: weight the initial (and recovery) partition assignment by each
+    #: device's compute scale; ``False`` keeps the uniform byte-balanced
+    #: assignment even on skewed specs (the "homogeneous assumption"
+    #: baseline the elastic bench compares against).
+    heterogeneous_assignment: bool = True
     rng_mode: str = "sequential"
     sanitize: bool = False
     seed: Optional[int] = 42
@@ -158,6 +244,45 @@ class EngineConfig:
                     f"unknown peer_interconnect {self.peer_interconnect!r}; "
                     f"available: {', '.join(available_peer_links())}"
                 )
+        # Deferred import: gpu.cluster must not be a hard dependency of
+        # config construction (mirrors the peer-link check above).
+        from repro.gpu.cluster import TOPOLOGIES, ClusterDeviceSpec
+
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; available: "
+                f"{', '.join(sorted(TOPOLOGIES))}"
+            )
+        if self.device_specs is not None:
+            if len(self.device_specs) != self.devices:
+                raise ValueError(
+                    f"got {len(self.device_specs)} device spec(s) for "
+                    f"{self.devices} devices"
+                )
+            for spec in self.device_specs:
+                if not isinstance(spec, ClusterDeviceSpec):
+                    raise TypeError(
+                        "device_specs must hold ClusterDeviceSpec entries"
+                    )
+        if self.failure_schedule is not None:
+            if not isinstance(self.failure_schedule, FailureSchedule):
+                raise TypeError("failure_schedule must be a FailureSchedule")
+            for failure in self.failure_schedule.failures:
+                if failure.device >= self.devices:
+                    raise ValueError(
+                        f"failure_schedule names device {failure.device}, "
+                        f"but the cluster has {self.devices} device(s)"
+                    )
+            if len(self.failure_schedule.failures) >= self.devices:
+                raise ValueError(
+                    "failure_schedule would kill every device; at least "
+                    "one must survive to recover walks"
+                )
+        if self.rebalance_threshold is not None:
+            if not self.rebalance_threshold > 1.0:
+                raise ValueError("rebalance_threshold must be > 1.0")
+        if self.rebalance_cooldown < 1:
+            raise ValueError("rebalance_cooldown must be >= 1")
 
     def resolved_batch_walks(self) -> int:
         """Batch capacity: configured, or the paper's 16x core count."""

@@ -188,6 +188,54 @@ class WalksDelivered(EngineEvent):
 
 
 @dataclass(frozen=True)
+class DeviceFailed(EngineEvent):
+    """``device`` failed at the sweep boundary before ``iteration``.
+
+    ``pending_walks`` is the shard's unfinished-walk population drained
+    for recovery; ``partitions`` the owned partitions reassigned to
+    survivors.  Emitted *after* the recovered walks have been appended
+    to surviving shards, so conservation-auditing subscribers observe a
+    consistent cluster.
+    """
+
+    device: int
+    iteration: int
+    pending_walks: int = 0
+    partitions: int = 0
+
+
+@dataclass(frozen=True)
+class DeviceRecoveredWalks(EngineEvent):
+    """``walks`` walks of failed ``src_device`` landed on ``dst_device``.
+
+    Emitted once per surviving destination after a failure; the sum of
+    ``walks`` over destinations must equal the failure's
+    ``pending_walks`` (audited by the sanitizer's recovery extension of
+    the migration-conservation rule).
+    """
+
+    src_device: int
+    dst_device: int
+    walks: int
+    partitions: int = 0
+
+
+@dataclass(frozen=True)
+class ShardRebalanced(EngineEvent):
+    """The elastic controller moved partition ownership between shards.
+
+    One event per rebalance operation; the per-pair payload movement is
+    reported through the ordinary ``WalksMigrated`` / ``WalksDelivered``
+    pair so the migration-conservation machinery covers the rebalance
+    path unchanged.
+    """
+
+    iteration: int
+    moved_partitions: int = 0
+    walks_moved: int = 0
+
+
+@dataclass(frozen=True)
 class RunCompleted(EngineEvent):
     """The run drained every walk; carries the end-of-run totals."""
 
@@ -210,6 +258,9 @@ EVENT_TYPES = (
     WalkFinished,
     WalksMigrated,
     WalksDelivered,
+    DeviceFailed,
+    DeviceRecoveredWalks,
+    ShardRebalanced,
     RunCompleted,
 )
 

@@ -12,23 +12,29 @@ A :class:`MetricsCollector` attached to any engine's
 The :meth:`snapshot` dict is what ``RunStats.metrics`` exposes and what
 ``repro run --metrics-json`` serializes, giving every system — the
 LightTraffic engine and the baselines alike — one uniform observation
-format.
+format.  :func:`prometheus_text` renders the same snapshot in the
+Prometheus text exposition format (``repro run --metrics-prom``),
+including the per-device pending-walk *time series* (one sample per
+iteration, iteration index as the sample timestamp).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.events import (
     SERVED_MODES,
     BatchEvicted,
     BatchLoaded,
+    DeviceFailed,
+    DeviceRecoveredWalks,
     GraphServed,
     IterationStarted,
     KernelDispatched,
     Reshuffled,
     RunCompleted,
+    ShardRebalanced,
     WalkFinished,
     WalksDelivered,
     WalksMigrated,
@@ -71,7 +77,13 @@ class PartitionMetrics:
 
 @dataclass
 class DeviceMetrics:
-    """Accumulated observations for one device shard."""
+    """Accumulated observations for one device shard.
+
+    ``pending_samples`` is the shard's pending-walk time series — one
+    ``(iteration, pending_walks)`` point per iteration the shard ran,
+    the raw signal behind the elastic controller's skew detection and
+    the per-device series :func:`prometheus_text` exports.
+    """
 
     iterations: int = 0
     walks_computed: int = 0
@@ -79,6 +91,11 @@ class DeviceMetrics:
     walks_migrated_out: int = 0
     walks_migrated_in: int = 0
     migrate_seconds: float = 0.0
+    #: walks this shard absorbed from a failed peer.
+    walks_recovered: int = 0
+    #: global iteration at which this shard failed; ``None`` = alive.
+    failed_at_iteration: Optional[int] = None
+    pending_samples: List[Tuple[int, int]] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -88,7 +105,34 @@ class DeviceMetrics:
             "walks_migrated_out": self.walks_migrated_out,
             "walks_migrated_in": self.walks_migrated_in,
             "migrate_seconds": self.migrate_seconds,
+            "walks_recovered": self.walks_recovered,
+            "failed_at_iteration": self.failed_at_iteration,
+            "pending_samples": [
+                [iteration, pending]
+                for iteration, pending in self.pending_samples
+            ],
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DeviceMetrics":
+        """Inverse of :meth:`as_dict` (JSON round-trip safe)."""
+        failed_at = data.get("failed_at_iteration")
+        return cls(
+            iterations=int(data.get("iterations", 0)),  # type: ignore[arg-type]
+            walks_computed=int(data.get("walks_computed", 0)),  # type: ignore[arg-type]
+            steps=int(data.get("steps", 0)),  # type: ignore[arg-type]
+            walks_migrated_out=int(data.get("walks_migrated_out", 0)),  # type: ignore[arg-type]
+            walks_migrated_in=int(data.get("walks_migrated_in", 0)),  # type: ignore[arg-type]
+            migrate_seconds=float(data.get("migrate_seconds", 0.0)),  # type: ignore[arg-type]
+            walks_recovered=int(data.get("walks_recovered", 0)),  # type: ignore[arg-type]
+            failed_at_iteration=(
+                None if failed_at is None else int(failed_at)  # type: ignore[arg-type]
+            ),
+            pending_samples=[
+                (int(sample[0]), int(sample[1]))  # type: ignore[index]
+                for sample in data.get("pending_samples", [])  # type: ignore[union-attr]
+            ],
+        )
 
 
 class MetricsCollector:
@@ -99,6 +143,7 @@ class MetricsCollector:
         self.devices: Dict[int, DeviceMetrics] = {}
         self.iterations = 0
         self.runs_completed = 0
+        self.rebalances = 0
         self.total_time = 0.0
 
     def _partition(self, index: int) -> PartitionMetrics:
@@ -116,7 +161,9 @@ class MetricsCollector:
     # -- event handlers (bound by EventBus.attach) ----------------------
     def on_iteration_started(self, event: IterationStarted) -> None:
         self.iterations += 1
-        self._device(getattr(event, "device", 0)).iterations += 1
+        device = self._device(getattr(event, "device", 0))
+        device.iterations += 1
+        device.pending_samples.append((event.iteration, event.pending_walks))
 
     def on_graph_served(self, event: GraphServed) -> None:
         metrics = self._partition(event.partition)
@@ -149,6 +196,20 @@ class MetricsCollector:
 
     def on_walks_delivered(self, event: WalksDelivered) -> None:
         self._device(event.dst_device).walks_migrated_in += event.walks
+
+    # Pure histogram observer: conservation across the failure is
+    # asserted by the engine's recovery path and audited by the
+    # sanitizer, not by the metrics layer.
+    def on_device_failed(  # lint: allow-device-failure-conservation
+        self, event: DeviceFailed
+    ) -> None:
+        self._device(event.device).failed_at_iteration = event.iteration
+
+    def on_device_recovered_walks(self, event: DeviceRecoveredWalks) -> None:
+        self._device(event.dst_device).walks_recovered += event.walks
+
+    def on_shard_rebalanced(self, event: ShardRebalanced) -> None:
+        self.rebalances += 1
 
     def on_reshuffled(self, event: Reshuffled) -> None:
         self._partition(event.partition).compute_seconds += event.seconds
@@ -189,6 +250,7 @@ class MetricsCollector:
         return {
             "iterations": self.iterations,
             "runs_completed": self.runs_completed,
+            "rebalances": self.rebalances,
             "total_time": self.total_time,
             "preemption_fraction": self.preemption_fraction,
             "serve_mode_totals": self.serve_mode_totals(),
@@ -201,3 +263,184 @@ class MetricsCollector:
                 for index, metrics in sorted(self.devices.items())
             },
         }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside quoted label values.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels(pairs: Mapping[str, str]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(pairs.items())
+    )
+    return "{" + body + "}"
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))  # type: ignore[arg-type]
+
+
+class _PromWriter:
+    """Accumulates one metric family (HELP/TYPE header + sample lines)."""
+
+    def __init__(self, namespace: str, extra: Mapping[str, str]) -> None:
+        self.namespace = namespace
+        self.extra = dict(extra)
+        self.lines: List[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> str:
+        full = f"{self.namespace}_{name}"
+        self.lines.append(f"# HELP {full} {help_text}")
+        self.lines.append(f"# TYPE {full} {kind}")
+        return full
+
+    def sample(
+        self,
+        full_name: str,
+        value: object,
+        labels: Optional[Mapping[str, str]] = None,
+        timestamp: Optional[int] = None,
+    ) -> None:
+        merged = dict(self.extra)
+        if labels:
+            merged.update(labels)
+        line = f"{full_name}{_labels(merged)} {_fmt(value)}"
+        if timestamp is not None:
+            line = f"{line} {timestamp}"
+        self.lines.append(line)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def prometheus_text(
+    snapshot: Mapping[str, object],
+    namespace: str = "repro",
+    extra_labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a :meth:`MetricsCollector.snapshot` as Prometheus text.
+
+    Cumulative counts become ``_total`` counters; instantaneous values
+    become gauges.  The per-device pending-walk series is exported with
+    one sample line per iteration, using the iteration index as the
+    sample timestamp (monotonically increasing per series, as the
+    exposition format requires).  ``extra_labels`` (e.g. ``run``/
+    ``graph`` identifiers) are merged into every sample, values escaped.
+    """
+    writer = _PromWriter(namespace, extra_labels or {})
+
+    name = writer.family(
+        "iterations_total", "counter", "Engine iterations executed."
+    )
+    writer.sample(name, int(snapshot.get("iterations", 0)))  # type: ignore[arg-type]
+    name = writer.family(
+        "runs_completed_total", "counter", "Engine runs completed."
+    )
+    writer.sample(name, int(snapshot.get("runs_completed", 0)))  # type: ignore[arg-type]
+    name = writer.family(
+        "rebalances_total", "counter", "Elastic shard rebalance operations."
+    )
+    writer.sample(name, int(snapshot.get("rebalances", 0)))  # type: ignore[arg-type]
+    name = writer.family(
+        "total_time_seconds", "gauge", "Simulated end-to-end makespan."
+    )
+    writer.sample(name, float(snapshot.get("total_time", 0.0)))  # type: ignore[arg-type]
+    name = writer.family(
+        "preemption_fraction",
+        "gauge",
+        "Fraction of computed walks dispatched preemptively.",
+    )
+    writer.sample(name, float(snapshot.get("preemption_fraction", 0.0)))  # type: ignore[arg-type]
+
+    serve_modes = snapshot.get("serve_mode_totals") or {}
+    name = writer.family(
+        "serve_mode_total", "counter", "Graph serves by mode."
+    )
+    for mode, count in sorted(serve_modes.items()):  # type: ignore[union-attr]
+        writer.sample(name, int(count), {"mode": str(mode)})
+
+    devices = snapshot.get("devices") or {}
+    device_items = sorted(
+        devices.items(), key=lambda kv: int(kv[0])  # type: ignore[union-attr]
+    )
+    device_counters = (
+        ("iterations", "device_iterations_total", "Iterations run by shard."),
+        (
+            "walks_computed",
+            "device_walks_computed_total",
+            "Walks computed by shard.",
+        ),
+        ("steps", "device_steps_total", "Walk steps executed by shard."),
+        (
+            "walks_migrated_out",
+            "device_walks_migrated_out_total",
+            "Walks migrated out of the shard.",
+        ),
+        (
+            "walks_migrated_in",
+            "device_walks_migrated_in_total",
+            "Walks migrated into the shard.",
+        ),
+        (
+            "walks_recovered",
+            "device_walks_recovered_total",
+            "Walks absorbed from failed peers.",
+        ),
+    )
+    for key, metric, help_text in device_counters:
+        name = writer.family(metric, "counter", help_text)
+        for device_id, data in device_items:
+            writer.sample(
+                name, int(data.get(key, 0)), {"device": str(device_id)}
+            )
+    name = writer.family(
+        "device_migrate_seconds_total",
+        "counter",
+        "Migration send time accounted to the shard.",
+    )
+    for device_id, data in device_items:
+        writer.sample(
+            name,
+            float(data.get("migrate_seconds", 0.0)),
+            {"device": str(device_id)},
+        )
+    name = writer.family(
+        "device_failed", "gauge", "Whether the shard failed mid-run."
+    )
+    for device_id, data in device_items:
+        writer.sample(
+            name,
+            data.get("failed_at_iteration") is not None,
+            {"device": str(device_id)},
+        )
+    name = writer.family(
+        "device_pending_walks",
+        "gauge",
+        "Pending walks at each iteration (iteration index as timestamp).",
+    )
+    for device_id, data in device_items:
+        for iteration, pending in data.get("pending_samples", []):
+            writer.sample(
+                name,
+                int(pending),
+                {"device": str(device_id)},
+                timestamp=int(iteration),
+            )
+    return writer.text()

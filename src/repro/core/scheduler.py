@@ -51,16 +51,9 @@ class Scheduler:
         # Device shard view: a boolean mask restricting every decision to
         # the partitions this scheduler's device owns.  ``None`` (single
         # device) keeps the original global code paths untouched.
-        if owned is not None:
-            owned = np.asarray(owned, dtype=bool)
-            if owned.shape != (num_partitions,):
-                raise ValueError("owned mask must cover every partition")
-            if not owned.any():
-                raise ValueError("owned mask selects no partition")
-        self.owned = owned
-        self._owned_idx = (
-            None if owned is None else np.nonzero(owned)[0].astype(np.int64)
-        )
+        self.owned: Optional[np.ndarray] = None
+        self._owned_idx: Optional[np.ndarray] = None
+        self.set_owned(owned)
         if eviction_policy is None:
             eviction_policy = (
                 self.EVICT_MIN_WALKS if selective else self.EVICT_FIFO
@@ -73,6 +66,26 @@ class Scheduler:
             raise ValueError(f"unknown eviction policy {eviction_policy!r}")
         self.eviction_policy = eviction_policy
         self._cursor = -1
+
+    def set_owned(self, owned: Optional[np.ndarray]) -> None:
+        """Replace the owned-partition mask (elastic rebalance / failover).
+
+        The mask is no longer fixed at construction: a rebalance or a
+        peer failure reassigns partitions mid-run, and every surviving
+        shard's scheduler must immediately decide over its new range.
+        Round-robin cursor state is preserved (it is a partition index,
+        valid under any mask).
+        """
+        if owned is not None:
+            owned = np.asarray(owned, dtype=bool)
+            if owned.shape != (self.num_partitions,):
+                raise ValueError("owned mask must cover every partition")
+            if not owned.any():
+                raise ValueError("owned mask selects no partition")
+        self.owned = owned
+        self._owned_idx = (
+            None if owned is None else np.nonzero(owned)[0].astype(np.int64)
+        )
 
     # ------------------------------------------------------------------
     # (1) Partition selection

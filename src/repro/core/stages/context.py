@@ -113,3 +113,31 @@ class StageContext:
         return int(
             self.host.counts[part_idx] + self.device.counts[part_idx]
         )
+
+    def release_partition(self, part_idx: int) -> list:
+        """Surrender one partition's walks and per-partition bookkeeping.
+
+        Used when ownership leaves this shard — elastic rebalance hands
+        the partition to a peer, or the shard failed and survivors take
+        over.  Drains every pending walk of the partition out of the
+        host and device pools (returned as a list of
+        :class:`~repro.walks.state.WalkArrays` groups, ready to append
+        into the new owner's pools) and drops the partition's readiness
+        gates and any cached graph block, so no stale state survives the
+        handoff.
+        """
+        groups = []
+        while self.host.has_walks(part_idx):
+            batch = self.host.pop_batch(part_idx)
+            walks = batch.drain()
+            if len(walks):
+                groups.append(walks)
+        if self.device.has_walks(part_idx):
+            walks = self.device.pop_all(part_idx)
+            if len(walks):
+                groups.append(walks)
+        self.graph_ready.pop(part_idx, None)
+        self.frontier_ready.pop(part_idx, None)
+        if part_idx in self.graph_pool:
+            self.graph_pool.evict(part_idx)
+        return groups

@@ -19,10 +19,13 @@ if TYPE_CHECKING:
     from repro.core.events import (
         BatchEvicted,
         BatchLoaded,
+        DeviceFailed,
+        DeviceRecoveredWalks,
         GraphServed,
         IterationStarted,
         KernelDispatched,
         RunCompleted,
+        ShardRebalanced,
         WalksMigrated,
     )
     from repro.core.metrics import MetricsCollector
@@ -65,6 +68,14 @@ class RunStats:
     num_devices: int = 1
     #: walks that crossed a shard boundary over a peer channel.
     walks_migrated: int = 0
+    #: devices that failed mid-run (injected via ``FailureSchedule``).
+    device_failures: int = 0
+    #: pending walks recovered onto survivors after device failures.
+    walks_recovered: int = 0
+    #: elastic rebalance operations triggered by the cluster controller.
+    rebalances: int = 0
+    #: pending walks handed off between shards during rebalances.
+    walks_rebalanced: int = 0
     total_time: float = 0.0
     breakdown: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
@@ -171,6 +182,23 @@ class StatsCollector:
 
     def on_walks_migrated(self, event: "WalksMigrated") -> None:
         self.stats.walks_migrated += event.walks
+
+    # Pure counter observer: walk conservation across the failure is
+    # asserted by the engine's recovery path and audited by the
+    # sanitizer, not by the stats layer.
+    def on_device_failed(  # lint: allow-device-failure-conservation
+        self, event: "DeviceFailed"
+    ) -> None:
+        self.stats.device_failures += 1
+
+    def on_device_recovered_walks(
+        self, event: "DeviceRecoveredWalks"
+    ) -> None:
+        self.stats.walks_recovered += event.walks
+
+    def on_shard_rebalanced(self, event: "ShardRebalanced") -> None:
+        self.stats.rebalances += 1
+        self.stats.walks_rebalanced += event.walks_moved
 
     def on_run_completed(self, event: "RunCompleted") -> None:
         stats = self.stats

@@ -1,12 +1,16 @@
-"""Multi-device sharding substrate: device shards and the P2P mesh.
+"""Multi-device sharding substrate: device shards, topologies, P2P mesh.
 
 The paper's pipeline assumes one GPU.  This module supplies the substrate
 for sharding the range-partitioned graph across ``N`` simulated devices:
 
-* :func:`assign_partitions` — contiguous partition ranges, balanced by
-  CSR bytes, so each shard owns one vertex interval (migration tests are
-  then a single comparison against the owner map, exactly like the
-  single-device partition lookup).
+* :class:`ClusterDeviceSpec` — per-device capability scales (compute
+  rate, memory capacity, link bandwidth) so a cluster may be
+  *heterogeneous*; the all-ones default reproduces the historical
+  uniform model bit-for-bit.
+* :func:`assign_partitions` — contiguous partition ranges balanced by
+  CSR bytes, optionally weighted by per-device capability.  This is the
+  one assignment implementation: initial sharding, elastic rebalance and
+  failure reassignment all call it (with different size/weight vectors).
 * :class:`PeerLinkSpec` — an NVLink-style device-to-device cost model
   alongside :mod:`repro.gpu.pcie`.  Unlike host-link DMA, P2P traffic is
   quantized into fixed-size link packets, so small migrations pay a
@@ -14,16 +18,22 @@ for sharding the range-partitioned graph across ``N`` simulated devices:
 * :class:`PeerChannel` — one *directed* link between two shards, backed
   by a serial :class:`~repro.gpu.timeline.Stream`: concurrent migrations
   over the same channel serialize, migrations on different channels
-  overlap freely (an all-to-all mesh, the NVSwitch assumption).
-* :class:`DeviceCluster` — the shard map plus the lazily-built channel
-  mesh, shared by the multi-device engine and the sanitizer.
+  overlap freely.
+* The :class:`Topology` protocol with :class:`AllPairsTopology` (the
+  NVSwitch-like all-to-all assumption), :class:`RingTopology` (payloads
+  relay hop-by-hop around the ring, routing around failed devices) and
+  :class:`SwitchTopology` (every payload crosses an explicit switch
+  node, serializing its uplink/downlink).
+* :class:`DeviceCluster` — the shard map, per-device specs, liveness
+  mask and the lazily-built channel mesh, shared by the multi-device
+  engine, the elastic controller and the sanitizer.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +44,100 @@ from repro.gpu.timeline import Stream
 #: the migration send cost is accounted as ``CAT_WALK_MIGRATE`` on the
 #: source device's evict stream — see :mod:`repro.core.stats`).
 CAT_P2P = "p2p_transfer"
+
+#: Interconnect topology names (``EngineConfig.topology``).
+TOPOLOGY_ALL_PAIRS = "all-pairs"
+TOPOLOGY_RING = "ring"
+TOPOLOGY_SWITCH = "switch"
+
+TOPOLOGIES = (TOPOLOGY_ALL_PAIRS, TOPOLOGY_RING, TOPOLOGY_SWITCH)
+
+
+@dataclass(frozen=True)
+class ClusterDeviceSpec:
+    """Capability of one device shard, relative to the baseline GPU.
+
+    The multi-device engine scales its per-shard cost model by these
+    factors: ``compute_scale`` multiplies the modeled clock and memory
+    bandwidth (kernel and reshuffle rates), ``memory_scale`` multiplies
+    the graph-pool and walk-pool budgets, and ``link_scale`` multiplies
+    the bandwidth of the device's whole I/O complex — its host
+    interconnect (graph/walk DMA) and every peer channel touching it.
+    All-ones (the default) is the historical homogeneous cluster,
+    bit-identical to the pre-heterogeneity engine.
+    """
+
+    name: str = "gpu"
+    compute_scale: float = 1.0
+    memory_scale: float = 1.0
+    link_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("compute_scale", "memory_scale", "link_scale"):
+            value = getattr(self, field_name)
+            if not (value > 0):
+                raise ValueError(f"{field_name} must be positive")
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether the spec matches the homogeneous baseline exactly."""
+        return (
+            self.compute_scale == 1.0
+            and self.memory_scale == 1.0
+            and self.link_scale == 1.0
+        )
+
+    @property
+    def assignment_weight(self) -> float:
+        """Byte-share weight for heterogeneity-aware assignment.
+
+        A bottleneck model: the walk throughput a shard sustains is
+        gated by its scarcest resource — kernels by ``compute_scale``,
+        pool hit rates by ``memory_scale``, migration send/receive by
+        ``link_scale`` — so its fair share of the partitioned bytes is
+        the minimum of the three.  Uniform specs yield 1.0, keeping the
+        homogeneous assignment on the historical unweighted path.
+        """
+        return min(self.compute_scale, self.memory_scale, self.link_scale)
+
+    @classmethod
+    def parse(cls, text: str) -> "ClusterDeviceSpec":
+        """Parse ``name:compute=2,memory=0.5,link=1`` (every part optional).
+
+        A bare ``name`` (no ``:``) yields the uniform spec under that
+        name; key shorthands ``c``/``m``/``l`` are accepted.
+        """
+        keys = {
+            "compute": "compute_scale",
+            "c": "compute_scale",
+            "memory": "memory_scale",
+            "m": "memory_scale",
+            "link": "link_scale",
+            "l": "link_scale",
+        }
+        name, _, spec_text = text.partition(":")
+        if not _ and "=" in name:
+            # "compute=2,..." with no name prefix.
+            name, spec_text = "gpu", text
+        kwargs: Dict[str, float] = {}
+        if spec_text:
+            for item in spec_text.split(","):
+                key, eq, value = item.partition("=")
+                key = key.strip().lower()
+                if not eq or key not in keys:
+                    raise ValueError(
+                        f"bad device-spec item {item!r}; expected "
+                        "compute=X, memory=Y or link=Z"
+                    )
+                kwargs[keys[key]] = float(value)
+        return cls(name=name.strip() or "gpu", **kwargs)
+
+
+def homogeneous_specs(num_devices: int) -> Tuple[ClusterDeviceSpec, ...]:
+    """The all-ones spec tuple (the historical uniform cluster)."""
+    return tuple(
+        ClusterDeviceSpec(name=f"gpu{d}") for d in range(num_devices)
+    )
 
 
 @dataclass(frozen=True)
@@ -103,15 +207,28 @@ def available_peer_links() -> Tuple[str, ...]:
     return tuple(sorted(_BY_NAME))
 
 
-def assign_partitions(sizes: np.ndarray, num_devices: int) -> np.ndarray:
+def assign_partitions(
+    sizes: np.ndarray,
+    num_devices: int,
+    weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """Map partitions to devices: contiguous ranges balanced by bytes.
 
-    ``sizes[p]`` is partition ``p``'s CSR byte size.  Returns an int64
-    array ``device_of`` with ``device_of[p]`` in ``[0, num_devices)``,
+    ``sizes[p]`` is partition ``p``'s CSR byte size (or, for elastic
+    rebalance, its pending-walk load).  Returns an int64 array
+    ``device_of`` with ``device_of[p]`` in ``[0, num_devices)``,
     non-decreasing (contiguous ranges), every device owning at least one
     partition.  A device advances once it has met its byte quota
     ``total * (d + 1) / num_devices``, or earlier when the remaining
     partitions are only just enough to give every remaining device one.
+
+    ``weights`` (optional, one positive weight per device) skews the
+    quotas: device ``d``'s share of the total becomes
+    ``weights[d] / weights.sum()`` — a device twice as capable absorbs
+    twice the bytes.  ``None`` keeps the exact uniform integer-arithmetic
+    path (bit-identical to the historical assignment).  This is the
+    single shared implementation used by initial sharding, elastic
+    rebalance and failure reassignment.
     """
     sizes = np.asarray(sizes, dtype=np.int64)
     num_partitions = int(sizes.size)
@@ -124,6 +241,15 @@ def assign_partitions(sizes: np.ndarray, num_devices: int) -> np.ndarray:
             f"cannot shard {num_partitions} partition(s) across "
             f"{num_devices} devices; every device needs at least one"
         )
+    quota: Optional[np.ndarray] = None
+    if weights is not None:
+        warr = np.asarray(weights, dtype=np.float64)
+        if warr.shape != (num_devices,):
+            raise ValueError("weights must provide one weight per device")
+        if not (warr > 0).all():
+            raise ValueError("device weights must be positive")
+        # quota[d]: cumulative byte share owed to devices 0..d.
+        quota = np.cumsum(warr) / float(warr.sum())
     total = int(sizes.sum())
     device_of = np.empty(num_partitions, dtype=np.int64)
     dev = 0
@@ -132,7 +258,10 @@ def assign_partitions(sizes: np.ndarray, num_devices: int) -> np.ndarray:
     for p in range(num_partitions):
         if dev < num_devices - 1 and owned > 0:
             devs_after = num_devices - 1 - dev
-            quota_met = acc * num_devices >= total * (dev + 1)
+            if quota is None:
+                quota_met = acc * num_devices >= total * (dev + 1)
+            else:
+                quota_met = acc >= total * quota[dev]
             if quota_met or (num_partitions - p) == devs_after:
                 dev += 1
                 owned = 0
@@ -143,11 +272,14 @@ def assign_partitions(sizes: np.ndarray, num_devices: int) -> np.ndarray:
 
 
 class PeerChannel:
-    """One directed P2P channel between two device shards.
+    """One directed P2P channel between two cluster nodes.
 
-    The channel's :class:`~repro.gpu.timeline.Stream` serializes the
-    transfers riding it; ``sent_walks`` / ``delivered_walks`` are the
-    conservation counters the sanitizer audits per channel.
+    Endpoints are device ids, or (under :class:`SwitchTopology`) the
+    virtual switch node.  The channel's
+    :class:`~repro.gpu.timeline.Stream` serializes the transfers riding
+    it; ``sent_walks`` / ``delivered_walks`` are the conservation
+    counters the sanitizer audits per channel — relay channels count a
+    payload on both sides when it transits.
     """
 
     def __init__(
@@ -177,13 +309,129 @@ class PeerChannel:
         )
 
 
+class Topology(Protocol):
+    """Interconnect shape: which channel hops carry a migration.
+
+    ``route`` returns the directed ``(src, dst)`` channel hops a payload
+    rides, in order; intermediate hop endpoints may include virtual
+    nodes (ids >= the device count, see ``extra_nodes``).  Routes must
+    avoid failed devices (``alive``) — virtual nodes never fail.
+    """
+
+    name: str
+    #: virtual (non-device) node ids appended after the device range.
+    extra_nodes: int
+
+    def route(
+        self, src: int, dst: int, alive: np.ndarray
+    ) -> Tuple[Tuple[int, int], ...]: ...
+
+
+class AllPairsTopology:
+    """Direct channel between every device pair (NVSwitch-like mesh)."""
+
+    name = TOPOLOGY_ALL_PAIRS
+    extra_nodes = 0
+
+    def route(
+        self, src: int, dst: int, alive: np.ndarray
+    ) -> Tuple[Tuple[int, int], ...]:
+        return ((src, dst),)
+
+
+class RingTopology:
+    """Devices on a bidirectional ring; payloads relay hop-by-hop.
+
+    The shorter arc wins (ties break clockwise, toward increasing ids);
+    an arc passing through a failed device is unusable, so the payload
+    takes the surviving arc.  A single failure leaves the ring a line,
+    which still connects every alive pair; two failures may disconnect
+    it, in which case routing raises.
+    """
+
+    name = TOPOLOGY_RING
+    extra_nodes = 0
+
+    def __init__(self, num_devices: int) -> None:
+        if num_devices < 2:
+            raise ValueError("a ring needs at least two devices")
+        self.num_devices = num_devices
+
+    def _arc(self, src: int, dst: int, step: int) -> List[int]:
+        nodes = [src]
+        node = src
+        while node != dst:
+            node = (node + step) % self.num_devices
+            nodes.append(node)
+        return nodes
+
+    def route(
+        self, src: int, dst: int, alive: np.ndarray
+    ) -> Tuple[Tuple[int, int], ...]:
+        clockwise = self._arc(src, dst, +1)
+        counter = self._arc(src, dst, -1)
+        # Shorter arc first; equal lengths break toward clockwise.
+        arcs = sorted((clockwise, counter), key=len)
+        if len(arcs[0]) == len(arcs[1]):
+            arcs = [clockwise, counter]
+        for arc in arcs:
+            if all(bool(alive[node]) for node in arc[1:-1]):
+                return tuple(zip(arc, arc[1:]))
+        raise RuntimeError(
+            f"ring topology cannot route {src}->{dst}: both arcs pass "
+            f"through failed devices"
+        )
+
+
+class SwitchTopology:
+    """All traffic crosses one explicit switch node (uplink + downlink).
+
+    The switch is virtual node ``num_devices``; every payload occupies
+    its source's uplink channel and the destination's downlink channel,
+    so concurrent migrations *into* one device serialize at the switch
+    even when their sources differ.
+    """
+
+    name = TOPOLOGY_SWITCH
+    extra_nodes = 1
+
+    def __init__(self, num_devices: int) -> None:
+        if num_devices < 2:
+            raise ValueError("a switch needs at least two devices")
+        self.num_devices = num_devices
+
+    @property
+    def switch_node(self) -> int:
+        return self.num_devices
+
+    def route(
+        self, src: int, dst: int, alive: np.ndarray
+    ) -> Tuple[Tuple[int, int], ...]:
+        return ((src, self.switch_node), (self.switch_node, dst))
+
+
+def topology_by_name(name: str, num_devices: int) -> Topology:
+    """Build the named interconnect topology for ``num_devices`` shards."""
+    if name == TOPOLOGY_ALL_PAIRS:
+        return AllPairsTopology()
+    if name == TOPOLOGY_RING:
+        return RingTopology(num_devices)
+    if name == TOPOLOGY_SWITCH:
+        return SwitchTopology(num_devices)
+    raise KeyError(
+        f"unknown topology {name!r}; choose from {sorted(TOPOLOGIES)}"
+    )
+
+
 class DeviceCluster:
     """``N`` device shards over one range-partitioned graph.
 
-    Holds the partition owner map and the directed channel mesh; the
-    multi-device engine asks :meth:`channel` for the link of each
-    migration, and the sanitizer walks :attr:`channels` to audit
-    send/receive conservation.
+    Holds the partition owner map, per-device specs, the liveness mask
+    and the directed channel mesh; the multi-device engine asks
+    :meth:`route` for the channel hops of each migration, the elastic
+    controller and failure path mutate ownership via :meth:`set_owners`
+    / :meth:`fail_device`, and the sanitizer walks :attr:`channels` to
+    audit send/receive conservation.
     """
 
     def __init__(
@@ -192,13 +440,34 @@ class DeviceCluster:
         num_devices: int,
         link: PeerLinkSpec = NVLINK_P2P,
         record_ops: bool = False,
+        specs: Optional[Sequence[ClusterDeviceSpec]] = None,
+        topology: Optional[Topology] = None,
+        assignment_weights: Optional[np.ndarray] = None,
     ) -> None:
         self.num_devices = num_devices
         self.link = link
         self.record_ops = record_ops
-        self.device_of = assign_partitions(partition_sizes, num_devices)
+        if specs is None:
+            specs = homogeneous_specs(num_devices)
+        if len(specs) != num_devices:
+            raise ValueError(
+                f"got {len(specs)} device spec(s) for {num_devices} devices"
+            )
+        self.specs: Tuple[ClusterDeviceSpec, ...] = tuple(specs)
+        self.topology: Topology = (
+            topology if topology is not None else AllPairsTopology()
+        )
+        #: channel endpoints may include virtual topology nodes.
+        self.num_nodes = num_devices + self.topology.extra_nodes
+        self.alive = np.ones(num_devices, dtype=bool)
+        self.device_of = assign_partitions(
+            partition_sizes, num_devices, weights=assignment_weights
+        )
         self.channels: Dict[Tuple[int, int], PeerChannel] = {}
 
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
     def owner(self, partition: int) -> int:
         """Device owning ``partition``."""
         return int(self.device_of[partition])
@@ -211,17 +480,84 @@ class DeviceCluster:
         """Partition indices owned by ``device`` (ascending)."""
         return np.nonzero(self.device_of == device)[0]
 
+    def set_owners(
+        self, partitions: np.ndarray, owners: np.ndarray
+    ) -> None:
+        """Reassign ``partitions`` to ``owners`` (rebalance / failover)."""
+        partitions = np.asarray(partitions, dtype=np.int64)
+        owners = np.asarray(owners, dtype=np.int64)
+        if partitions.shape != owners.shape:
+            raise ValueError("partitions and owners must align")
+        for dev in np.unique(owners):
+            if not 0 <= dev < self.num_devices:
+                raise IndexError(f"device {int(dev)} out of range")
+            if not self.alive[dev]:
+                raise ValueError(
+                    f"cannot assign partitions to failed device {int(dev)}"
+                )
+        self.device_of[partitions] = owners
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def fail_device(self, device: int) -> None:
+        """Mark ``device`` failed; its partitions must be reassigned."""
+        if not 0 <= device < self.num_devices:
+            raise IndexError(f"device {device} out of range")
+        if not self.alive[device]:
+            raise ValueError(f"device {device} already failed")
+        if int(self.alive.sum()) <= 1:
+            raise RuntimeError(
+                "cannot fail the last alive device; no shard could "
+                "recover its walks"
+            )
+        self.alive[device] = False
+
+    def alive_devices(self) -> np.ndarray:
+        """Ids of the devices still alive (ascending)."""
+        return np.nonzero(self.alive)[0].astype(np.int64)
+
+    def spec(self, device: int) -> ClusterDeviceSpec:
+        """Capability spec of one device shard."""
+        return self.specs[device]
+
+    def _link_scale(self, node: int) -> float:
+        """Link capability of a node (virtual switch nodes are neutral)."""
+        if node >= self.num_devices:
+            return 1.0
+        return self.specs[node].link_scale
+
+    # ------------------------------------------------------------------
+    # Channels
+    # ------------------------------------------------------------------
     def channel(self, src: int, dst: int) -> PeerChannel:
         """The directed channel ``src -> dst`` (built on first use)."""
         for dev in (src, dst):
-            if not 0 <= dev < self.num_devices:
+            if not 0 <= dev < self.num_nodes:
                 raise IndexError(f"device {dev} out of range")
         key = (src, dst)
         chan = self.channels.get(key)
         if chan is None:
-            chan = PeerChannel(src, dst, self.link, self.record_ops)
+            scale = min(self._link_scale(src), self._link_scale(dst))
+            spec = self.link
+            if scale != 1.0:
+                # link_scale scales the link's effective transfer rate:
+                # sustained bandwidth up AND per-message setup down — a
+                # half-rate link is slower for small payloads too.
+                spec = replace(
+                    spec,
+                    name=f"{spec.name}x{scale:g}",
+                    bandwidth=spec.bandwidth * scale,
+                    latency_seconds=spec.latency_seconds / scale,
+                )
+            chan = PeerChannel(src, dst, spec, self.record_ops)
             self.channels[key] = chan
         return chan
+
+    def route(self, src: int, dst: int) -> Tuple[PeerChannel, ...]:
+        """The channel hops carrying a payload ``src -> dst`` right now."""
+        hops = self.topology.route(src, dst, self.alive)
+        return tuple(self.channel(a, b) for a, b in hops)
 
     def all_streams(self) -> List[Stream]:
         """Streams of every built channel (for makespan / validation)."""
@@ -230,5 +566,7 @@ class DeviceCluster:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<DeviceCluster devices={self.num_devices} "
-            f"partitions={self.device_of.size} link={self.link.name}>"
+            f"alive={int(self.alive.sum())} "
+            f"partitions={self.device_of.size} link={self.link.name} "
+            f"topology={self.topology.name}>"
         )

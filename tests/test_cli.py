@@ -106,7 +106,10 @@ class TestRun:
              "--system", "thunderrw", "--sanitize"]
         )
         assert code == 2
-        assert "--sanitize requires" in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert "--sanitize is not supported" in captured.err
+        assert "supported engines:" in captured.err
+        assert captured.out == ""
 
     @pytest.mark.no_sanitize  # injects a fake violation on purpose
     def test_sanitize_fails_on_violation(self, graph_file, capsys,
@@ -159,7 +162,12 @@ class TestRun:
              "--system", "thunderrw", "--devices", "2"]
         )
         assert code == 2
-        assert "--devices requires" in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert "--devices is not supported" in captured.err
+        assert "supported engines: lighttraffic" in captured.err
+        # the hint must never leak into stdout, where scripted callers
+        # parse run statistics
+        assert captured.out == ""
 
     def test_metrics_json_stdout(self, graph_file, capsys):
         import json
@@ -199,7 +207,10 @@ class TestRun:
              "--system", "thunderrw", "--metrics-json", "-"]
         )
         assert code == 2
-        assert "bus-routed" in capsys.readouterr().err
+        captured = capsys.readouterr()
+        assert "--metrics-json is not supported" in captured.err
+        assert "supported engines:" in captured.err
+        assert captured.out == ""
 
     def test_run_ppr_rejected_by_flashmob(self, graph_file):
         with pytest.raises(ValueError, match="fixed-length"):
@@ -307,3 +318,116 @@ class TestLintCommand:
         # No paths: lints the installed repro package, which must be clean.
         assert main(["lint"]) == 0
         assert "clean" in capsys.readouterr().out
+
+
+class TestElasticRunFlags:
+    @pytest.fixture()
+    def graph_file(self, tmp_path, small_graph):
+        from repro.graph.io import save_csr
+
+        path = tmp_path / "g.npz"
+        save_csr(small_graph, path)
+        return str(path)
+
+    def test_elastic_run_end_to_end(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--algorithm", "uniform",
+             "--walks", "300", "--devices", "2", "--sanitize",
+             "--topology", "ring",
+             "--device-spec", "big:compute=2,link=2",
+             "--device-spec", "small:c=0.5",
+             "--fail", "1@4", "--rebalance-threshold", "1.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "device failures : 1" in out
+        assert "walks recovered" in out
+        assert "sanitizer: clean" in out
+
+    def test_metrics_prom_file(self, graph_file, tmp_path, capsys):
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "200",
+             "--devices", "2", "--metrics-prom", str(prom)]
+        )
+        assert code == 0
+        assert "wrote Prometheus metrics" in capsys.readouterr().out
+        text = prom.read_text()
+        assert "# TYPE repro_iterations_total counter" in text
+        assert 'graph="small"' in text
+        assert "repro_device_pending_walks{" in text
+
+    def test_metrics_prom_stdout(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "200",
+             "--devices", "2", "--metrics-prom", "-"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# HELP repro_iterations_total" in out
+
+    def test_metrics_prom_rejects_unrouted_system(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100",
+             "--system", "thunderrw", "--metrics-prom", "-"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "not supported" in captured.err
+        assert captured.out == ""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--fail", "1@4"],
+            ["--device-spec", "a:c=2"],
+            ["--rebalance-threshold", "1.5"],
+            ["--topology", "ring"],
+        ],
+    )
+    def test_cluster_flags_require_multi_device(
+        self, graph_file, capsys, flags
+    ):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100"] + flags
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "requires --devices > 1" in captured.err
+        assert captured.out == ""
+
+    def test_cluster_flags_reject_non_lighttraffic(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100",
+             "--system", "thunderrw", "--devices", "2", "--fail", "1@4"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "is not supported" in captured.err
+        assert "supported engines: lighttraffic" in captured.err
+        assert captured.out == ""
+
+    def test_malformed_fail_spec_rejected(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100",
+             "--devices", "2", "--fail", "nope"]
+        )
+        assert code == 2
+        assert "DEVICE@ITERATION" in capsys.readouterr().err
+
+    def test_device_spec_count_mismatch_rejected(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100",
+             "--devices", "2", "--device-spec", "only-one:c=2"]
+        )
+        assert code == 2
+        assert "repeat it once per device" in capsys.readouterr().err
+
+    def test_malformed_device_spec_rejected(self, graph_file, capsys):
+        code = main(
+            ["run", "--graph", graph_file, "--walks", "100",
+             "--devices", "2",
+             "--device-spec", "a:bogus=1", "--device-spec", "b"]
+        )
+        assert code == 2
+        assert "bad device-spec item" in capsys.readouterr().err

@@ -1,0 +1,349 @@
+"""Elastic cluster features: heterogeneous specs, topologies, failure
+injection, rebalancing — and bit-identity of the homogeneous path
+against the pre-refactor multi-device goldens."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.algorithms import UniformSampling
+from repro.core.config import DeviceFailure, EngineConfig, FailureSchedule
+from repro.core.engine import LightTrafficEngine
+from repro.graph import generators
+from repro.gpu.cluster import (
+    AllPairsTopology,
+    ClusterDeviceSpec,
+    DeviceCluster,
+    RingTopology,
+    SwitchTopology,
+    topology_by_name,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "cluster_golden.json"
+
+
+@pytest.fixture(scope="module")
+def elastic_graph():
+    return generators.rmat(scale=9, edge_factor=6, seed=3, name="prop")
+
+
+def make_config(devices=3, **overrides):
+    kwargs = dict(
+        partition_bytes=2048,
+        batch_walks=32,
+        graph_pool_partitions=4,
+        walk_pool_walks=256,
+        seed=11,
+        devices=devices,
+        sanitize=True,
+    )
+    kwargs.update(overrides)
+    return EngineConfig(**kwargs)
+
+
+def run_engine(graph, config, walks=300, length=6, **algo_kwargs):
+    algorithm = UniformSampling(length=length, **algo_kwargs)
+    return LightTrafficEngine(graph, algorithm, config).run(walks)
+
+
+def skewed_specs(scales):
+    return tuple(
+        ClusterDeviceSpec(name=f"gpu{i}", compute_scale=s, link_scale=s)
+        for i, s in enumerate(scales)
+    )
+
+
+class TestGoldenParity:
+    """The homogeneous no-failure engine is bit-identical to the goldens
+    captured before the elastic refactor."""
+
+    def test_multi_device_runs_match_goldens(self, elastic_graph):
+        goldens = json.loads(GOLDEN.read_text())
+        assert [g["devices"] for g in goldens] == [2, 3, 4]
+        for golden in goldens:
+            config = make_config(devices=golden["devices"])
+            stats = run_engine(
+                elastic_graph, config, walks=400,
+                weighted=True, sampler="alias",
+            )
+            assert stats.algorithm == golden["algorithm"]
+            assert stats.iterations == golden["iterations"]
+            assert stats.total_steps == golden["total_steps"]
+            assert stats.walks_migrated == golden["walks_migrated"]
+            assert stats.explicit_copies == golden["explicit_copies"]
+            assert (
+                stats.zero_copy_iterations == golden["zero_copy_iterations"]
+            )
+            assert stats.graph_pool_hits == golden["graph_pool_hits"]
+            assert stats.graph_pool_misses == golden["graph_pool_misses"]
+            assert (
+                stats.walk_batches_loaded == golden["walk_batches_loaded"]
+            )
+            assert (
+                stats.walk_batches_evicted == golden["walk_batches_evicted"]
+            )
+            # Bit-identity, not closeness: the homogeneous path must not
+            # drift under the heterogeneity/elasticity machinery.
+            assert stats.total_time == golden["total_time"]
+            assert stats.breakdown == golden["breakdown"]
+            device_times = {
+                str(dev): t for dev, t in (stats.device_times or {}).items()
+            }
+            assert device_times == golden["device_times"]
+
+    def test_uniform_specs_match_specless_run(self, elastic_graph):
+        """Explicit all-ones specs take the historical homogeneous path."""
+        base = run_engine(elastic_graph, make_config())
+        specced = run_engine(
+            elastic_graph,
+            make_config(device_specs=skewed_specs((1.0, 1.0, 1.0))),
+        )
+        assert specced.total_time == base.total_time
+        assert specced.iterations == base.iterations
+        assert specced.walks_migrated == base.walks_migrated
+
+
+class TestFailureRecovery:
+    def test_single_failure_completes_with_zero_lost_walks(
+        self, elastic_graph
+    ):
+        config = make_config(
+            failure_schedule=FailureSchedule.single(1, 10)
+        )
+        stats = run_engine(elastic_graph, config)
+        assert stats.device_failures == 1
+        assert stats.walks_recovered > 0
+        # Fixed-length walks make conservation exact.
+        assert stats.total_steps == 300 * 6
+        assert stats.sanitizer is not None and stats.sanitizer["clean"]
+
+    def test_failure_under_ring_topology(self, elastic_graph):
+        config = make_config(
+            topology="ring", failure_schedule=FailureSchedule.single(2, 8)
+        )
+        stats = run_engine(elastic_graph, config)
+        assert stats.device_failures == 1
+        assert stats.total_steps == 300 * 6
+        assert stats.sanitizer is not None and stats.sanitizer["clean"]
+
+    def test_multiple_failures(self, elastic_graph):
+        schedule = FailureSchedule(
+            failures=(DeviceFailure(0, 6), DeviceFailure(2, 20))
+        )
+        config = make_config(devices=4, failure_schedule=schedule)
+        stats = run_engine(elastic_graph, config)
+        assert stats.device_failures == 2
+        assert stats.total_steps == 300 * 6
+        assert stats.sanitizer is not None and stats.sanitizer["clean"]
+
+    def test_failure_results_unchanged_by_sanitizer(self, elastic_graph):
+        on = run_engine(
+            elastic_graph,
+            make_config(failure_schedule=FailureSchedule.single(1, 10)),
+        )
+        off = run_engine(
+            elastic_graph,
+            make_config(
+                failure_schedule=FailureSchedule.single(1, 10),
+                sanitize=False,
+            ),
+        )
+        assert off.total_time == on.total_time
+        assert off.total_steps == on.total_steps
+        assert off.walks_recovered == on.walks_recovered
+
+
+class TestElasticRebalance:
+    def test_skewed_cluster_triggers_rebalance(self, elastic_graph):
+        # Uniform assignment over skewed devices builds pending-walk
+        # skew; the controller must hand partitions off.
+        config = make_config(
+            device_specs=skewed_specs((2.0, 1.0, 0.5)),
+            heterogeneous_assignment=False,
+            rebalance_threshold=1.2,
+            rebalance_cooldown=4,
+        )
+        stats = run_engine(elastic_graph, config)
+        assert stats.rebalances > 0
+        assert stats.walks_rebalanced > 0
+        assert stats.total_steps == 300 * 6
+        assert stats.sanitizer is not None and stats.sanitizer["clean"]
+
+    def test_homogeneous_cluster_does_not_thrash(self, elastic_graph):
+        config = make_config(rebalance_threshold=10.0)
+        stats = run_engine(elastic_graph, config)
+        assert stats.rebalances == 0
+        assert stats.total_steps == 300 * 6
+
+
+class TestHeterogeneousAssignment:
+    def test_aware_assignment_differs_from_uniform(self, elastic_graph):
+        specs = skewed_specs((2.0, 1.0, 0.5))
+        aware = run_engine(
+            elastic_graph,
+            make_config(device_specs=specs, heterogeneous_assignment=True),
+        )
+        uniform = run_engine(
+            elastic_graph,
+            make_config(device_specs=specs, heterogeneous_assignment=False),
+        )
+        # Both conserve walks; the weighted split actually moves bytes.
+        assert aware.total_steps == uniform.total_steps == 300 * 6
+        assert aware.total_time != uniform.total_time
+
+
+class TestTopologyRuns:
+    @pytest.mark.parametrize("topology", ["ring", "switch"])
+    def test_topology_run_conserves_walks(self, elastic_graph, topology):
+        stats = run_engine(elastic_graph, make_config(topology=topology))
+        assert stats.total_steps == 300 * 6
+        assert stats.walks_migrated > 0
+        assert stats.sanitizer is not None and stats.sanitizer["clean"]
+
+
+class TestTopologyRouting:
+    def test_all_pairs_is_direct(self):
+        topo = AllPairsTopology()
+        alive = np.ones(4, dtype=bool)
+        assert topo.route(0, 3, alive) == ((0, 3),)
+        assert topo.extra_nodes == 0
+
+    def test_ring_prefers_shorter_arc(self):
+        topo = RingTopology(5)
+        alive = np.ones(5, dtype=bool)
+        assert topo.route(0, 1, alive) == ((0, 1),)
+        # 0 -> 4 is one counter-clockwise hop, not four clockwise.
+        assert topo.route(0, 4, alive) == ((0, 4),)
+        assert topo.route(0, 2, alive) == ((0, 1), (1, 2))
+
+    def test_ring_tie_breaks_clockwise(self):
+        topo = RingTopology(4)
+        alive = np.ones(4, dtype=bool)
+        assert topo.route(0, 2, alive) == ((0, 1), (1, 2))
+
+    def test_ring_routes_around_failed_device(self):
+        topo = RingTopology(4)
+        alive = np.array([True, False, True, True])
+        # The short arc 0->1->2 relays through dead device 1.
+        assert topo.route(0, 2, alive) == ((0, 3), (3, 2))
+
+    def test_ring_disconnection_raises(self):
+        topo = RingTopology(5)
+        alive = np.array([True, False, True, False, True])
+        with pytest.raises(RuntimeError, match="both arcs"):
+            topo.route(0, 2, alive)
+
+    def test_ring_needs_two_devices(self):
+        with pytest.raises(ValueError):
+            RingTopology(1)
+
+    def test_switch_routes_via_virtual_node(self):
+        topo = SwitchTopology(4)
+        alive = np.ones(4, dtype=bool)
+        assert topo.switch_node == 4
+        assert topo.route(1, 3, alive) == ((1, 4), (4, 3))
+
+    def test_topology_by_name(self):
+        assert isinstance(topology_by_name("all-pairs", 4), AllPairsTopology)
+        assert isinstance(topology_by_name("ring", 4), RingTopology)
+        assert isinstance(topology_by_name("switch", 4), SwitchTopology)
+        with pytest.raises(KeyError):
+            topology_by_name("torus", 4)
+
+
+class TestClusterChannels:
+    def test_link_scale_scales_bandwidth_and_latency(self):
+        sizes = np.full(8, 1024, dtype=np.int64)
+        specs = (
+            ClusterDeviceSpec(name="fast"),
+            ClusterDeviceSpec(name="slow", link_scale=0.5),
+        )
+        cluster = DeviceCluster(sizes, 2, specs=specs)
+        chan = cluster.channel(0, 1)
+        base = cluster.link
+        # The half-rate endpoint gates the channel: half the bandwidth
+        # and double the per-message setup latency.
+        assert chan.spec.bandwidth == base.bandwidth * 0.5
+        assert chan.spec.latency_seconds == base.latency_seconds / 0.5
+        cluster_uniform = DeviceCluster(sizes, 2)
+        assert cluster_uniform.channel(0, 1).spec is cluster_uniform.link
+
+    def test_switch_channels_use_virtual_node(self):
+        sizes = np.full(8, 1024, dtype=np.int64)
+        cluster = DeviceCluster(
+            sizes, 3, topology=topology_by_name("switch", 3)
+        )
+        hops = cluster.route(0, 2)
+        assert [(c.src, c.dst) for c in hops] == [(0, 3), (3, 2)]
+
+    def test_fail_device_guards(self):
+        sizes = np.full(8, 1024, dtype=np.int64)
+        cluster = DeviceCluster(sizes, 2)
+        cluster.fail_device(1)
+        with pytest.raises(ValueError):
+            cluster.fail_device(1)
+        with pytest.raises(RuntimeError, match="last alive"):
+            cluster.fail_device(0)
+        with pytest.raises(ValueError, match="failed device"):
+            cluster.set_owners(np.array([0]), np.array([1]))
+
+
+class TestClusterDeviceSpec:
+    def test_parse_full_spec(self):
+        spec = ClusterDeviceSpec.parse("a100:compute=2,memory=0.5,link=1.5")
+        assert spec.name == "a100"
+        assert spec.compute_scale == 2.0
+        assert spec.memory_scale == 0.5
+        assert spec.link_scale == 1.5
+
+    def test_parse_shorthands_and_bare_kv(self):
+        spec = ClusterDeviceSpec.parse("c=2,m=3,l=4")
+        assert spec.name == "gpu"
+        assert (spec.compute_scale, spec.memory_scale, spec.link_scale) == (
+            2.0, 3.0, 4.0,
+        )
+
+    def test_parse_bare_name_is_uniform(self):
+        spec = ClusterDeviceSpec.parse("v100")
+        assert spec.name == "v100"
+        assert spec.is_uniform
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="bad device-spec item"):
+            ClusterDeviceSpec.parse("gpu:speed=2")
+
+    def test_positive_scales_enforced(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            ClusterDeviceSpec(compute_scale=0.0)
+
+    def test_assignment_weight_is_bottleneck(self):
+        spec = ClusterDeviceSpec(
+            compute_scale=2.0, memory_scale=0.5, link_scale=1.0
+        )
+        assert spec.assignment_weight == 0.5
+        assert ClusterDeviceSpec().assignment_weight == 1.0
+
+
+class TestFailureSchedule:
+    def test_parse_single_and_multi(self):
+        schedule = FailureSchedule.parse("1@40")
+        assert schedule.failures == (DeviceFailure(1, 40),)
+        schedule = FailureSchedule.parse("1@40,2@90")
+        assert [f.device for f in schedule.failures] == [1, 2]
+        assert [f.at_iteration for f in schedule.failures] == [40, 90]
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="DEVICE@ITERATION"):
+            FailureSchedule.parse("1-40")
+
+    def test_duplicate_device_rejected(self):
+        with pytest.raises(ValueError, match="scheduled to fail twice"):
+            FailureSchedule(
+                failures=(DeviceFailure(1, 5), DeviceFailure(1, 9))
+            )
+
+    def test_single_constructor(self):
+        schedule = FailureSchedule.single(3, 17)
+        assert schedule.failures == (DeviceFailure(3, 17),)

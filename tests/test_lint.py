@@ -7,6 +7,7 @@ import pytest
 
 from repro.analysis import lint_paths, run_lint
 from repro.analysis.lint import (
+    RULE_FAILURE_CONSERVATION,
     RULE_FLOAT_EQ,
     RULE_FROZEN_EVENT,
     RULE_HANDLER_COVERAGE,
@@ -205,3 +206,59 @@ class TestCliAndTree:
         text = str(violations[0])
         assert text.startswith(f"{tmp_path.as_posix()}/module.py:1:")
         assert RULE_RNG in text
+
+
+class TestDeviceFailureConservationRule:
+    EMITTER = (
+        "def drain(self):\n"
+        "    self.bus.emit(DeviceFailed(device=1, iteration=4))\n"
+    )
+
+    def test_emitter_without_conservation_check_flagged(self, tmp_path):
+        violations = lint_source(tmp_path, self.EMITTER)
+        assert rules_of(violations) == [RULE_FAILURE_CONSERVATION]
+        assert "drain" in violations[0].message
+        assert "conservation" in violations[0].message
+
+    def test_bare_handler_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def on_device_failed(self, event):\n"
+            "    self.failures += 1\n",
+        )
+        assert rules_of(violations) == [RULE_FAILURE_CONSERVATION]
+
+    def test_conservation_call_satisfies(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def drain(self):\n"
+            "    self.bus.emit(DeviceFailed(device=1, iteration=4))\n"
+            "    self._assert_cluster_conservation()\n",
+        )
+        assert violations == []
+
+    def test_conservation_named_function_exempt(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def check_conservation(self):\n"
+            "    audit(DeviceFailed(device=1, iteration=4))\n",
+        )
+        assert violations == []
+
+    def test_waiver_on_def_line_suppresses(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def on_device_failed(  "
+            "# lint: allow-device-failure-conservation\n"
+            "    self, event):\n"
+            "    self.failures += 1\n",
+        )
+        assert violations == []
+
+    def test_unrelated_events_pass(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "def drain(self):\n"
+            "    self.bus.emit(IterationStarted(iteration=4, partition=0))\n",
+        )
+        assert violations == []

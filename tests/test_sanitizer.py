@@ -13,6 +13,7 @@ Two halves:
   non-empty provenance trail.
 """
 
+import numpy as np
 import pytest
 
 from repro.algorithms import PageRank, UniformSampling
@@ -21,6 +22,7 @@ from repro.analysis import (
     RULE_DOUBLE_CONSUME,
     RULE_EVICT_IN_FLIGHT,
     RULE_MIGRATION,
+    RULE_STALE_OWNER,
     RULE_RESIDENCY,
     RULE_STREAM_AFFINITY,
     RULE_STREAM_MONOTONIC,
@@ -34,15 +36,19 @@ from repro.core.engine import LightTrafficEngine
 from repro.core.events import (
     SERVED_EXPLICIT,
     BatchLoaded,
+    DeviceFailed,
+    DeviceRecoveredWalks,
     EventBus,
     GraphServed,
     IterationStarted,
     KernelDispatched,
     Reshuffled,
     RunCompleted,
+    ShardRebalanced,
     WalksDelivered,
     WalksMigrated,
 )
+from repro.gpu.cluster import DeviceCluster
 from repro.core.stats import CAT_WALK_EVICT, CAT_WALK_LOAD, CAT_WALK_UPDATE
 from repro.gpu.memory import BlockPool
 from repro.gpu.timeline import Timeline
@@ -381,3 +387,118 @@ class TestSummary:
             Sanitizer().bind(timeline=timeline)
         sanitizer.unbind()
         Sanitizer().bind(timeline=timeline).unbind()
+
+
+class TestElasticFaults:
+    """Failure/rebalance invariants: each fault yields one violation."""
+
+    def test_lost_walk_on_failure_caught(self):
+        sanitizer = Sanitizer()
+        bus = EventBus()
+        bus.attach(sanitizer)
+        # Device 1 dies with seven pending walks but no recovery ever
+        # lands them on a survivor: the failure lost walks.
+        bus.emit(DeviceFailed(device=1, iteration=5, pending_walks=7))
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=0))
+        violation = one_violation(sanitizer, RULE_MIGRATION)
+        assert "lost to the failure" in violation.message
+
+    def test_full_recovery_is_clean(self):
+        sanitizer = Sanitizer()
+        bus = EventBus()
+        bus.attach(sanitizer)
+        bus.emit(DeviceFailed(device=1, iteration=5, pending_walks=10))
+        bus.emit(DeviceRecoveredWalks(src_device=1, dst_device=0, walks=4))
+        bus.emit(DeviceRecoveredWalks(src_device=1, dst_device=2, walks=6))
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=0))
+        assert sanitizer.clean, sanitizer.format_report()
+
+    def test_over_recovery_caught_live(self):
+        sanitizer = Sanitizer()
+        bus = EventBus()
+        bus.attach(sanitizer)
+        # Recovery hands out more walks than the dead shard drained;
+        # caught at the second DeviceRecoveredWalks, before run end.
+        bus.emit(DeviceFailed(device=2, iteration=9, pending_walks=5))
+        bus.emit(DeviceRecoveredWalks(src_device=2, dst_device=0, walks=5))
+        bus.emit(DeviceRecoveredWalks(src_device=2, dst_device=1, walks=3))
+        violation = one_violation(sanitizer, RULE_MIGRATION)
+        assert "duplicated" in violation.message
+
+    def test_double_delivery_on_rebalance_caught(self):
+        sanitizer = Sanitizer()
+        bus = EventBus()
+        bus.attach(sanitizer)
+        # A rebalance handoff delivered twice: the second delivery has
+        # no matching send, duplicating the handed-off walks.
+        bus.emit(WalksMigrated(src_device=0, dst_device=1, walks=5))
+        bus.emit(WalksDelivered(src_device=0, dst_device=1, walks=5))
+        bus.emit(WalksDelivered(src_device=0, dst_device=1, walks=5))
+        one_violation(sanitizer, RULE_MIGRATION)
+
+    def test_stale_owner_mask_caught(self):
+        sizes = np.full(8, 1024, dtype=np.int64)
+        cluster = DeviceCluster(sizes, 2)
+        sanitizer = Sanitizer().bind_cluster(cluster)
+        bus = EventBus()
+        bus.attach(sanitizer)
+        foreign = int(cluster.owned_partitions(1)[0])
+        # Device 0 iterates over a partition the owner map assigns to
+        # device 1: its scheduler decided on a stale owned mask.
+        bus.emit(
+            IterationStarted(
+                iteration=1, partition=foreign, pending_walks=3, device=0
+            )
+        )
+        violation = one_violation(sanitizer, RULE_STALE_OWNER)
+        assert "stale owned mask" in violation.message
+
+    def test_iteration_on_failed_device_caught(self):
+        sizes = np.full(8, 1024, dtype=np.int64)
+        cluster = DeviceCluster(sizes, 2)
+        sanitizer = Sanitizer().bind_cluster(cluster)
+        bus = EventBus()
+        bus.attach(sanitizer)
+        orphans = cluster.owned_partitions(1)
+        owned = int(orphans[0])
+        cluster.fail_device(1)
+        cluster.set_owners(orphans, np.zeros(orphans.size, dtype=np.int64))
+        bus.emit(
+            IterationStarted(
+                iteration=1, partition=owned, pending_walks=3, device=1
+            )
+        )
+        violation = one_violation(sanitizer, RULE_STALE_OWNER)
+        assert "failed" in violation.message
+
+    def test_current_owner_is_clean(self):
+        sizes = np.full(8, 1024, dtype=np.int64)
+        cluster = DeviceCluster(sizes, 2)
+        sanitizer = Sanitizer().bind_cluster(cluster)
+        bus = EventBus()
+        bus.attach(sanitizer)
+        owned = int(cluster.owned_partitions(0)[0])
+        bus.emit(
+            IterationStarted(
+                iteration=1, partition=owned, pending_walks=3, device=0
+            )
+        )
+        assert sanitizer.clean, sanitizer.format_report()
+
+    def test_rebalance_event_audits_population(self):
+        pool0 = DeviceWalkPool(4, batch_capacity=32, capacity_walks=128)
+        pool1 = DeviceWalkPool(4, batch_capacity=32, capacity_walks=128)
+        sanitizer = (
+            Sanitizer()
+            .bind_shard(0, device=pool0)
+            .bind_shard(1, device=pool1)
+        )
+        bus = EventBus()
+        bus.attach(sanitizer)
+        # A handoff that left walk 7 on both the old and new owner.
+        pool0.append_walks(0, WalkArrays.fresh([5, 6, 7], first_id=5))
+        pool1.append_walks(1, WalkArrays.fresh([8, 9], first_id=7))
+        bus.emit(ShardRebalanced(iteration=4, moved_partitions=1,
+                                 walks_moved=3))
+        sanitizer.unbind()
+        one_violation(sanitizer, RULE_CROSS_DEVICE)
