@@ -16,6 +16,7 @@ from repro.analysis.static.dataflow import PathInput, iter_python_files
 from repro.analysis.static.findings import Finding as LintViolation
 from repro.analysis.static.houserules import (
     RNG_FACTORY_MODULE,
+    RULE_BACKEND_SIM_TIME,
     RULE_FAILURE_CONSERVATION,
     RULE_FLOAT_EQ,
     RULE_FROZEN_EVENT,
@@ -29,6 +30,7 @@ __all__ = [
     "LintViolation",
     "PathInput",
     "RNG_FACTORY_MODULE",
+    "RULE_BACKEND_SIM_TIME",
     "RULE_FAILURE_CONSERVATION",
     "RULE_FLOAT_EQ",
     "RULE_FROZEN_EVENT",

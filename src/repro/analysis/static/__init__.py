@@ -22,6 +22,7 @@ from repro.analysis.static.aliasing import (
 )
 from repro.analysis.static.findings import Baseline, Finding
 from repro.analysis.static.houserules import (
+    RULE_BACKEND_SIM_TIME,
     RULE_FLOAT_EQ,
     RULE_FROZEN_EVENT,
     RULE_HANDLER_COVERAGE,
@@ -46,6 +47,7 @@ __all__ = [
     "DEFAULT_BASELINE",
     "Finding",
     "PASSES",
+    "RULE_BACKEND_SIM_TIME",
     "RULE_CYCLES_SECONDS",
     "RULE_FLOAT_EQ",
     "RULE_FROZEN_EVENT",

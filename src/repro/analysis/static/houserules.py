@@ -33,6 +33,15 @@ CLI path:
     an explicit waiver) — an event nobody consumes is either dead
     weight or a silently unobserved engine fact.
 
+``no-simulated-time-in-backends``
+    Modules in the execution-backend package (``repro/backends/``) must
+    never import :mod:`repro.gpu.timeline` or :mod:`repro.gpu.device`.
+    Backends measure *real* wall-clock per kernel; the simulated clock
+    and device specs belong to the cost model that consumes the
+    backend's step counts — a backend reading simulated time would let
+    measured and simulated seconds contaminate each other, which is
+    exactly the split ``repro bench backends`` cross-validates.
+
 ``device-failure-conservation``
     Every ``DeviceFailed``-handling code path — a function named
     ``on_device_failed`` or one that constructs/emits a
@@ -67,6 +76,13 @@ RULE_FLOAT_EQ = "float-timestamp-eq"
 RULE_FROZEN_EVENT = "frozen-event"
 RULE_HANDLER_COVERAGE = "event-handler-coverage"
 RULE_FAILURE_CONSERVATION = "device-failure-conservation"
+RULE_BACKEND_SIM_TIME = "no-simulated-time-in-backends"
+
+#: package directory whose modules may not touch simulated clocks.
+BACKENDS_PACKAGE = "backends/"
+
+#: module paths banned inside the backends package (simulated time).
+SIMULATED_TIME_MODULES = ("gpu.timeline", "gpu.device")
 
 #: module path (as posix suffix) allowed to construct raw generators.
 RNG_FACTORY_MODULE = "core/prng.py"
@@ -96,6 +112,19 @@ def _reasserts_conservation(node: ast.AST) -> bool:
     return False
 
 
+def _in_backends_package(rel: str) -> bool:
+    rel = rel.replace("\\", "/")
+    return f"/{BACKENDS_PACKAGE}" in rel or rel.startswith(BACKENDS_PACKAGE)
+
+
+def _is_simulated_time_module(name: str) -> bool:
+    for banned in SIMULATED_TIME_MODULES:
+        for full in (banned, f"repro.{banned}"):
+            if name == full or name.startswith(full + "."):
+                return True
+    return False
+
+
 def _is_timestamp_operand(node: ast.AST) -> bool:
     if isinstance(node, ast.Name):
         return bool(TIMESTAMP_NAMES.match(node.id))
@@ -110,6 +139,7 @@ class _FileVisitor(ast.NodeVisitor):
     def __init__(self, module: ModuleInfo, allow_rng: bool) -> None:
         self.module = module
         self.allow_rng = allow_rng
+        self.in_backends = _in_backends_package(module.rel)
         self.findings: List[Finding] = []
         self.handler_names: Set[str] = set()
 
@@ -122,6 +152,17 @@ class _FileVisitor(ast.NodeVisitor):
                 message,
                 PASS_NAME,
             )
+        )
+
+    # -- no-simulated-time-in-backends ---------------------------------
+    def _report_simulated_time(self, node: ast.AST, name: str) -> None:
+        self._report(
+            node,
+            RULE_BACKEND_SIM_TIME,
+            f"backend module imports '{name}': execution backends "
+            "measure real wall-clock and must not consume simulated "
+            "clocks or device specs (the cost model does that from the "
+            "backend's returned step counts)",
         )
 
     # -- rng-factory ---------------------------------------------------
@@ -137,6 +178,10 @@ class _FileVisitor(ast.NodeVisitor):
                         "stdlib 'random' bypasses core/prng.py; use "
                         "repro.core.prng.seeded_rng",
                     )
+        if self.in_backends:
+            for alias in node.names:
+                if _is_simulated_time_module(alias.name):
+                    self._report_simulated_time(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -157,6 +202,14 @@ class _FileVisitor(ast.NodeVisitor):
                     "importing from numpy.random bypasses core/prng.py; "
                     "use repro.core.prng.seeded_rng",
                 )
+        if self.in_backends and node.module is not None:
+            if _is_simulated_time_module(node.module):
+                self._report_simulated_time(node, node.module)
+            elif node.module in ("repro.gpu", "gpu"):
+                for alias in node.names:
+                    target = f"{node.module}.{alias.name}"
+                    if _is_simulated_time_module(target):
+                        self._report_simulated_time(node, target)
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:

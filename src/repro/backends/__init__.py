@@ -1,0 +1,39 @@
+"""Pluggable execution backends for the walk kernels.
+
+The engine *costs* kernels with the simulated device model and
+*executes* them through an :class:`ExecutionBackend`: ``simulated``
+(the vectorized NumPy path, default), ``numba`` (JIT per-lane loops,
+optional dependency) and ``multiprocess`` (shared-memory trajectory
+precompute).  See :mod:`repro.backends.base` for the protocol and the
+replayability gate that keeps all three bit-identical.
+"""
+
+from repro.backends.base import (
+    BackendUnavailable,
+    ExecutionBackend,
+    KernelRecord,
+    MeasuredTimings,
+    require_lockstep_algorithm,
+)
+from repro.backends.registry import (
+    BACKEND_MULTIPROCESS,
+    BACKEND_NUMBA,
+    BACKEND_SIMULATED,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+
+__all__ = [
+    "BACKEND_MULTIPROCESS",
+    "BACKEND_NUMBA",
+    "BACKEND_SIMULATED",
+    "BackendUnavailable",
+    "ExecutionBackend",
+    "KernelRecord",
+    "MeasuredTimings",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+    "require_lockstep_algorithm",
+]

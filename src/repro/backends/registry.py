@@ -1,0 +1,68 @@
+"""Backend registry: name -> factory, mirroring the sampler registry.
+
+:class:`~repro.core.config.EngineConfig`, the CLI and the benches all
+select execution backends by these names.  ``simulated`` is always
+available and stays the default; ``multiprocess`` is dependency-free;
+``numba`` registers unconditionally but its factory raises
+:class:`~repro.backends.base.BackendUnavailable` when numba is not
+installed, so callers can distinguish "unknown backend" (ValueError)
+from "known but not runnable here".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.backends.base import ExecutionBackend
+
+BACKEND_SIMULATED = "simulated"
+BACKEND_NUMBA = "numba"
+BACKEND_MULTIPROCESS = "multiprocess"
+
+_REGISTRY: Dict[str, Callable[[], ExecutionBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], ExecutionBackend]
+) -> None:
+    """Register an execution-backend factory under ``name``."""
+    if not name or not isinstance(name, str):
+        raise ValueError("backend name must be a non-empty string")
+    if name in _REGISTRY:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted (regardless of runnability)."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def make_backend(name: str) -> ExecutionBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises ``ValueError`` for unknown names and
+    :class:`~repro.backends.base.BackendUnavailable` when the backend is
+    known but its optional dependency is missing.
+    """
+    _ensure_builtins()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    return factory()
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in backends (registered on module import)."""
+    if BACKEND_SIMULATED not in _REGISTRY:
+        # Deferred to avoid a registry <-> implementation import cycle.
+        from repro.backends import (  # noqa: F401
+            multiprocess,
+            numba_kernels,
+            simulated,
+        )

@@ -28,7 +28,7 @@ import json
 from typing import Dict, Optional
 
 from repro.algorithms import PageRank
-from repro.core.config import EngineConfig
+from repro.bench.harness import bench_engine_config
 from repro.core.engine import LightTrafficEngine
 from repro.graph.generators import rmat
 
@@ -37,27 +37,6 @@ REQUIRED_SPEEDUP = 1.5
 
 #: Shard counts measured, ascending; the first must be 1 (the baseline).
 DEVICE_COUNTS = (1, 2, 4)
-
-
-def _bench_config(
-    num_walks: int, seed: int, devices: int, quick: bool
-) -> EngineConfig:
-    """The shared engine config; only ``devices`` varies across runs.
-
-    Partitions are kept small relative to the graph so every shard owns
-    several and cross-shard transitions (hence migrations) actually
-    happen; pools are sized well below the workload so the eviction and
-    preemptive paths stay exercised, as in the single-device benches.
-    """
-    return EngineConfig(
-        partition_bytes=2048 if quick else 4096,
-        batch_walks=64 if quick else 256,
-        graph_pool_partitions=4,
-        walk_pool_walks=512 if quick else 4096,
-        seed=seed,
-        devices=devices,
-        sanitize=True,
-    )
 
 
 def run_bench(
@@ -78,7 +57,7 @@ def run_bench(
     base_time: Optional[float] = None
     conservation_ok = True
     for devices in DEVICE_COUNTS:
-        config = _bench_config(walks, seed, devices, quick)
+        config = bench_engine_config(seed, quick, devices=devices)
         stats = LightTrafficEngine(
             graph, PageRank(length=length), config
         ).run(walks)

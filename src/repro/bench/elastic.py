@@ -28,6 +28,7 @@ import json
 from typing import Dict, Optional, Tuple
 
 from repro.algorithms import UniformSampling
+from repro.bench.harness import bench_engine_config
 from repro.core.config import EngineConfig, FailureSchedule
 from repro.core.engine import LightTrafficEngine
 from repro.core.stats import RunStats
@@ -61,22 +62,9 @@ def _skewed_specs() -> Tuple[ClusterDeviceSpec, ...]:
 
 
 def _bench_config(seed: int, quick: bool, **overrides: object) -> EngineConfig:
-    """Shared engine config; scenarios vary only the elastic knobs.
-
-    Partitions are kept small relative to the graph so every shard owns
-    several (failure reassignment and weighted splits need partitions
-    to move) and pools are sized below the workload so eviction and
-    preemptive scheduling stay exercised.
-    """
-    return EngineConfig(
-        partition_bytes=2048 if quick else 4096,
-        batch_walks=64 if quick else 256,
-        graph_pool_partitions=4,
-        walk_pool_walks=512 if quick else 4096,
-        seed=seed,
-        devices=NUM_DEVICES,
-        sanitize=True,
-        **overrides,  # type: ignore[arg-type]
+    """Shared engine config; scenarios vary only the elastic knobs."""
+    return bench_engine_config(
+        seed, quick, devices=NUM_DEVICES, **overrides
     )
 
 

@@ -33,7 +33,12 @@ from repro.bench.workloads import (
     standard_config,
     standard_walks,
 )
-from repro.core.config import COPY_ADAPTIVE, COPY_EXPLICIT, COPY_ZERO
+from repro.core.config import (
+    COPY_ADAPTIVE,
+    COPY_EXPLICIT,
+    COPY_ZERO,
+    EngineConfig,
+)
 from repro.core.engine import LightTrafficEngine
 from repro.core.events import EventBus
 from repro.core.metrics import MetricsCollector
@@ -65,6 +70,31 @@ def make_algorithm(name: str) -> RandomWalkAlgorithm:
         return ALGORITHM_FACTORIES[name]()
     except KeyError:
         raise KeyError(f"unknown algorithm {name!r}") from None
+
+
+def bench_engine_config(
+    seed: int, quick: bool, *, devices: int = 1, **overrides: object
+) -> EngineConfig:
+    """Shared engine config for the ``repro bench`` suites.
+
+    Partitions are kept small relative to the benchmark graphs so every
+    shard owns several (migration, failure reassignment and weighted
+    splits all need partitions to move) and pools are sized below the
+    workload so the eviction and preemptive paths stay exercised.
+    Suite-specific knobs (elastic specs, execution backend, ...) come in
+    as ``overrides`` and may also replace any of the defaults.
+    """
+    config: Dict[str, object] = dict(
+        partition_bytes=2048 if quick else 4096,
+        batch_walks=64 if quick else 256,
+        graph_pool_partitions=4,
+        walk_pool_walks=512 if quick else 4096,
+        seed=seed,
+        devices=devices,
+        sanitize=True,
+    )
+    config.update(overrides)
+    return EngineConfig(**config)  # type: ignore[arg-type]
 
 
 # ----------------------------------------------------------------------

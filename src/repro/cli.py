@@ -25,6 +25,13 @@ Commands
     partition assignment on skewed 4-device specs, and a mid-run
     single-device failure that must complete sanitizer-clean with zero
     lost walks and bounded slowdown.  Writes ``BENCH_elastic.json``.
+``bench backends``
+    Run the execution-backend benchmark: the real kernels (``numba``,
+    ``multiprocess``) against the ``simulated`` NumPy interpreter path
+    on the same seeded workload — bit-identical results enforced, real
+    wall-clock speedups reported, and the analytic kernel cost model
+    cross-validated against the measured per-kernel times.  Writes
+    ``BENCH_backends.json``.
 ``lint``
     Run the repo's static-analysis framework
     (:mod:`repro.analysis.static`).  The default pass set is the cheap
@@ -45,6 +52,7 @@ Examples
     python -m repro run --dataset lj-sim --metrics-json metrics.json
     python -m repro run --dataset uk-sim --algorithm uniform --sampler alias
     python -m repro run --dataset uk-sim --algorithm uniform --sanitize
+    python -m repro run --dataset uk-sim --algorithm uniform --backend multiprocess
     python -m repro run --dataset uk-sim --devices 2 --sanitize
     python -m repro run --dataset uk-sim --devices 3 --topology ring \
         --device-spec compute=2 --device-spec compute=1 --device-spec compute=0.5 \
@@ -54,6 +62,7 @@ Examples
     python -m repro bench samplers --quick --out BENCH_samplers.json
     python -m repro bench devices --quick --out BENCH_devices.json
     python -m repro bench elastic --quick --out BENCH_elastic.json
+    python -m repro bench backends --quick --out BENCH_backends.json
     python -m repro lint src/repro
     python -m repro lint --strict --json lint-report.json src/repro
 """
@@ -135,6 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="transition-sampler override for algorithms with configurable "
              "sampling (see `python -m repro bench samplers` for the "
              "registry: uniform, alias, inverse, rejection, ...)",
+    )
+    run.add_argument(
+        "--backend", choices=("simulated", "numba", "multiprocess"),
+        default="simulated",
+        help="execution backend for the kernel inner loops (lighttraffic "
+             "only): 'simulated' is the historical NumPy path; 'numba' and "
+             "'multiprocess' run real JIT/shared-memory kernels that stay "
+             "bit-identical to it (they force the counter-based RNG)",
     )
     run.add_argument("--walks", type=int, default=None,
                      help="walk count (default: 2|V|)")
@@ -276,6 +293,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-check", action="store_true",
         help="report without failing on conservation/slowdown violations",
     )
+    backends = bench_sub.add_parser(
+        "backends",
+        help="execution-backend benchmark: real numba/multiprocess kernels "
+             "vs the simulated NumPy path, bit-identity + cost-model "
+             "cross-validation",
+    )
+    backends.add_argument(
+        "--quick", action="store_true",
+        help="small workload for CI smoke runs (speedup floor not enforced)",
+    )
+    backends.add_argument("--scale", type=int, default=13,
+                          help="rmat scale of the benchmark workload")
+    backends.add_argument("--edge-factor", type=int, default=8)
+    backends.add_argument("--walks", type=int, default=None,
+                          help="walk count (default: workload-sized)")
+    backends.add_argument("--seed", type=int, default=7)
+    backends.add_argument(
+        "--out", default="BENCH_backends.json",
+        help="results JSON path ('-' to skip the file and print only)",
+    )
+    backends.add_argument(
+        "--no-check", action="store_true",
+        help="report without failing on identity/speedup violations",
+    )
 
     lint = sub.add_parser(
         "lint", help="run the repo-specific static-analysis passes"
@@ -356,10 +397,17 @@ def _run_system(
     walks = args.walks or standard_walks(graph)
     sanitize = getattr(args, "sanitize", False)
     if args.system == "lighttraffic":
+        backend = getattr(args, "backend", "simulated")
+        overrides: dict = {"backend": backend}
+        if backend != "simulated":
+            # Real backends replay the exact trajectories of the simulated
+            # path, which requires schedule-independent per-lane draws.
+            overrides["rng_mode"] = "counter"
         config = standard_config(
             graph, platform, interconnect=args.interconnect, seed=args.seed,
             sampler=sampler, sanitize=sanitize,
             devices=getattr(args, "devices", 1),
+            **overrides,
             peer_interconnect=getattr(args, "peer_interconnect", "nvlink"),
             topology=getattr(args, "topology", "all-pairs"),
             device_specs=getattr(args, "device_specs", None),
@@ -477,6 +525,19 @@ def _unsupported_engine(flag: str, system: str, supported: tuple) -> int:
     return 2
 
 
+def _unavailable_backend(name: str, hint: str) -> int:
+    """Reject a backend the environment cannot run: stderr hint, exit 2.
+
+    Same stdout/stderr contract as :func:`_unsupported_engine` — scripted
+    callers parsing run stats must never see the hint on stdout.
+    """
+    print(
+        f"--backend {name} is not available in this environment: {hint}",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.core.config import FailureSchedule
     from repro.gpu.cluster import ClusterDeviceSpec
@@ -499,6 +560,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         return _unsupported_engine(
             "--devices", args.system, ("lighttraffic",)
         )
+    if args.backend != "simulated":
+        if args.system != "lighttraffic":
+            return _unsupported_engine(
+                "--backend", args.system, ("lighttraffic",)
+            )
+        if args.backend == "numba":
+            from repro.backends.numba_kernels import NUMBA_AVAILABLE
+
+            if not NUMBA_AVAILABLE:
+                return _unavailable_backend(
+                    "numba",
+                    "the optional numba package is not installed; use "
+                    "--backend multiprocess or --backend simulated",
+                )
     cluster_flags = (
         ("--device-spec", args.device_specs),
         ("--fail", args.failures),
@@ -596,6 +671,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     print("  breakdown:")
     for category, seconds in sorted(stats.breakdown.items()):
         print(f"    {category:18s} {reporting.format_seconds(seconds)}")
+    if stats.measured is not None:
+        measured: Any = stats.measured
+        print(f"  measured wall-clock ({stats.backend} backend):")
+        print(f"    setup              "
+              f"{reporting.format_seconds(measured['setup_seconds'])}")
+        print(f"    walk_update        "
+              f"{reporting.format_seconds(measured['walk_update_seconds'])}"
+              f" over {measured['num_kernels']} kernels")
+        print(f"    group              "
+              f"{reporting.format_seconds(measured['group_seconds'])}")
     if args.sanitize:
         from repro.analysis import format_summary
 
@@ -622,6 +707,24 @@ def cmd_experiment(name: str) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_target == "backends":
+        from repro.bench import backends as bench_backends
+
+        results = bench_backends.run_bench(
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            walks=args.walks,
+            seed=args.seed,
+            quick=args.quick,
+        )
+        print(bench_backends.format_summary(results))
+        if args.out != "-":
+            bench_backends.write_results(results, args.out)
+            print(f"wrote {args.out}")
+        if not args.no_check and not results["checks"]["all_ok"]:
+            print("backend benchmark checks FAILED", file=sys.stderr)
+            return 1
+        return 0
     if args.bench_target == "elastic":
         from repro.bench import elastic as bench_elastic
 

@@ -444,6 +444,7 @@ class MultiDeviceEngine(LightTrafficEngine):
         rng: Any,
         num_walks: int,
         bus: EventBus,
+        backend: Any = None,
     ) -> _Shard:
         """One device's substrate; mirrors the single-device context."""
         cfg = self.config
@@ -520,7 +521,9 @@ class MultiDeviceEngine(LightTrafficEngine):
             ),
             timeline=Timeline(record_ops=cfg.record_ops),
             bus=bus,
-            reshuffler=reshuffler_cls(kernel_model, num_partitions),
+            reshuffler=reshuffler_cls(
+                kernel_model, num_partitions, backend=backend
+            ),
             kernel_model=kernel_model,
             pcie=pcie,
             ship_link=ship_link,
@@ -528,6 +531,7 @@ class MultiDeviceEngine(LightTrafficEngine):
             adaptive=self.adaptive,
             device_id=device_id,
             cluster=cluster,
+            backend=backend,
         )
         return _Shard(ctx)
 
@@ -542,6 +546,11 @@ class MultiDeviceEngine(LightTrafficEngine):
         starts = self.algorithm.start_vertices(self.graph, num_walks, rng)
         walks = WalkArrays.fresh(starts)
         self.algorithm.on_start(walks, self.graph)
+        backend = shards[0].ctx.backend
+        if backend is not None:
+            # All shards share one backend; precompute once from the full
+            # seeded state before the walks are split across devices.
+            backend.on_walks_seeded(walks)
         start_parts = self.partitioned.find_partitions(walks.vertices)
         groups = group_by_partition(walks, start_parts)
         for part, group in groups.items():
@@ -712,8 +721,12 @@ class MultiDeviceEngine(LightTrafficEngine):
         )
         bus = self.bus if self.bus is not None else EventBus()
         rng = self._make_rng()
+        # One backend shared by every shard: the kernels are partition-
+        # local, so a single bound instance (and a single trajectory
+        # precompute) serves all devices.
+        backend = self._make_backend()
         shards = [
-            self._build_shard(dev, cluster, rng, num_walks, bus)
+            self._build_shard(dev, cluster, rng, num_walks, bus, backend)
             for dev in range(num_devices)
         ]
         if num_devices > 1:
@@ -904,6 +917,9 @@ class MultiDeviceEngine(LightTrafficEngine):
             if sanitizer is not None:
                 sanitizer.unbind()
                 stats.sanitizer = sanitizer.summary()
+            backend.close()
+        stats.backend = cfg.backend
+        stats.measured = backend.timings().as_dict()
         if num_devices > 1:
             stats.device_times = {
                 str(shard.ctx.device_id): shard.ctx.timeline.total_time()

@@ -206,6 +206,12 @@ class EngineConfig:
     seed: Optional[int] = 42
     max_iterations: Optional[int] = None
     record_ops: bool = False
+    #: execution backend running the kernel inner loops: ``simulated``
+    #: (vectorized NumPy, the default and the only one usable with
+    #: ``rng_mode="sequential"``), ``numba`` or ``multiprocess`` (real
+    #: substrates; require the counter RNG so trajectories stay
+    #: bit-identical to the simulated path).
+    backend: str = "simulated"
 
     def __post_init__(self) -> None:
         if self.partition_bytes <= 0:
@@ -283,6 +289,21 @@ class EngineConfig:
                 raise ValueError("rebalance_threshold must be > 1.0")
         if self.rebalance_cooldown < 1:
             raise ValueError("rebalance_cooldown must be >= 1")
+        if self.backend != "simulated":
+            # Deferred import: the backend registry depends on config.
+            from repro.backends import available_backends
+
+            if self.backend not in available_backends():
+                raise ValueError(
+                    f"unknown backend {self.backend!r}; available: "
+                    f"{', '.join(available_backends())}"
+                )
+            if self.rng_mode != "counter":
+                raise ValueError(
+                    f"backend {self.backend!r} requires rng_mode='counter' "
+                    "(real backends re-order execution, which only the "
+                    "schedule-independent counter RNG can replay)"
+                )
 
     def resolved_batch_walks(self) -> int:
         """Batch capacity: configured, or the paper's 16x core count."""

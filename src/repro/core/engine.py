@@ -120,7 +120,24 @@ class LightTrafficEngine:
             return CounterRNG(cfg.seed)
         return seeded_rng(cfg.seed)
 
-    def _build_context(self, num_walks: int, bus: EventBus) -> StageContext:
+    def _make_backend(self) -> Any:
+        """Create and bind the run's execution backend.
+
+        Always constructed — the default ``simulated`` backend runs the
+        historical NumPy path bit-identically while measuring its real
+        wall-clock per kernel (``RunStats.measured``).
+        """
+        from repro.backends import make_backend
+
+        backend = make_backend(self.config.backend)
+        backend.bind(
+            self.graph, self.partitioned, self.algorithm, self.config
+        )
+        return backend
+
+    def _build_context(
+        self, num_walks: int, bus: EventBus, backend: Any = None
+    ) -> StageContext:
         """Assemble pools, timeline, scheduler and policies for one run."""
         cfg = self.config
         num_partitions = self.partitioned.num_partitions
@@ -154,12 +171,15 @@ class LightTrafficEngine:
             ),
             timeline=Timeline(record_ops=cfg.record_ops),
             bus=bus,
-            reshuffler=reshuffler_cls(self.kernel_model, num_partitions),
+            reshuffler=reshuffler_cls(
+                self.kernel_model, num_partitions, backend=backend
+            ),
             kernel_model=self.kernel_model,
             pcie=self.pcie,
             ship_link=self.ship_link,
             bytes_per_walk=self.algorithm.bytes_per_walk,
             adaptive=self.adaptive,
+            backend=backend,
         )
 
     def _seed_walks(self, ctx: StageContext, num_walks: int) -> None:
@@ -167,6 +187,10 @@ class LightTrafficEngine:
         starts = self.algorithm.start_vertices(self.graph, num_walks, ctx.rng)
         walks = WalkArrays.fresh(starts)
         self.algorithm.on_start(walks, self.graph)
+        if ctx.backend is not None:
+            # Real backends precompute from the seeded state (trajectory
+            # tables, worker forks) before the walks are split up.
+            ctx.backend.on_walks_seeded(walks)
         start_parts = ctx.pgraph.find_partitions(walks.vertices)
         groups = group_by_partition(walks, start_parts)
         for part, group in groups.items():
@@ -197,7 +221,8 @@ class LightTrafficEngine:
             return stats
         cfg = self.config
         bus = self.bus if self.bus is not None else EventBus()
-        ctx = self._build_context(num_walks, bus)
+        backend = self._make_backend()
+        ctx = self._build_context(num_walks, bus, backend)
         stats = RunStats(
             system="lighttraffic",
             algorithm=self.algorithm.name,
@@ -285,6 +310,9 @@ class LightTrafficEngine:
             if sanitizer is not None:
                 sanitizer.unbind()
                 stats.sanitizer = sanitizer.summary()
+            backend.close()
+        stats.backend = cfg.backend
+        stats.measured = backend.timings().as_dict()
         if cfg.record_ops:
             ctx.timeline.validate()
         self._timeline = ctx.timeline

@@ -58,6 +58,11 @@ class StageContext:
     #: migration router (:class:`repro.core.cluster.WalkMigrator`) the
     #: compute stage hands cross-shard walks to; ``None`` = single device.
     router: Optional[object] = None
+    #: execution backend (:class:`repro.backends.ExecutionBackend`)
+    #: running the walk-update kernels; ``None`` = call the algorithm
+    #: inline (the historical path, kept for baselines/tests that build
+    #: contexts by hand).
+    backend: Optional[object] = None
     #: arrival time of the latest P2P delivery into each partition —
     #: kernels over migrated walks may not start before their payload
     #: lands (the multi-device analog of :attr:`graph_ready`).

@@ -89,6 +89,13 @@ class RunStats:
     #: populated when the run is sanitized (``EngineConfig.sanitize`` /
     #: ``repro run --sanitize``); ``None`` = sanitizer not attached.
     sanitizer: Optional[Dict[str, object]] = None
+    #: execution backend that ran the kernel inner loops.
+    backend: str = "simulated"
+    #: measured (real wall-clock) backend timings
+    #: (:meth:`repro.backends.MeasuredTimings.as_dict`) — the counterpart
+    #: of the *simulated* ``breakdown``; ``None`` on baseline runs that
+    #: bypass the backend layer.
+    measured: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property

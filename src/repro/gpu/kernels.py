@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.core.units import Cycles, Seconds, StepsPerSecond
 from repro.gpu.calibration import Calibration, DEFAULT_CALIBRATION
@@ -221,3 +222,46 @@ class KernelModel:
             total_steps * cal.subway_step_cycles / cal.subway_lane_count
         )
         return Seconds(max(latency_bound, throughput_bound))
+
+
+# ----------------------------------------------------------------------
+# Cross-validation of the analytic model against measured backends
+# ----------------------------------------------------------------------
+def fit_time_scale(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> float:
+    """Least-squares scale ``lambda`` minimizing ``|lambda*pred - meas|^2``.
+
+    The analytic :class:`KernelModel` predicts *simulated GPU* seconds;
+    a real backend measures *host wall-clock* seconds.  The two live on
+    different absolute scales, so cross-validation first fits the single
+    free factor ``lambda = sum(pred*meas) / sum(pred^2)`` and then judges
+    the model by the residual per-kernel relative error
+    (:func:`relative_errors`) — i.e. by *shape*, not absolute magnitude.
+    """
+    if len(predicted) != len(measured):
+        raise ValueError("predicted and measured must align")
+    num = 0.0
+    den = 0.0
+    for pred, meas in zip(predicted, measured):
+        num += pred * meas
+        den += pred * pred
+    if den <= 0.0:
+        return 0.0
+    return num / den
+
+
+def relative_errors(
+    predicted: Sequence[float],
+    measured: Sequence[float],
+    scale: float,
+) -> List[float]:
+    """Per-kernel ``|scale*pred - meas| / meas`` (skips meas <= 0)."""
+    if len(predicted) != len(measured):
+        raise ValueError("predicted and measured must align")
+    errors: List[float] = []
+    for pred, meas in zip(predicted, measured):
+        if meas <= 0.0:
+            continue
+        errors.append(abs(scale * pred - meas) / meas)
+    return errors

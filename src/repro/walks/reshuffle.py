@@ -19,7 +19,7 @@ structure itself.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -104,9 +104,17 @@ class _BaseReshuffler:
 
     mode: str = TWO_LEVEL
 
-    def __init__(self, kernel_model: KernelModel, num_partitions: int) -> None:
+    def __init__(
+        self,
+        kernel_model: KernelModel,
+        num_partitions: int,
+        backend: Optional[object] = None,
+    ) -> None:
         self.kernel_model = kernel_model
         self.num_partitions = num_partitions
+        #: execution backend supplying (and wall-clock measuring) the
+        #: grouping order; ``None`` = inline stable argsort.
+        self._backend = backend
         # Per-walk cost is constant for a fixed P and mode; precompute the
         # serial (1-lane) per-walk duration so the hot path is one multiply.
         # The formula itself lives in KernelModel (single source of truth).
@@ -138,7 +146,10 @@ class _BaseReshuffler:
         n = len(walks)
         if n == 0:
             return 0.0, 0
-        order = np.argsort(partition_ids, kind="stable")
+        if self._backend is not None:
+            order = self._backend.group_order(partition_ids)
+        else:
+            order = np.argsort(partition_ids, kind="stable")
         sorted_parts = partition_ids[order]
         # Guard against corrupted lookups: a negative id would silently wrap
         # into the last partition's counters.

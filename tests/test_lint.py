@@ -7,6 +7,7 @@ import pytest
 
 from repro.analysis import lint_paths, run_lint
 from repro.analysis.lint import (
+    RULE_BACKEND_SIM_TIME,
     RULE_FAILURE_CONSERVATION,
     RULE_FLOAT_EQ,
     RULE_FROZEN_EVENT,
@@ -260,5 +261,58 @@ class TestDeviceFailureConservationRule:
             tmp_path,
             "def drain(self):\n"
             "    self.bus.emit(IterationStarted(iteration=4, partition=0))\n",
+        )
+        assert violations == []
+
+
+class TestNoSimulatedTimeInBackendsRule:
+    def test_seeded_defect_caught_exactly_once(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.gpu.timeline import Timeline\n",
+            name="backends/defect.py",
+        )
+        assert rules_of(violations) == [RULE_BACKEND_SIM_TIME]
+        assert "wall-clock" in violations[0].message
+
+    def test_plain_import_and_device_module_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "import repro.gpu.timeline\nimport repro.gpu.device\n",
+            name="backends/defect.py",
+        )
+        assert rules_of(violations) == [RULE_BACKEND_SIM_TIME] * 2
+
+    def test_from_gpu_package_form_flagged(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.gpu import device\n",
+            name="backends/defect.py",
+        )
+        assert rules_of(violations) == [RULE_BACKEND_SIM_TIME]
+
+    def test_other_gpu_imports_allowed_in_backends(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.gpu.calibration import Calibration\n"
+            "from repro.gpu import cluster\n",
+            name="backends/clean.py",
+        )
+        assert violations == []
+
+    def test_rule_scoped_to_backends_package(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.gpu.timeline import Timeline\n",
+            name="core/engine_helper.py",
+        )
+        assert violations == []
+
+    def test_waiver_suppresses(self, tmp_path):
+        violations = lint_source(
+            tmp_path,
+            "from repro.gpu.timeline import Timeline"
+            "  # lint: allow-no-simulated-time-in-backends\n",
+            name="backends/waived.py",
         )
         assert violations == []
