@@ -1,6 +1,7 @@
 """Multi-pass static-analysis framework (``repro lint``).
 
-Built on a shared per-module symbol table and def-use dataflow core
+Built on a shared per-module symbol table, def-use dataflow core and
+project-wide call graph
 (:mod:`~repro.analysis.static.dataflow`); every pass produces the same
 :class:`~repro.analysis.static.findings.Finding` type, suppressible by
 ``# lint: allow-<rule>`` waivers or the committed baseline file.
@@ -14,11 +15,24 @@ Passes:
   over the cost stack (``--strict``).
 * :mod:`~repro.analysis.static.aliasing` — cross-stage StageContext
   aliasing / unpublished-mutation checking (``--strict``).
+* :mod:`~repro.analysis.static.rngcheck` — interprocedural RNG
+  discipline: raw generators, entropy-derived seeds and unkeyed draw
+  routines reachable from engine/backend code (``--strict``).
+* :mod:`~repro.analysis.static.effects` — observer purity: transitive
+  write effects and re-entrant emission of bus subscribers
+  (``--strict``).
+* :mod:`~repro.analysis.static.protocol` — event-protocol conformance
+  between emit sites, handlers and the event dataclasses
+  (``--strict``).
 """
 
 from repro.analysis.static.aliasing import (
     RULE_UNDECLARED,
     RULE_UNPUBLISHED,
+)
+from repro.analysis.static.effects import (
+    RULE_HANDLER_EMIT,
+    RULE_IMPURE_SUBSCRIBER,
 )
 from repro.analysis.static.findings import Baseline, Finding
 from repro.analysis.static.houserules import (
@@ -27,6 +41,16 @@ from repro.analysis.static.houserules import (
     RULE_FROZEN_EVENT,
     RULE_HANDLER_COVERAGE,
     RULE_RNG,
+)
+from repro.analysis.static.protocol import (
+    RULE_DEVICE_COVERAGE,
+    RULE_UNHANDLED_EVENT,
+    RULE_UNKNOWN_FIELD,
+)
+from repro.analysis.static.rngcheck import (
+    RULE_NONDET_SEED,
+    RULE_RAW_RNG,
+    RULE_UNKEYED_DRAW,
 )
 from repro.analysis.static.runner import (
     DEFAULT_BASELINE,
@@ -49,14 +73,22 @@ __all__ = [
     "PASSES",
     "RULE_BACKEND_SIM_TIME",
     "RULE_CYCLES_SECONDS",
+    "RULE_DEVICE_COVERAGE",
     "RULE_FLOAT_EQ",
     "RULE_FROZEN_EVENT",
     "RULE_HANDLER_COVERAGE",
+    "RULE_HANDLER_EMIT",
+    "RULE_IMPURE_SUBSCRIBER",
+    "RULE_NONDET_SEED",
+    "RULE_RAW_RNG",
     "RULE_RETURN_MISMATCH",
     "RULE_RETURN_UNTYPED",
     "RULE_RNG",
     "RULE_UNDECLARED",
+    "RULE_UNHANDLED_EVENT",
     "RULE_UNIT_MIX",
+    "RULE_UNKEYED_DRAW",
+    "RULE_UNKNOWN_FIELD",
     "RULE_UNPUBLISHED",
     "analyze_paths",
     "lint_paths",

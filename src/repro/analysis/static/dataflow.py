@@ -14,6 +14,13 @@ the tree, built once per run:
   copies of the environment, then merged) and loops (body evaluated
   once — enough for the intraprocedural unit checks, and it guarantees
   each defect site is reported exactly once).
+* :class:`CallGraph` — the project-wide interprocedural layer: one
+  node per function/method, edges resolved from call sites (bare names
+  against module-level functions, ``self.m()`` through the class-shape
+  index's MRO, other attribute calls by method name over the analyzed
+  tree) plus the *bus* edges — a ``bus.emit(Event(...))`` site links to
+  every ``on_<snake(Event)>`` handler, so reachability queries follow
+  control flow through the event bus exactly as the runtime does.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from typing import (
     Optional,
     Sequence,
     Set,
+    Tuple,
     TypeVar,
     Union,
 )
@@ -217,6 +225,44 @@ class SymbolTable:
             return next(iter(annotations))
         return None
 
+    def mro(self, class_name: str) -> List[str]:
+        """Name-resolution order of a class over the analyzed tree.
+
+        Breadth-first over declared bases, restricted to classes the
+        table has seen; external bases (``Protocol``, ABCs from other
+        packages) terminate the walk.
+        """
+        order: List[str] = []
+        queue = [class_name]
+        seen: Set[str] = set()
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            symbol = self.classes.get(name)
+            if symbol is None:
+                continue
+            order.append(name)
+            queue.extend(symbol.bases)
+        return order
+
+    def inherits_from(self, class_name: str, base: str) -> bool:
+        """Whether ``class_name`` transitively declares ``base``."""
+        if class_name == base:
+            return False
+        queue = list(self.classes.get(class_name, ClassSymbol("", "")).bases)
+        seen: Set[str] = set()
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            if name == base:
+                return True
+            queue.extend(self.classes.get(name, ClassSymbol("", "")).bases)
+        return False
+
 
 # ---------------------------------------------------------------------------
 # Flow-sensitive abstract interpretation
@@ -386,3 +432,326 @@ class AbstractInterpreter(Generic[V]):
     def value_from_annotation(self, node: ast.expr) -> Optional[V]:
         """Abstract value carried by a type annotation (domain hook)."""
         return None
+
+
+# ---------------------------------------------------------------------------
+# Import canonicalization
+# ---------------------------------------------------------------------------
+
+def import_aliases(module: ModuleInfo) -> Dict[str, str]:
+    """Map every imported local name to its canonical dotted path.
+
+    ``import numpy as np`` → ``np: numpy``; ``from numpy import random
+    as nprng`` → ``nprng: numpy.random``; ``from repro.core.prng import
+    seeded_rng`` → ``seeded_rng: repro.core.prng.seeded_rng``.  Lets
+    passes recognize aliased uses of a banned (or blessed) module that
+    plain dotted-name matching misses.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else local
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                target = f"{base}.{alias.name}" if base else alias.name
+                aliases[local] = target
+    return aliases
+
+
+def canonical_name(dotted_name: str, aliases: Dict[str, str]) -> str:
+    """Resolve the first segment of a dotted name through import aliases."""
+    if not dotted_name:
+        return dotted_name
+    head, _, rest = dotted_name.partition(".")
+    resolved = aliases.get(head)
+    if resolved is None:
+        return dotted_name
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+# ---------------------------------------------------------------------------
+# Project-wide call graph
+# ---------------------------------------------------------------------------
+
+#: attribute-call names too generic to resolve by name over the tree
+#: (container/stdlib methods; resolving them would wire every class
+#: defining e.g. ``update`` into every caller's reachable set).
+GENERIC_CALL_NAMES = frozenset(
+    {
+        "append",
+        "add",
+        "clear",
+        "copy",
+        "count",
+        "discard",
+        "extend",
+        "format",
+        "get",
+        "index",
+        "insert",
+        "items",
+        "join",
+        "keys",
+        "pop",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "split",
+        "startswith",
+        "endswith",
+        "strip",
+        "update",
+        "values",
+        "astype",
+        "sum",
+        "min",
+        "max",
+        "mean",
+        "reshape",
+        "tolist",
+    }
+)
+
+
+@dataclass
+class CallRef:
+    """One call site inside a function body, pre-resolution."""
+
+    #: ``name`` (bare ``f()``), ``self`` (``self.m()``) or ``attr``
+    #: (any other ``obj.m()``).
+    kind: str
+    name: str
+    line: int
+
+
+@dataclass
+class FunctionNode:
+    """One call-graph node: a function/method plus its outgoing refs."""
+
+    uid: str
+    scope: FunctionScope
+    module: ModuleInfo
+    calls: List[CallRef] = field(default_factory=list)
+    #: event class names emitted on a bus from this body (``<event>``
+    #: when the emitted expression is not a direct constructor call).
+    emits: List[Tuple[str, int]] = field(default_factory=list)
+
+
+def function_uid(module: ModuleInfo, scope: FunctionScope) -> str:
+    return f"{module.rel}::{scope.qualname}"
+
+
+def bus_handler_event(
+    scope: FunctionScope, table: SymbolTable
+) -> Optional[str]:
+    """Event type a function handles via the bus naming convention.
+
+    ``on_<snake(E)>`` for a known event type ``E`` — unless the first
+    parameter's annotation names a *different* type, which marks the
+    method as a direct-call hook that merely shares the naming
+    convention (e.g. a backend's ``on_walks_seeded(walks: WalkArrays)``
+    fed by the engine, not the bus).
+    """
+    name = scope.node.name
+    if not name.startswith("on_"):
+        return None
+    event = next(
+        (e for e in table.event_types if "on_" + snake_case(e) == name),
+        None,
+    )
+    if event is None:
+        return None
+    args = scope.node.args
+    params = [*args.posonlyargs, *args.args]
+    if scope.owner is not None and params and params[0].arg in (
+        "self",
+        "cls",
+    ):
+        params = params[1:]
+    if params:
+        ann = annotation_name(params[0].annotation)
+        if ann is not None and ann not in (event, "EngineEvent", "Any"):
+            return None
+    return event
+
+
+def iter_own_nodes(
+    fn: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> Iterator[ast.AST]:
+    """Every AST node of a function body, excluding nested defs/classes.
+
+    Nested functions and classes are their own :class:`FunctionScope`
+    nodes; attributing their calls to the enclosing function would
+    double-count edges.
+    """
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+
+
+def is_bus_expr(node: ast.expr) -> bool:
+    """Whether an expression conventionally names an event bus."""
+    if isinstance(node, ast.Name):
+        return node.id == "bus" or node.id.endswith("_bus")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "bus" or node.attr.endswith("_bus")
+    return False
+
+
+def emitted_event_name(call: ast.Call) -> str:
+    """Event class constructed by an ``emit(...)`` call, or ``<event>``."""
+    if call.args:
+        arg = call.args[0]
+        if isinstance(arg, ast.Call):
+            return dotted(arg.func).rsplit(".", 1)[-1] or "<event>"
+    return "<event>"
+
+
+class CallGraph:
+    """Interprocedural call resolution over the analyzed tree.
+
+    Resolution is intentionally name-based (no type inference): bare
+    calls bind to module-level functions (same module first, then a
+    global match), constructor calls to ``__init__``, ``self.m()``
+    through the class-shape MRO, and other attribute calls to every
+    class defining that method — except :data:`GENERIC_CALL_NAMES`,
+    whose ubiquity would drown the graph in false edges.  The result
+    over-approximates real control flow, which is the right polarity
+    for reachability gating (a raw RNG is flagged if it *may* run under
+    the engine) and is refined per-pass where precision matters.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: Dict[str, FunctionNode] = {}
+        self._module_funcs: Dict[str, Dict[str, str]] = {}
+        self._global_funcs: Dict[str, List[str]] = {}
+        self._methods: Dict[Tuple[str, str], List[str]] = {}
+        self._methods_by_name: Dict[str, List[str]] = {}
+        self.table: SymbolTable = SymbolTable()
+
+    @classmethod
+    def build(
+        cls, modules: Iterable[ModuleInfo], table: SymbolTable
+    ) -> "CallGraph":
+        graph = cls()
+        graph.table = table
+        for module in modules:
+            for scope in module.functions():
+                node = FunctionNode(function_uid(module, scope), scope, module)
+                graph.nodes[node.uid] = node
+                if scope.owner is None:
+                    graph._module_funcs.setdefault(module.rel, {})[
+                        scope.node.name
+                    ] = node.uid
+                    graph._global_funcs.setdefault(
+                        scope.node.name, []
+                    ).append(node.uid)
+                else:
+                    graph._methods.setdefault(
+                        (scope.owner, scope.node.name), []
+                    ).append(node.uid)
+                    graph._methods_by_name.setdefault(
+                        scope.node.name, []
+                    ).append(node.uid)
+                graph._collect_refs(node)
+        return graph
+
+    def _collect_refs(self, node: FunctionNode) -> None:
+        for sub in iter_own_nodes(node.scope.node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if isinstance(func, ast.Name):
+                node.calls.append(CallRef("name", func.id, sub.lineno))
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "emit" and is_bus_expr(func.value):
+                    node.emits.append((emitted_event_name(sub), sub.lineno))
+                    continue
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                ):
+                    node.calls.append(CallRef("self", func.attr, sub.lineno))
+                else:
+                    node.calls.append(CallRef("attr", func.attr, sub.lineno))
+
+    # -- resolution -----------------------------------------------------
+    def resolve(
+        self, node: FunctionNode, ref: CallRef, dynamic: bool = True
+    ) -> List[str]:
+        """Candidate callee uids for one call site.
+
+        ``dynamic=False`` restricts to the precise edges (bare names and
+        ``self.m()``), for passes where a false edge means a false
+        positive rather than a missed root.
+        """
+        if ref.kind == "name":
+            local = self._module_funcs.get(node.module.rel, {}).get(ref.name)
+            if local is not None:
+                return [local]
+            if ref.name in self.table.classes:
+                return self._method_in_mro(ref.name, "__init__")
+            return list(self._global_funcs.get(ref.name, []))
+        if ref.kind == "self":
+            if node.scope.owner is None:
+                return []
+            return self._method_in_mro(node.scope.owner, ref.name)
+        if not dynamic or ref.name in GENERIC_CALL_NAMES:
+            return []
+        return list(self._methods_by_name.get(ref.name, []))
+
+    def _method_in_mro(self, class_name: str, method: str) -> List[str]:
+        for owner in self.table.mro(class_name):
+            uids = self._methods.get((owner, method))
+            if uids:
+                return list(uids)
+        return []
+
+    def handlers_of(self, event_name: str) -> List[str]:
+        """Uids of every ``on_<snake(event_name)>`` handler in the tree."""
+        handler = "on_" + snake_case(event_name)
+        return list(self._methods_by_name.get(handler, [])) + list(
+            self._global_funcs.get(handler, [])
+        )
+
+    def reachable(
+        self,
+        roots: Iterable[str],
+        dynamic: bool = True,
+        bus_edges: bool = True,
+    ) -> Set[str]:
+        """Every node reachable from ``roots`` (roots included).
+
+        ``bus_edges=True`` follows synchronous event delivery: a node
+        emitting ``E`` reaches every ``on_<snake(E)>`` handler.
+        """
+        seen: Set[str] = set()
+        queue = [uid for uid in roots if uid in self.nodes]
+        while queue:
+            uid = queue.pop()
+            if uid in seen:
+                continue
+            seen.add(uid)
+            node = self.nodes[uid]
+            for ref in node.calls:
+                queue.extend(self.resolve(node, ref, dynamic=dynamic))
+            if bus_edges:
+                for event_name, _ in node.emits:
+                    if event_name != "<event>":
+                        queue.extend(self.handlers_of(event_name))
+        return seen

@@ -96,10 +96,14 @@ class Baseline:
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
-        """Read a baseline file; a missing file is an empty baseline."""
+        """Read a baseline file; a missing or empty file is an empty
+        baseline (``touch lint-baseline.json`` is a valid opt-in)."""
         if not path.exists():
             return cls.empty()
-        payload = json.loads(path.read_text(encoding="utf-8"))
+        text = path.read_text(encoding="utf-8")
+        if not text.strip():
+            return cls.empty()
+        payload = json.loads(text)
         entries: Set[Tuple[str, str, str]] = set()
         for row in payload.get("findings", []):
             entries.add(

@@ -68,6 +68,7 @@ from repro.analysis.static.dataflow import (
     snake_case,
 )
 from repro.analysis.static.findings import Finding
+from repro.core.prng import FACTORY_MODULE_SUFFIX, FACTORY_NAMES
 
 PASS_NAME = "house-rules"
 
@@ -84,8 +85,12 @@ BACKENDS_PACKAGE = "backends/"
 #: module paths banned inside the backends package (simulated time).
 SIMULATED_TIME_MODULES = ("gpu.timeline", "gpu.device")
 
-#: module path (as posix suffix) allowed to construct raw generators.
-RNG_FACTORY_MODULE = "core/prng.py"
+#: module path (as posix suffix) allowed to construct raw generators and
+#: the blessed factory surface — both shared with the interprocedural
+#: ``rng`` pass via :mod:`repro.core.prng` so the two linters can never
+#: disagree about what counts as sanctioned randomness.
+RNG_FACTORY_MODULE = FACTORY_MODULE_SUFFIX
+RNG_FACTORY_NAMES = FACTORY_NAMES
 
 #: identifiers treated as simulated timestamps by ``float-timestamp-eq``.
 TIMESTAMP_NAMES = re.compile(

@@ -2,7 +2,9 @@
 
 ``repro lint`` (default) runs the ported house rules — cheap, zero
 false positives, always on.  ``repro lint --strict`` additionally runs
-the dataflow passes (unit-of-measure, cross-stage aliasing) and gates
+the dataflow passes (unit-of-measure, cross-stage aliasing) and the
+interprocedural call-graph passes (RNG discipline, observer purity,
+event-protocol conformance) and gates
 against the committed suppression baseline: findings already recorded
 in the baseline are reported as suppressed and do not fail the run,
 anything new does.  ``--json`` writes the machine-readable findings
@@ -17,7 +19,14 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.static import aliasing, houserules, unitcheck
+from repro.analysis.static import (
+    aliasing,
+    effects,
+    houserules,
+    protocol,
+    rngcheck,
+    unitcheck,
+)
 from repro.analysis.static.dataflow import (
     ModuleInfo,
     PathInput,
@@ -32,6 +41,9 @@ PASSES: Dict[str, Tuple[PassFn, bool]] = {
     houserules.PASS_NAME: (houserules.run_pass, False),
     unitcheck.PASS_NAME: (unitcheck.run_pass, True),
     aliasing.PASS_NAME: (aliasing.run_pass, True),
+    rngcheck.PASS_NAME: (rngcheck.run_pass, True),
+    effects.PASS_NAME: (effects.run_pass, True),
+    protocol.PASS_NAME: (protocol.run_pass, True),
 }
 
 #: default suppression-baseline location (repo root, committed).

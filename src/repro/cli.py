@@ -146,12 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
              "registry: uniform, alias, inverse, rejection, ...)",
     )
     run.add_argument(
-        "--backend", choices=("simulated", "numba", "multiprocess"),
-        default="simulated",
+        "--backend", default="simulated", metavar="NAME",
         help="execution backend for the kernel inner loops (lighttraffic "
              "only): 'simulated' is the historical NumPy path; 'numba' and "
              "'multiprocess' run real JIT/shared-memory kernels that stay "
-             "bit-identical to it (they force the counter-based RNG)",
+             "bit-identical to it (they force the counter-based RNG); "
+             "validated against the backend registry so plugin-registered "
+             "names work too",
     )
     run.add_argument("--walks", type=int, default=None,
                      help="walk count (default: 2|V|)")
@@ -561,6 +562,16 @@ def cmd_run(args: argparse.Namespace) -> int:
             "--devices", args.system, ("lighttraffic",)
         )
     if args.backend != "simulated":
+        from repro.backends.registry import available_backends
+
+        registered = available_backends()
+        if args.backend not in registered:
+            print(
+                f"--backend {args.backend!r} is not a registered backend; "
+                f"registered backends: {', '.join(registered)}",
+                file=sys.stderr,
+            )
+            return 2
         if args.system != "lighttraffic":
             return _unsupported_engine(
                 "--backend", args.system, ("lighttraffic",)

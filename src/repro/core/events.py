@@ -221,13 +221,15 @@ class DeviceRecoveredWalks(EngineEvent):
 
 
 @dataclass(frozen=True)
-class ShardRebalanced(EngineEvent):
+class ShardRebalanced(EngineEvent):  # lint: allow-event-device-coverage
     """The elastic controller moved partition ownership between shards.
 
-    One event per rebalance operation; the per-pair payload movement is
-    reported through the ordinary ``WalksMigrated`` / ``WalksDelivered``
-    pair so the migration-conservation machinery covers the rebalance
-    path unchanged.
+    One event per rebalance operation; cluster-scoped by design (hence
+    the device-coverage waiver) — a rebalance spans many shards at
+    once, and the per-pair payload movement is reported through the
+    ordinary ``WalksMigrated`` / ``WalksDelivered`` pair so the
+    migration-conservation machinery covers the rebalance path
+    unchanged.
     """
 
     iteration: int

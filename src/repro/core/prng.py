@@ -22,9 +22,26 @@ ordinary seeded ``Generator``.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 import numpy as np
+
+#: The blessed RNG surface of this module, the single source of truth
+#: shared by the static passes (``house-rules`` ``rng-factory`` and the
+#: interprocedural ``rng`` pass): constructing randomness through any
+#: name *not* listed here, anywhere outside this module, is a lint
+#: finding.  Extending the factory surface means extending this tuple —
+#: which is exactly the review point the linters exist to create.
+FACTORY_NAMES: Tuple[str, ...] = (
+    "seeded_rng",
+    "derive_seed",
+    "splitmix64",
+    "CounterRNG",
+)
+
+#: Path suffix identifying this module to the static passes (the one
+#: file allowed to touch ``np.random`` directly).
+FACTORY_MODULE_SUFFIX = "core/prng.py"
 
 #: splitmix64 constants.
 _GAMMA = np.uint64(0x9E3779B97F4A7C15)

@@ -297,5 +297,11 @@ class TestCliSurface:
         assert "--backend" in capsys.readouterr().err
 
     def test_rejects_unknown_backend_name(self, capsys):
-        with pytest.raises(SystemExit):
-            cli.main(["run", "--dataset", "uk-sim", "--backend", "cuda"])
+        rc = cli.main(["run", "--dataset", "uk-sim", "--backend", "cuda"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.out == ""
+        assert "'cuda'" in captured.err
+        # the hint must list every registered name so users can pick one
+        for name in available_backends():
+            assert name in captured.err

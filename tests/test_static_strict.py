@@ -1,6 +1,7 @@
-"""The strict static-analysis passes: seeded unit-mixing and
-stage-aliasing defects are each caught exactly once, waivers and the
-suppression baseline behave, and the real source tree is strict-clean.
+"""The strict static-analysis passes: seeded unit-mixing,
+stage-aliasing, RNG-discipline, observer-purity and event-protocol
+defects are each caught exactly once, waivers and the suppression
+baseline behave, and the real source tree is strict-clean.
 
 Also the unit-consistency regression tests for the two cost paths the
 unit audit singled out (satellite of the static-analysis PR):
@@ -15,11 +16,20 @@ import pytest
 
 from repro.analysis.static import (
     DEFAULT_BASELINE,
+    Baseline,
     RULE_CYCLES_SECONDS,
+    RULE_DEVICE_COVERAGE,
+    RULE_HANDLER_EMIT,
+    RULE_IMPURE_SUBSCRIBER,
+    RULE_NONDET_SEED,
+    RULE_RAW_RNG,
     RULE_RETURN_MISMATCH,
     RULE_RETURN_UNTYPED,
     RULE_UNDECLARED,
+    RULE_UNHANDLED_EVENT,
     RULE_UNIT_MIX,
+    RULE_UNKEYED_DRAW,
+    RULE_UNKNOWN_FIELD,
     RULE_UNPUBLISHED,
     analyze_paths,
     run_lint,
@@ -215,6 +225,292 @@ class TestAliasingPass:
 
 
 # ---------------------------------------------------------------------------
+# Interprocedural RNG-discipline pass
+# ---------------------------------------------------------------------------
+
+
+class TestRngPass:
+    def test_raw_rng_through_helper_and_alias_caught_once(self, tmp_path):
+        # Aliased numpy.random import + construction hidden in a helper:
+        # invisible to the intraprocedural rng-factory rule, caught by
+        # call-graph reachability from the Backend-named root.
+        findings = strict_findings(
+            tmp_path,
+            "from numpy import random as nprng\n"
+            "def _fresh_rng():\n"
+            "    return nprng.default_rng(1234)\n"
+            "class ReplayBackend:\n"
+            "    def advance(self, batch):\n"
+            "        return _fresh_rng()\n",
+        )
+        assert rules_of(findings) == [RULE_RAW_RNG]
+        assert "numpy.random.default_rng" in findings[0].message
+        assert "seeded_rng" in findings[0].message
+
+    def test_raw_rng_waiver_suppresses(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "from numpy import random as nprng\n"
+            "def _fresh_rng():\n"
+            "    return nprng.default_rng(1234)  # lint: allow-raw-rng\n"
+            "class ReplayBackend:\n"
+            "    def advance(self, batch):\n"
+            "        return _fresh_rng()\n",
+        )
+        assert findings == []
+
+    def test_unreachable_raw_rng_is_not_flagged(self, tmp_path):
+        # No engine/backend root reaches the helper: out of scope.
+        findings = strict_findings(
+            tmp_path,
+            "from numpy import random as nprng\n"
+            "def _fresh_rng():\n"
+            "    return nprng.default_rng(1234)\n",
+        )
+        assert findings == []
+
+    def test_time_derived_seed_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "import time\n"
+            "from repro.core.prng import seeded_rng\n"
+            "class WalkEngine:\n"
+            "    def reset(self):\n"
+            "        self._rng = seeded_rng(int(time.time()))\n",
+        )
+        assert rules_of(findings) == [RULE_NONDET_SEED]
+        assert "time.time" in findings[0].message
+
+    def test_constant_seeded_factory_is_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "from repro.core.prng import seeded_rng\n"
+            "class WalkEngine:\n"
+            "    def reset(self, seed):\n"
+            "        self._rng = seeded_rng(seed, stream='reset')\n",
+        )
+        assert findings == []
+
+    def test_unkeyed_draw_caught_once(self, tmp_path):
+        # A backend draw routine missing the step component of the
+        # (seed, walk, step, draw) key tuple.
+        findings = strict_findings(
+            tmp_path,
+            "class TabledBackend:\n"
+            "    def run(self):\n"
+            "        return None\n"
+            "def _lane_draw(seed, walk_id, draw):\n"
+            "    return 0\n",
+        )
+        assert rules_of(findings) == [RULE_UNKEYED_DRAW]
+        assert "step" in findings[0].message
+
+    def test_fully_keyed_draw_is_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "class TabledBackend:\n"
+            "    def run(self):\n"
+            "        return None\n"
+            "def _lane_draw(seed, walk_id, step, draw):\n"
+            "    return 0\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Observer-purity pass
+# ---------------------------------------------------------------------------
+
+_EVENT_PREAMBLE = (
+    "from dataclasses import dataclass\n"
+    "@dataclass(frozen=True)\n"
+    "class EngineEvent:\n"
+    "    pass\n"
+    "@dataclass(frozen=True)\n"
+    "class TickSeen(EngineEvent):\n"
+    "    pass\n"
+)
+
+
+class TestEffectsPass:
+    def test_impure_subscriber_through_helper_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "class Autotuner:\n"
+            "    def __init__(self, ctx):\n"
+            "        self.ctx = ctx\n"
+            "    def on_tick_seen(self, event):\n"
+            "        self._retune()\n"
+            "    def _retune(self):\n"
+            "        self.ctx.batch_size = 64\n",
+        )
+        assert rules_of(findings) == [RULE_IMPURE_SUBSCRIBER]
+        assert "Autotuner.on_tick_seen -> Autotuner._retune" in (
+            findings[0].message
+        )
+        assert "'ctx'" in findings[0].message
+
+    def test_impure_write_through_call_argument(self, tmp_path):
+        # Protected state passed as an argument: the callee's parameter
+        # inherits the protection.
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "def _apply(ctx):\n"
+            "    ctx.depth = 3\n"
+            "class Tuner:\n"
+            "    def __init__(self, ctx):\n"
+            "        self.ctx = ctx\n"
+            "    def on_tick_seen(self, event):\n"
+            "        _apply(self.ctx)\n",
+        )
+        assert rules_of(findings) == [RULE_IMPURE_SUBSCRIBER]
+
+    def test_own_bookkeeping_writes_are_pure(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self.ticks = 0\n"
+            "        self.log = []\n"
+            "    def on_tick_seen(self, event):\n"
+            "        self.ticks += 1\n"
+            "        self.log.append(event)\n",
+        )
+        assert findings == []
+
+    def test_handler_emit_through_helper_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "class Relay:\n"
+            "    def __init__(self, bus):\n"
+            "        self.bus = bus\n"
+            "    def on_tick_seen(self, event):\n"
+            "        self._fanout(event)\n"
+            "    def _fanout(self, event):\n"
+            "        self.bus.emit(event)\n",
+        )
+        assert rules_of(findings) == [RULE_HANDLER_EMIT]
+        assert "Relay.on_tick_seen -> Relay._fanout" in findings[0].message
+
+    def test_non_bus_hook_with_handler_name_is_skipped(self, tmp_path):
+        # An annotated direct-call hook sharing the on_<event> naming
+        # convention is not a subscriber (cf. backends' on_walks_seeded).
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "class Feed:\n"
+            "    pass\n"
+            "class Sink:\n"
+            "    def __init__(self, ctx):\n"
+            "        self.ctx = ctx\n"
+            "    def on_tick_seen(self, batch: Feed):\n"
+            "        self.ctx.depth = 1\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Event-protocol conformance pass
+# ---------------------------------------------------------------------------
+
+
+class TestProtocolPass:
+    def test_unhandled_event_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "@dataclass(frozen=True)\n"
+            "class OrphanSignal(EngineEvent):\n"
+            "    pass\n"
+            "class RelayStage:\n"
+            "    def __init__(self, ctx):\n"
+            "        self.ctx = ctx\n"
+            "    def run(self):\n"
+            "        self.ctx.bus.emit(OrphanSignal())\n"
+            "class TickWatcher:\n"
+            "    def on_tick_seen(self, event):\n"
+            "        self.noted = True\n",
+        )
+        assert rules_of(findings) == [RULE_UNHANDLED_EVENT]
+        assert "'OrphanSignal'" in findings[0].message
+        assert "on_orphan_signal" in findings[0].message
+
+    def test_subscribe_registration_counts_as_handled(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "@dataclass(frozen=True)\n"
+            "class OrphanSignal(EngineEvent):\n"
+            "    pass\n"
+            "class RelayStage:\n"
+            "    def __init__(self, ctx):\n"
+            "        self.ctx = ctx\n"
+            "    def run(self):\n"
+            "        self.ctx.bus.subscribe(OrphanSignal, print)\n"
+            "        self.ctx.bus.emit(OrphanSignal())\n",
+        )
+        assert findings == []
+
+    def test_unknown_event_field_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "@dataclass(frozen=True)\n"
+            "class PayloadStaged(EngineEvent):\n"
+            "    walks: int = 0\n"
+            "class Monitor:\n"
+            "    def __init__(self):\n"
+            "        self.seen = 0\n"
+            "    def on_payload_staged(self, event):\n"
+            "        self.seen = event.walk_count\n",
+        )
+        assert rules_of(findings) == [RULE_UNKNOWN_FIELD]
+        assert "'event.walk_count'" in findings[0].message
+        assert "'PayloadStaged'" in findings[0].message
+
+    def test_declared_field_reads_are_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "@dataclass(frozen=True)\n"
+            "class PayloadStaged(EngineEvent):\n"
+            "    walks: int = 0\n"
+            "class Monitor:\n"
+            "    def __init__(self):\n"
+            "        self.seen = 0\n"
+            "    def on_payload_staged(self, event):\n"
+            "        self.seen = event.walks\n",
+        )
+        assert findings == []
+
+    def test_iteration_event_without_device_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "@dataclass(frozen=True)\n"
+            "class ProbeTick(EngineEvent):\n"
+            "    iteration: int = 0\n",
+        )
+        assert rules_of(findings) == [RULE_DEVICE_COVERAGE]
+        assert "'ProbeTick'" in findings[0].message
+
+    def test_iteration_event_with_device_is_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _EVENT_PREAMBLE
+            + "@dataclass(frozen=True)\n"
+            "class ProbeTick(EngineEvent):\n"
+            "    iteration: int = 0\n"
+            "    device: int = 0\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Baseline + CLI behaviour
 # ---------------------------------------------------------------------------
 
@@ -284,12 +580,83 @@ class TestBaseline:
         payload = json.loads(report.read_text())
         assert payload["strict"] is True
         assert payload["checked_files"] == 1
-        assert payload["passes"] == ["house-rules", "units", "aliasing"]
+        assert payload["passes"] == [
+            "house-rules",
+            "units",
+            "aliasing",
+            "rng",
+            "effects",
+            "protocol",
+        ]
         assert [f["rule"] for f in payload["findings"]] == [RULE_UNIT_MIX]
         assert payload["suppressed"] == []
 
     def test_missing_path_exit_code(self, tmp_path, capsys):
         assert run_lint([str(tmp_path / "nope.py")], strict=True) == 2
+        capsys.readouterr()
+
+
+class TestBaselineRoundTrip:
+    def test_suppression_survives_line_moves(self, tmp_path, capsys):
+        # Baseline keys are (path, rule, message): shifting the finding
+        # down the file must not resurrect it.
+        path = tmp_path / "defect.py"
+        path.write_text(_DEFECT)
+        baseline = tmp_path / "baseline.json"
+        run_lint(
+            [str(path)],
+            strict=True,
+            baseline_path=str(baseline),
+            update_baseline=True,
+        )
+        path.write_text("# a comment pushes everything down\n\n" + _DEFECT)
+        capsys.readouterr()
+        assert (
+            run_lint([str(path)], strict=True, baseline_path=str(baseline))
+            == 0
+        )
+        assert "1 baseline-suppressed" in capsys.readouterr().out
+
+    def test_update_baseline_is_byte_stable(self, tmp_path):
+        path = tmp_path / "defect.py"
+        path.write_text(
+            _DEFECT
+            + "def later(step_cycles: float, busy_seconds: float) -> float:\n"
+            "    return step_cycles - busy_seconds\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        run_lint(
+            [str(path)],
+            strict=True,
+            baseline_path=str(baseline),
+            update_baseline=True,
+        )
+        first = baseline.read_bytes()
+        run_lint(
+            [str(path)],
+            strict=True,
+            baseline_path=str(baseline),
+            update_baseline=True,
+        )
+        assert baseline.read_bytes() == first
+        # sorted keys inside every row and across rows
+        payload = json.loads(first)
+        rows = payload["findings"]
+        assert rows == sorted(
+            rows, key=lambda r: (r["path"], r["rule"], r["message"])
+        )
+        assert all(list(r) == sorted(r) for r in rows)
+
+    def test_empty_baseline_file_parses_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "defect.py"
+        path.write_text(_DEFECT)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("")
+        assert Baseline.load(baseline).entries == set()
+        assert (
+            run_lint([str(path)], strict=True, baseline_path=str(baseline))
+            == 1
+        )
         capsys.readouterr()
 
 
