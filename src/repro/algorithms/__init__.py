@@ -27,7 +27,10 @@ from repro.algorithms.base import (
 )
 from repro.algorithms.uniform import UniformSampling
 from repro.algorithms.pagerank import PageRank
-from repro.algorithms.ppr import PersonalizedPageRank
+from repro.algorithms.ppr import (
+    PersonalizedPageRank,
+    SeedSetPersonalizedPageRank,
+)
 from repro.algorithms.node2vec import Node2Vec
 from repro.algorithms.metapath import MetapathWalk, random_vertex_types
 from repro.algorithms.sampling import AliasTable, rejection_sample
@@ -39,6 +42,7 @@ __all__ = [
     "UniformSampling",
     "PageRank",
     "PersonalizedPageRank",
+    "SeedSetPersonalizedPageRank",
     "Node2Vec",
     "MetapathWalk",
     "random_vertex_types",

@@ -10,7 +10,7 @@ zero-copy scheduling matter, Fig 14).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -97,3 +97,43 @@ class PersonalizedPageRank(RandomWalkAlgorithm):
         # Each step terminates w.p. p, so processed steps per walk are
         # geometric with mean 1/p (the terminating draw is also processed).
         return float(num_walks) / self.stop_prob
+
+
+class SeedSetPersonalizedPageRank(PersonalizedPageRank):
+    """PPR whose walks start from a *seed set* instead of one source.
+
+    The serving front-end's PPR queries carry an explicit seed set (a
+    user's neighborhood, a topic's anchor pages); walks are assigned to
+    seeds round-robin so every seed gets ``ceil(walks / len(seeds))`` or
+    the floor thereof.  The assignment is a pure function of the walk
+    index — no RNG draw — which keeps start vertices identical between a
+    standalone run and the coalesced serve path regardless of the
+    generator handed in.
+    """
+
+    name = "ppr-seedset"
+
+    def __init__(
+        self,
+        sources: Sequence[int],
+        stop_prob: float = 0.15,
+        max_length: int = 10_000,
+    ) -> None:
+        super().__init__(
+            source=None, stop_prob=stop_prob, max_length=max_length
+        )
+        seeds = np.asarray(list(sources), dtype=np.int64)
+        if seeds.size == 0:
+            raise ValueError("seed set must not be empty")
+        if (seeds < 0).any():
+            raise ValueError("seed vertices must be non-negative")
+        self.sources = seeds
+
+    def start_vertices(
+        self, graph: CSRGraph, num_walks: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if int(self.sources.max()) >= graph.num_vertices:
+            raise ValueError("seed vertex out of range")
+        self.visit_counts = np.zeros(graph.num_vertices, dtype=np.int64)
+        picks = np.arange(num_walks, dtype=np.int64) % self.sources.size
+        return self.sources[picks]

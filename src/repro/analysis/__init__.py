@@ -25,6 +25,7 @@ from repro.analysis.violations import (
     RULE_DOUBLE_CONSUME,
     RULE_EVICT_IN_FLIGHT,
     RULE_MIGRATION,
+    RULE_REQUEST_CONSERVATION,
     RULE_RESIDENCY,
     RULE_STALE_OWNER,
     RULE_STREAM_AFFINITY,
@@ -43,6 +44,7 @@ __all__ = [
     "RULE_DOUBLE_CONSUME",
     "RULE_EVICT_IN_FLIGHT",
     "RULE_MIGRATION",
+    "RULE_REQUEST_CONSERVATION",
     "RULE_RESIDENCY",
     "RULE_STALE_OWNER",
     "RULE_STREAM_AFFINITY",

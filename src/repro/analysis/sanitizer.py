@@ -64,6 +64,11 @@ Checked invariants (rule ids in :mod:`repro.analysis.violations`):
                             running on a stale mask after a rebalance
                             or failure is caught at the very next
                             iteration.
+``request-conservation``    every admitted serve query completes exactly
+                            once with exactly its requested walks: no
+                            orphan completions, no double completions,
+                            no wrong walk counts, and a completed run
+                            leaves no admitted query unfinished.
 ==========================  ============================================
 
 Violations are collected (never raised) with a provenance trail of the
@@ -84,6 +89,7 @@ from repro.analysis.violations import (
     RULE_DOUBLE_CONSUME,
     RULE_EVICT_IN_FLIGHT,
     RULE_MIGRATION,
+    RULE_REQUEST_CONSERVATION,
     RULE_RESIDENCY,
     RULE_STALE_OWNER,
     RULE_STREAM_AFFINITY,
@@ -101,6 +107,8 @@ from repro.core.events import (
     GraphServed,
     IterationStarted,
     KernelDispatched,
+    QueryAdmitted,
+    QueryCompleted,
     Reshuffled,
     RunCompleted,
     ShardRebalanced,
@@ -199,6 +207,10 @@ class Sanitizer:
         self._failed_pending: Dict[int, int] = {}
         #: walks recovered per failed source (DeviceRecoveredWalks).
         self._recovered: Dict[int, int] = {}
+        #: requested walk count per admitted serve query (QueryAdmitted).
+        self._admitted_queries: Dict[int, int] = {}
+        #: request ids that have completed (QueryCompleted).
+        self._completed_queries: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -515,11 +527,54 @@ class Sanitizer:
         self._check_conservation("shard rebalance")
         self._check_cross_device()
 
+    def on_query_admitted(self, event: QueryAdmitted) -> None:
+        self._record(f"{event!r}")
+        self.checks += 1
+        if event.request_id in self._admitted_queries:
+            self._violate(
+                RULE_REQUEST_CONSERVATION,
+                f"request {event.request_id} admitted twice (the "
+                f"admission controller re-issued a live request id)",
+            )
+            return
+        self._admitted_queries[event.request_id] = event.walks
+
+    def on_query_completed(self, event: QueryCompleted) -> None:
+        self._record(f"{event!r}")
+        self.checks += 1
+        rid = event.request_id
+        if rid not in self._admitted_queries:
+            self._violate(
+                RULE_REQUEST_CONSERVATION,
+                f"request {rid} completed with {event.walks} walks but "
+                f"was never admitted (orphan walks routed to a phantom "
+                f"request)",
+            )
+            return
+        if rid in self._completed_queries:
+            self._violate(
+                RULE_REQUEST_CONSERVATION,
+                f"request {rid} completed twice (the completion router "
+                f"demultiplexed the same request again)",
+            )
+            return
+        self._completed_queries.add(rid)
+        expected = self._admitted_queries[rid]
+        if event.walks != expected:
+            self._violate(
+                RULE_REQUEST_CONSERVATION,
+                f"request {rid} completed with {event.walks} walks, "
+                f"admitted with {expected} (walks "
+                f"{'lost' if event.walks < expected else 'duplicated'} "
+                f"in the coalesced batch)",
+            )
+
     def on_run_completed(self, event: RunCompleted) -> None:
         self._record(f"{event!r}")
         self._check_conservation("run completion")
         self._check_migration_closed()
         self._check_recovery_closed()
+        self._check_requests_closed()
         if self._expected_walks is not None:
             self.checks += 1
             if event.finished_walks != self._expected_walks:
@@ -684,6 +739,18 @@ class Sanitizer:
                     f"channel {key[0]}->{key[1]} completed the run with "
                     f"{sent} walks sent but {recv} delivered "
                     f"({abs(sent - recv)} {verb} in flight)",
+                )
+
+    def _check_requests_closed(self) -> None:
+        """A completed run may leave no admitted query unfinished."""
+        for rid in sorted(self._admitted_queries):
+            self.checks += 1
+            if rid not in self._completed_queries:
+                self._violate(
+                    RULE_REQUEST_CONSERVATION,
+                    f"request {rid} was admitted with "
+                    f"{self._admitted_queries[rid]} walks but never "
+                    f"completed (dropped completion)",
                 )
 
     # ------------------------------------------------------------------

@@ -61,6 +61,12 @@ RULE_MIGRATION = "migration-conservation"
 #: elastic rebalance moved ownership.
 RULE_STALE_OWNER = "stale-owner-mask"
 
+#: A serve-session query broke request conservation: it completed
+#: without being admitted (orphan walks), completed twice, completed
+#: with a walk count different from what it requested, or a completed
+#: run left admitted queries unfinished (dropped completion).
+RULE_REQUEST_CONSERVATION = "request-conservation"
+
 ALL_RULES = (
     RULE_STREAM_MONOTONIC,
     RULE_STREAM_AFFINITY,
@@ -72,6 +78,7 @@ ALL_RULES = (
     RULE_CROSS_DEVICE,
     RULE_MIGRATION,
     RULE_STALE_OWNER,
+    RULE_REQUEST_CONSERVATION,
 )
 
 

@@ -12,6 +12,13 @@ Commands
     ``table1``/``table2``/``table3``) and print its rows.
 ``generate``
     Generate a synthetic graph and save it (edge list or ``.npz`` CSR).
+``serve``
+    Run a closed-loop walk-serving session: simulated client workers
+    submit typed queries (``ppr``, ``uniform``, ``metapath``,
+    ``node2vec``) against one resident graph, compatible queries are
+    coalesced into shared frontier batches, and per-request
+    queue/service/total latency is reported under the
+    ``request-conservation`` sanitizer rule.
 ``bench samplers``
     Run the transition-sampler microbenchmark (loop vs vectorized alias
     build, node2vec stepping, per-sampler throughput + distribution
@@ -32,6 +39,12 @@ Commands
     wall-clock speedups reported, and the analytic kernel cost model
     cross-validated against the measured per-kernel times.  Writes
     ``BENCH_backends.json``.
+``bench serve``
+    Run the sustained-load serving benchmark: the mixed query workload
+    under closed- and open-loop arrivals at two client-worker counts,
+    p50/p90/p99 latency + throughput per run, with the coalescing
+    parity gate (every coalescible request re-run standalone must match
+    bit-for-bit) enforced inside the bench.  Writes ``BENCH_serve.json``.
 ``lint``
     Run the repo's static-analysis framework
     (:mod:`repro.analysis.static`).  The default pass set is the cheap
@@ -63,6 +76,9 @@ Examples
     python -m repro bench devices --quick --out BENCH_devices.json
     python -m repro bench elastic --quick --out BENCH_elastic.json
     python -m repro bench backends --quick --out BENCH_backends.json
+    python -m repro serve --scale 10 --workers 8 --queries 32
+    python -m repro serve --kinds ppr,uniform --workers 4 --seed 11
+    python -m repro bench serve --quick --out BENCH_serve.json
     python -m repro lint src/repro
     python -m repro lint --strict --json lint-report.json src/repro
 """
@@ -226,6 +242,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated experiment names (default: all)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="closed-loop walk-serving session with query coalescing "
+             "and per-request latency accounting",
+    )
+    serve.add_argument("--scale", type=int, default=10,
+                       help="rmat scale of the resident graph")
+    serve.add_argument("--edge-factor", type=int, default=8)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="simulated concurrent client workers")
+    serve.add_argument("--queries", type=int, default=16,
+                       help="total queries across all workers")
+    serve.add_argument(
+        "--kinds", default=None, metavar="KIND[,KIND...]",
+        help="comma-separated query kinds the workload cycles through "
+             "(default: all kinds)",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--max-batch-walks", type=int, default=512,
+                       help="walk budget of one coalesced batch")
+
     bench = sub.add_parser(
         "bench", help="performance microbenchmarks with JSON output"
     )
@@ -317,6 +354,30 @@ def build_parser() -> argparse.ArgumentParser:
     backends.add_argument(
         "--no-check", action="store_true",
         help="report without failing on identity/speedup violations",
+    )
+    bench_serve = bench_sub.add_parser(
+        "serve",
+        help="sustained-load serving benchmark: open/closed-loop latency "
+             "percentiles + throughput with the coalescing parity gate",
+    )
+    bench_serve.add_argument(
+        "--quick", action="store_true",
+        help="small workload for CI smoke runs (latency is structural-"
+             "checked only)",
+    )
+    bench_serve.add_argument("--scale", type=int, default=10,
+                             help="rmat scale of the benchmark workload")
+    bench_serve.add_argument("--edge-factor", type=int, default=8)
+    bench_serve.add_argument("--queries", type=int, default=None,
+                             help="query count (default: workload-sized)")
+    bench_serve.add_argument("--seed", type=int, default=7)
+    bench_serve.add_argument(
+        "--out", default="BENCH_serve.json",
+        help="results JSON path ('-' to skip the file and print only)",
+    )
+    bench_serve.add_argument(
+        "--no-check", action="store_true",
+        help="report without failing on parity/conservation violations",
     )
 
     lint = sub.add_parser(
@@ -717,7 +778,100 @@ def cmd_experiment(name: str) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.graph.generators import rmat
+    from repro.serve import (
+        QUERY_KINDS,
+        ServeSession,
+        default_workload,
+        make_vertex_types,
+    )
+
+    kinds = (
+        tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        if args.kinds is not None
+        else QUERY_KINDS
+    )
+    for kind in kinds:
+        if kind not in QUERY_KINDS:
+            return _unsupported_engine(
+                f"--kinds {kind}", "serve", QUERY_KINDS
+            )
+    graph = rmat(
+        scale=args.scale, edge_factor=args.edge_factor, seed=args.seed
+    )
+    config = harness.bench_engine_config(args.seed, quick=args.scale <= 8)
+    try:
+        session = ServeSession(
+            graph,
+            config,
+            workers=args.workers,
+            max_batch_walks=args.max_batch_walks,
+            vertex_types=make_vertex_types(graph, args.seed),
+        )
+        workload = default_workload(
+            graph, kinds=kinds, queries=args.queries, seed=args.seed
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    report = session.run(workload)
+    summary = report.summary_dict()
+    latency = summary["latency"]
+    print(
+        f"served {summary['queries']} queries "
+        f"({summary['walks_served']} walks) on {graph.name or 'rmat'} "
+        f"with {args.workers} workers: {summary['batches']} batches, "
+        f"{summary['coalesced_queries']} coalesced, "
+        f"makespan {report.makespan * 1e3:.3f} ms"
+    )
+    for name in ("queue_seconds", "service_seconds", "total_seconds"):
+        series = latency[name]  # type: ignore[index]
+        print(
+            f"  {name:16s} p50={series['p50'] * 1e3:8.3f} ms "
+            f"p90={series['p90'] * 1e3:8.3f} ms "
+            f"p99={series['p99'] * 1e3:8.3f} ms"
+        )
+    throughput = summary["throughput"]
+    print(
+        f"  throughput: {throughput['queries_per_second']:.1f} queries/s, "  # type: ignore[index]
+        f"{throughput['walks_per_second']:.1f} walks/s"  # type: ignore[index]
+    )
+    if report.sanitizer is not None:
+        clean = bool(report.sanitizer.get("clean", False))
+        print(
+            "  sanitizer: "
+            + ("clean" if clean else "VIOLATIONS DETECTED")
+            + (
+                ""
+                if report.engine_sanitizers_clean
+                else " (engine runs DIRTY)"
+            )
+        )
+        if not clean or not report.engine_sanitizers_clean:
+            return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_target == "serve":
+        from repro.bench import serve as bench_serve
+
+        results = bench_serve.run_bench(
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            queries=args.queries,
+            seed=args.seed,
+            quick=args.quick,
+        )
+        print(bench_serve.format_summary(results))
+        if args.out != "-":
+            bench_serve.write_results(results, args.out)
+            print(f"wrote {args.out}")
+        if not args.no_check and not results["checks"]["all_ok"]:
+            print("serve benchmark checks FAILED", file=sys.stderr)
+            return 1
+        return 0
     if args.bench_target == "backends":
         from repro.bench import backends as bench_backends
 
@@ -851,6 +1005,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         write_report(args.out, only=only)
         print(f"wrote report to {args.out}")
         return 0
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "lint":

@@ -110,13 +110,20 @@ class LightTrafficEngine:
         """The run's RNG (sequential stream or counter-based Philox)."""
         cfg = self.config
         if cfg.rng_mode == "counter":
-            from repro.core.prng import CounterRNG
+            from repro.core.prng import CounterRNG, TenantCounterRNG
 
             if getattr(self.algorithm, "uses_subset_draws", False):
                 raise ValueError(
                     "rng_mode='counter' does not support algorithms with "
                     "subset redraws (node2vec, rejection-sampled weights)"
                 )
+            # Coalesced serve batches carry per-lane (query seed, local
+            # walk id) tables so every query replays bit-identically to
+            # its standalone run regardless of batching.
+            lanes = getattr(self.algorithm, "tenant_lanes", None)
+            if lanes is not None:
+                lane_seeds, lane_locals = lanes
+                return TenantCounterRNG(cfg.seed, lane_seeds, lane_locals)
             return CounterRNG(cfg.seed)
         return seeded_rng(cfg.seed)
 

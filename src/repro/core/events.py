@@ -238,6 +238,45 @@ class ShardRebalanced(EngineEvent):  # lint: allow-event-device-coverage
 
 
 @dataclass(frozen=True)
+class QueryAdmitted(EngineEvent):
+    """The serve front-end admitted one client query into a batch.
+
+    Emitted by the admission controller on the serve session's bus the
+    moment a query leaves its client and joins the pending frontier.
+    ``request_id`` is unique within the session, ``walks`` the number of
+    walks the query asked for, and ``arrival`` the simulated submission
+    time.  Session-scoped (no iteration/device identity): a query spans
+    whole engine runs, not shard iterations.
+    """
+
+    request_id: int
+    kind: str
+    walks: int
+    arrival: float = 0.0
+
+
+@dataclass(frozen=True)
+class QueryCompleted(EngineEvent):
+    """All walks of one admitted query finished and were routed back.
+
+    Emitted by the completion router after demultiplexing a finished
+    coalesced batch.  ``walks`` is the number of walks actually routed
+    to the request (the sanitizer's request-conservation rule audits it
+    against the admitted count), ``batch`` the coalesced batch index the
+    query rode in, and the three latency fields satisfy
+    ``queue_seconds + service_seconds == total_seconds`` exactly.
+    """
+
+    request_id: int
+    kind: str
+    walks: int
+    batch: int = 0
+    queue_seconds: float = 0.0
+    service_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
 class RunCompleted(EngineEvent):
     """The run drained every walk; carries the end-of-run totals."""
 
@@ -263,6 +302,8 @@ EVENT_TYPES = (
     DeviceFailed,
     DeviceRecoveredWalks,
     ShardRebalanced,
+    QueryAdmitted,
+    QueryCompleted,
     RunCompleted,
 )
 

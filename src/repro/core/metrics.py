@@ -32,6 +32,8 @@ from repro.core.events import (
     GraphServed,
     IterationStarted,
     KernelDispatched,
+    QueryAdmitted,
+    QueryCompleted,
     Reshuffled,
     RunCompleted,
     ShardRebalanced,
@@ -145,6 +147,13 @@ class MetricsCollector:
         self.runs_completed = 0
         self.rebalances = 0
         self.total_time = 0.0
+        self.queries_admitted = 0
+        self.queries_completed = 0
+        self.queries_by_kind: Dict[str, int] = {}
+        self.query_walks_served = 0
+        self.query_queue_seconds = 0.0
+        self.query_service_seconds = 0.0
+        self.query_total_seconds = 0.0
 
     def _partition(self, index: int) -> PartitionMetrics:
         metrics = self.partitions.get(index)
@@ -211,6 +220,19 @@ class MetricsCollector:
     def on_shard_rebalanced(self, event: ShardRebalanced) -> None:
         self.rebalances += 1
 
+    def on_query_admitted(self, event: QueryAdmitted) -> None:
+        self.queries_admitted += 1
+        self.queries_by_kind[event.kind] = (
+            self.queries_by_kind.get(event.kind, 0) + 1
+        )
+
+    def on_query_completed(self, event: QueryCompleted) -> None:
+        self.queries_completed += 1
+        self.query_walks_served += event.walks
+        self.query_queue_seconds += event.queue_seconds
+        self.query_service_seconds += event.service_seconds
+        self.query_total_seconds += event.total_seconds
+
     def on_reshuffled(self, event: Reshuffled) -> None:
         self._partition(event.partition).compute_seconds += event.seconds
 
@@ -254,6 +276,15 @@ class MetricsCollector:
             "total_time": self.total_time,
             "preemption_fraction": self.preemption_fraction,
             "serve_mode_totals": self.serve_mode_totals(),
+            "queries": {
+                "admitted": self.queries_admitted,
+                "completed": self.queries_completed,
+                "by_kind": dict(sorted(self.queries_by_kind.items())),
+                "walks_served": self.query_walks_served,
+                "queue_seconds": self.query_queue_seconds,
+                "service_seconds": self.query_service_seconds,
+                "total_seconds": self.query_total_seconds,
+            },
             "partitions": {
                 str(index): metrics.as_dict()
                 for index, metrics in sorted(self.partitions.items())
@@ -375,6 +406,48 @@ def prometheus_text(
     )
     for mode, count in sorted(serve_modes.items()):  # type: ignore[union-attr]
         writer.sample(name, int(count), {"mode": str(mode)})
+
+    queries = snapshot.get("queries") or {}
+    if queries:
+        name = writer.family(
+            "queries_admitted_total", "counter", "Serve queries admitted."
+        )
+        writer.sample(name, int(queries.get("admitted", 0)))  # type: ignore[union-attr]
+        name = writer.family(
+            "queries_completed_total", "counter", "Serve queries completed."
+        )
+        writer.sample(name, int(queries.get("completed", 0)))  # type: ignore[union-attr]
+        name = writer.family(
+            "queries_by_kind_total", "counter", "Serve queries by kind."
+        )
+        by_kind = queries.get("by_kind") or {}  # type: ignore[union-attr]
+        for kind, count in sorted(by_kind.items()):  # type: ignore[union-attr]
+            writer.sample(name, int(count), {"kind": str(kind)})
+        name = writer.family(
+            "query_walks_served_total",
+            "counter",
+            "Walks routed back to completed queries.",
+        )
+        writer.sample(name, int(queries.get("walks_served", 0)))  # type: ignore[union-attr]
+        for key, metric, help_text in (
+            (
+                "queue_seconds",
+                "query_queue_seconds_total",
+                "Simulated queue time summed over completed queries.",
+            ),
+            (
+                "service_seconds",
+                "query_service_seconds_total",
+                "Simulated service time summed over completed queries.",
+            ),
+            (
+                "total_seconds",
+                "query_total_seconds_total",
+                "Simulated total latency summed over completed queries.",
+            ),
+        ):
+            name = writer.family(metric, "counter", help_text)
+            writer.sample(name, float(queries.get(key, 0.0)))  # type: ignore[union-attr]
 
     devices = snapshot.get("devices") or {}
     device_items = sorted(

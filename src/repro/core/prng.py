@@ -37,6 +37,7 @@ FACTORY_NAMES: Tuple[str, ...] = (
     "derive_seed",
     "splitmix64",
     "CounterRNG",
+    "TenantCounterRNG",
 )
 
 #: Path suffix identifying this module to the static passes (the one
@@ -182,3 +183,74 @@ class CounterRNG:
         draws = self._uint64(int(size))
         scaled = (draws >> np.uint64(11)).astype(np.float64) * (2.0 ** -53)
         return (np.int64(low) + (scaled * span).astype(np.int64)).astype(dtype)
+
+
+class TenantCounterRNG(CounterRNG):
+    """Counter RNG whose key space is partitioned per tenant (per query).
+
+    The serving front-end coalesces walks of many independent queries
+    into one engine run.  Bit-identical replay per *query* requires each
+    lane to hash exactly the key it would hash in a standalone
+    ``CounterRNG(query_seed)`` run: ``(query_seed, local_walk_id, step,
+    draw)``.  This subclass carries two side tables indexed by the
+    coalesced run's *global* walk id — the owning query's seed and the
+    walk's id local to that query — and substitutes them into the key
+    whenever the kernel loop binds a context.  Context-free
+    initialization draws keep the base-class fallback generator; the
+    coalesced wrapper never uses it (start vertices are drawn per query
+    from each query's own seeded stream).
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int],
+        lane_seeds: np.ndarray,
+        lane_locals: np.ndarray,
+    ) -> None:
+        super().__init__(seed)
+        lane_seeds = np.asarray(lane_seeds, dtype=np.uint64)
+        lane_locals = np.asarray(lane_locals, dtype=np.uint64)
+        if lane_seeds.shape != lane_locals.shape:
+            raise ValueError(
+                "lane_seeds and lane_locals must have identical shapes"
+            )
+        self._lane_seeds = lane_seeds
+        self._lane_locals = lane_locals
+        self._ctx_seeds: Optional[np.ndarray] = None
+        self._ctx_locals: Optional[np.ndarray] = None
+
+    def set_context(self, ids: np.ndarray, steps: np.ndarray) -> None:
+        gids = ids.astype(np.int64, copy=False)
+        if gids.size and int(gids.max()) >= self._lane_seeds.size:
+            raise ValueError(
+                f"walk id {int(gids.max())} beyond the tenant lane table "
+                f"({self._lane_seeds.size} lanes)"
+            )
+        self._ctx_seeds = self._lane_seeds[gids]
+        self._ctx_locals = self._lane_locals[gids]
+        super().set_context(ids, steps)
+
+    def clear_context(self) -> None:
+        self._ctx_seeds = None
+        self._ctx_locals = None
+        super().clear_context()
+
+    def _uint64(self, size: int) -> np.ndarray:
+        if self._ids is None or self._ctx_seeds is None:
+            raise RuntimeError("CounterRNG draw without walk context")
+        if size != self._ids.size:
+            raise ValueError(
+                f"counter draws must cover all {self._ids.size} context "
+                f"lanes, got size={size}"
+            )
+        if self._steps is None:
+            raise RuntimeError("CounterRNG draw without walk context")
+        with np.errstate(over="ignore"):
+            key = (
+                self._ctx_seeds
+                + splitmix64(self._ctx_locals)
+                + splitmix64(self._steps + np.uint64(0x632BE59BD9B4E019))
+                + np.uint64(self._draw) * _GAMMA
+            )
+        self._draw += 1
+        return splitmix64(key)

@@ -24,6 +24,8 @@ if TYPE_CHECKING:
         GraphServed,
         IterationStarted,
         KernelDispatched,
+        QueryAdmitted,
+        QueryCompleted,
         RunCompleted,
         ShardRebalanced,
         WalksMigrated,
@@ -76,6 +78,10 @@ class RunStats:
     rebalances: int = 0
     #: pending walks handed off between shards during rebalances.
     walks_rebalanced: int = 0
+    #: serve-session queries admitted by the front-end (0 = batch run).
+    queries_admitted: int = 0
+    #: serve-session queries whose walks were routed back to the client.
+    queries_completed: int = 0
     total_time: float = 0.0
     breakdown: Dict[str, float] = field(default_factory=dict)
     notes: str = ""
@@ -202,6 +208,12 @@ class StatsCollector:
         self, event: "DeviceRecoveredWalks"
     ) -> None:
         self.stats.walks_recovered += event.walks
+
+    def on_query_admitted(self, event: "QueryAdmitted") -> None:
+        self.stats.queries_admitted += 1
+
+    def on_query_completed(self, event: "QueryCompleted") -> None:
+        self.stats.queries_completed += 1
 
     def on_shard_rebalanced(self, event: "ShardRebalanced") -> None:
         self.stats.rebalances += 1

@@ -431,3 +431,37 @@ class TestElasticRunFlags:
         )
         assert code == 2
         assert "bad device-spec item" in capsys.readouterr().err
+
+
+class TestServeCLI:
+    def test_serve_closed_loop_session(self, capsys):
+        code = main(
+            ["serve", "--scale", "8", "--workers", "4",
+             "--queries", "8", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 8 queries" in out
+        assert "p99" in out
+        assert "sanitizer: clean" in out
+
+    def test_serve_kind_subset(self, capsys):
+        code = main(
+            ["serve", "--scale", "8", "--queries", "4",
+             "--kinds", "ppr,uniform"]
+        )
+        assert code == 0
+        assert "served 4 queries" in capsys.readouterr().out
+
+    def test_serve_rejects_unknown_kind(self, capsys):
+        code = main(["serve", "--scale", "8", "--kinds", "bogus"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "--kinds bogus is not supported" in captured.err
+        assert "supported engines:" in captured.err
+        assert captured.out == ""
+
+    def test_serve_rejects_bad_worker_count(self, capsys):
+        code = main(["serve", "--scale", "8", "--workers", "0"])
+        assert code == 2
+        assert "workers must be >= 1" in capsys.readouterr().err

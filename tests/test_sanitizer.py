@@ -22,6 +22,7 @@ from repro.analysis import (
     RULE_DOUBLE_CONSUME,
     RULE_EVICT_IN_FLIGHT,
     RULE_MIGRATION,
+    RULE_REQUEST_CONSERVATION,
     RULE_STALE_OWNER,
     RULE_RESIDENCY,
     RULE_STREAM_AFFINITY,
@@ -42,6 +43,8 @@ from repro.core.events import (
     GraphServed,
     IterationStarted,
     KernelDispatched,
+    QueryAdmitted,
+    QueryCompleted,
     Reshuffled,
     RunCompleted,
     ShardRebalanced,
@@ -502,3 +505,74 @@ class TestElasticFaults:
                                  walks_moved=3))
         sanitizer.unbind()
         one_violation(sanitizer, RULE_CROSS_DEVICE)
+
+
+class TestRequestConservation:
+    """The serving front-end's request-conservation rule.
+
+    Every admitted query must complete exactly once with exactly its
+    requested walks before the session's ``RunCompleted``; each
+    injected routing fault yields exactly one classified violation.
+    """
+
+    @staticmethod
+    def _session():
+        sanitizer = Sanitizer()
+        bus = EventBus()
+        bus.attach(sanitizer)
+        return sanitizer, bus
+
+    def test_clean_request_lifecycle(self):
+        sanitizer, bus = self._session()
+        bus.emit(QueryAdmitted(request_id=0, kind="ppr", walks=8))
+        bus.emit(QueryAdmitted(request_id=1, kind="uniform", walks=4))
+        bus.emit(QueryCompleted(request_id=1, kind="uniform", walks=4))
+        bus.emit(QueryCompleted(request_id=0, kind="ppr", walks=8))
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=12))
+        assert sanitizer.clean, sanitizer.format_report()
+        assert sanitizer.checks >= 4
+
+    def test_dropped_completion_caught(self):
+        sanitizer, bus = self._session()
+        bus.emit(QueryAdmitted(request_id=0, kind="ppr", walks=8))
+        # The session finishes without ever routing request 0 back.
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=0))
+        violation = one_violation(sanitizer, RULE_REQUEST_CONSERVATION)
+        assert "never completed" in violation.message
+
+    def test_double_completion_caught(self):
+        sanitizer, bus = self._session()
+        bus.emit(QueryAdmitted(request_id=3, kind="metapath", walks=5))
+        bus.emit(QueryCompleted(request_id=3, kind="metapath", walks=5))
+        # The completion router demultiplexes the same request again.
+        bus.emit(QueryCompleted(request_id=3, kind="metapath", walks=5))
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=10))
+        violation = one_violation(sanitizer, RULE_REQUEST_CONSERVATION)
+        assert "completed twice" in violation.message
+
+    def test_orphan_completion_caught(self):
+        sanitizer, bus = self._session()
+        # Walks routed to a request id that was never admitted.
+        bus.emit(QueryCompleted(request_id=7, kind="node2vec", walks=6))
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=6))
+        violation = one_violation(sanitizer, RULE_REQUEST_CONSERVATION)
+        assert "never admitted" in violation.message
+
+    def test_lost_walks_in_batch_caught(self):
+        sanitizer, bus = self._session()
+        bus.emit(QueryAdmitted(request_id=0, kind="ppr", walks=8))
+        # The coalesced batch routed back fewer walks than requested.
+        bus.emit(QueryCompleted(request_id=0, kind="ppr", walks=5))
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=5))
+        violation = one_violation(sanitizer, RULE_REQUEST_CONSERVATION)
+        assert "lost" in violation.message
+
+    def test_readmitted_request_id_caught(self):
+        sanitizer, bus = self._session()
+        bus.emit(QueryAdmitted(request_id=2, kind="uniform", walks=4))
+        # The admission controller re-issues a live request id.
+        bus.emit(QueryAdmitted(request_id=2, kind="uniform", walks=4))
+        bus.emit(QueryCompleted(request_id=2, kind="uniform", walks=4))
+        bus.emit(RunCompleted(total_time=1.0, finished_walks=4))
+        violation = one_violation(sanitizer, RULE_REQUEST_CONSERVATION)
+        assert "admitted twice" in violation.message

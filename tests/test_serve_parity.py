@@ -1,0 +1,221 @@
+"""Coalesced serving is bit-identical per request to standalone runs.
+
+The serving front-end's central contract: a query that rides a shared
+coalesced batch receives *exactly* the walks it would have received from
+a standalone engine run seeded with its own derived seed — final
+vertices and per-walk step counts, bit for bit.  Two layers pin it:
+
+* direct :class:`~repro.serve.batch.CoalescedBatch` parity per query
+  kind and transition sampler, against
+  :func:`~repro.serve.batch.run_standalone`;
+* session-level parity — every request routed by a mixed-workload
+  :class:`~repro.serve.session.ServeSession` replays standalone from its
+  :class:`~repro.serve.session.RequestResult` seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import LightTrafficEngine
+from repro.graph.generators import rmat, with_random_weights
+from repro.serve import (
+    CoalescedBatch,
+    EmbeddingQuery,
+    MetapathQuery,
+    PPRQuery,
+    ServeSession,
+    UniformQuery,
+    default_workload,
+    make_vertex_types,
+    run_standalone,
+)
+
+
+@pytest.fixture(scope="module")
+def serve_graph():
+    """Weighted power-law graph shared by every parity case."""
+    graph = rmat(scale=9, edge_factor=6, seed=7, name="serve-parity")
+    return with_random_weights(graph, seed=11)
+
+
+@pytest.fixture(scope="module")
+def serve_types(serve_graph):
+    return make_vertex_types(serve_graph, seed=7)
+
+
+@pytest.fixture()
+def serve_config():
+    return EngineConfig(
+        partition_bytes=2048,
+        batch_walks=32,
+        graph_pool_partitions=4,
+        walk_pool_walks=256,
+        seed=123,
+        sanitize=True,
+    )
+
+
+def coalescible_cases():
+    return [
+        pytest.param(
+            lambda walks: PPRQuery(
+                walks=walks, sources=(1, 5, 9), max_length=20
+            ),
+            id="ppr",
+        ),
+        pytest.param(
+            lambda walks: UniformQuery(walks=walks, length=10),
+            id="uniform-unweighted",
+        ),
+        pytest.param(
+            lambda walks: UniformQuery(
+                walks=walks, length=10, weighted=True, sampler="alias"
+            ),
+            id="uniform-alias",
+        ),
+        pytest.param(
+            lambda walks: UniformQuery(
+                walks=walks, length=10, weighted=True, sampler="inverse"
+            ),
+            id="uniform-inverse",
+        ),
+        pytest.param(
+            lambda walks: MetapathQuery(
+                walks=walks, metapath=(0, 1), length=10
+            ),
+            id="metapath",
+        ),
+    ]
+
+
+class TestCoalescedBatchParity:
+    @pytest.mark.parametrize("make_query", coalescible_cases())
+    def test_two_query_batch_matches_standalone(
+        self, serve_graph, serve_types, serve_config, make_query
+    ):
+        entries = [(make_query(9), 101), (make_query(6), 202)]
+        batch = CoalescedBatch(
+            serve_graph, entries, vertex_types=serve_types
+        )
+        cfg = serve_config.with_options(seed=999, rng_mode="counter")
+        stats = LightTrafficEngine(serve_graph, batch, cfg).run(
+            batch.total_walks
+        )
+        assert stats.sanitizer["clean"]
+        for index, (query, seed) in enumerate(entries):
+            solo = run_standalone(
+                serve_graph, query, seed, serve_config,
+                vertex_types=serve_types,
+            )
+            lane = batch.lane_slice(index)
+            np.testing.assert_array_equal(
+                batch.final_vertices[lane], solo.final_vertices
+            )
+            np.testing.assert_array_equal(
+                batch.steps_taken[lane], solo.steps_taken
+            )
+            # Every lane actually terminated and was routed.
+            assert (batch.final_vertices[lane] >= 0).all()
+
+    def test_batch_engine_seed_is_irrelevant(
+        self, serve_graph, serve_types, serve_config
+    ):
+        """Per-lane keying makes the batch engine's own seed inert."""
+        entries = [
+            (PPRQuery(walks=7, sources=(2, 4), max_length=16), 31),
+            (PPRQuery(walks=5, sources=(8,), max_length=16), 32),
+        ]
+        outcomes = []
+        for engine_seed in (1, 77777):
+            batch = CoalescedBatch(
+                serve_graph, entries, vertex_types=serve_types
+            )
+            cfg = serve_config.with_options(
+                seed=engine_seed, rng_mode="counter"
+            )
+            LightTrafficEngine(serve_graph, batch, cfg).run(
+                batch.total_walks
+            )
+            outcomes.append(
+                (batch.final_vertices.copy(), batch.steps_taken.copy())
+            )
+        np.testing.assert_array_equal(outcomes[0][0], outcomes[1][0])
+        np.testing.assert_array_equal(outcomes[0][1], outcomes[1][1])
+
+    def test_mixed_batch_keys_rejected(self, serve_graph, serve_config):
+        entries = [
+            (UniformQuery(walks=4, length=10), 1),
+            (UniformQuery(walks=4, length=12), 2),
+        ]
+        with pytest.raises(ValueError, match="batch key"):
+            CoalescedBatch(serve_graph, entries)
+
+    def test_subset_draw_queries_rejected(self, serve_graph):
+        rejection = UniformQuery(
+            walks=4, length=8, weighted=True, sampler="rejection"
+        )
+        assert not rejection.coalescible
+        with pytest.raises(ValueError, match="coalesced"):
+            CoalescedBatch(serve_graph, [(rejection, 1)])
+        assert not EmbeddingQuery(walks=4, length=8).coalescible
+
+
+class TestSessionParity:
+    def test_every_routed_request_replays_standalone(
+        self, serve_graph, serve_types, serve_config
+    ):
+        workload = default_workload(serve_graph, queries=12, seed=5)
+        session = ServeSession(
+            serve_graph,
+            serve_config,
+            workers=6,
+            vertex_types=serve_types,
+        )
+        report = session.run(workload)
+        assert len(report.results) == len(workload)
+        assert report.coalesced_queries > 0
+        seeds = {r.seed for r in report.results}
+        assert len(seeds) == len(report.results)
+        for result in report.results:
+            solo = run_standalone(
+                serve_graph,
+                result.query,
+                result.seed,
+                serve_config,
+                vertex_types=serve_types,
+            )
+            np.testing.assert_array_equal(
+                result.final_vertices, solo.final_vertices
+            )
+            np.testing.assert_array_equal(
+                result.steps_taken, solo.steps_taken
+            )
+
+    def test_parity_survives_batch_composition_changes(
+        self, serve_graph, serve_types, serve_config
+    ):
+        """Worker count reshapes batches; per-request results do not move."""
+        workload = default_workload(
+            serve_graph, kinds=("ppr", "uniform"), queries=8, seed=3
+        )
+        outcomes = {}
+        for workers in (1, 8):
+            report = ServeSession(
+                serve_graph,
+                serve_config,
+                workers=workers,
+                vertex_types=serve_types,
+            ).run(workload)
+            outcomes[workers] = {
+                r.request_id: (r.final_vertices, r.steps_taken)
+                for r in report.results
+            }
+        assert set(outcomes[1]) == set(outcomes[8])
+        for rid in outcomes[1]:
+            np.testing.assert_array_equal(
+                outcomes[1][rid][0], outcomes[8][rid][0]
+            )
+            np.testing.assert_array_equal(
+                outcomes[1][rid][1], outcomes[8][rid][1]
+            )
