@@ -24,6 +24,19 @@ Passes:
 * :mod:`~repro.analysis.static.protocol` — event-protocol conformance
   between emit sites, handlers and the event dataclasses
   (``--strict``).
+* :mod:`~repro.analysis.static.typestate` — resource-lifecycle
+  conformance against declarative protocol state machines (backend
+  bind/seed/advance/close, SharedMemory create/close/unlink, serve
+  sessions, bus subscribe-before-emit) plus exception-path leak
+  checking (``--strict``).
+* :mod:`~repro.analysis.static.taint` — client-input flow checking
+  from query fields and CLI arguments to allocation sizes, seed
+  derivation and CSR indexing, with ``__post_init__`` validators and
+  ``validated()`` as sanitizers (``--strict``).
+
+``repro lint --strict --sarif PATH`` additionally writes the findings
+as a SARIF 2.1.0 log (:mod:`~repro.analysis.static.sarif`) for GitHub
+code-scanning upload.
 """
 
 from repro.analysis.static.aliasing import (
@@ -59,6 +72,17 @@ from repro.analysis.static.runner import (
     lint_paths,
     run_lint,
 )
+from repro.analysis.static.sarif import sarif_log, validate_sarif, write_sarif
+from repro.analysis.static.taint import (
+    RULE_TAINTED_INDEX,
+    RULE_TAINTED_SEED,
+    RULE_UNVALIDATED_SIZE,
+)
+from repro.analysis.static.typestate import (
+    RULE_LEAKED_RESOURCE,
+    RULE_TYPESTATE_ORDER,
+    RULE_USE_AFTER_CLOSE,
+)
 from repro.analysis.static.unitcheck import (
     RULE_CYCLES_SECONDS,
     RULE_RETURN_MISMATCH,
@@ -79,18 +103,27 @@ __all__ = [
     "RULE_HANDLER_COVERAGE",
     "RULE_HANDLER_EMIT",
     "RULE_IMPURE_SUBSCRIBER",
+    "RULE_LEAKED_RESOURCE",
     "RULE_NONDET_SEED",
     "RULE_RAW_RNG",
     "RULE_RETURN_MISMATCH",
     "RULE_RETURN_UNTYPED",
     "RULE_RNG",
+    "RULE_TAINTED_INDEX",
+    "RULE_TAINTED_SEED",
+    "RULE_TYPESTATE_ORDER",
     "RULE_UNDECLARED",
     "RULE_UNHANDLED_EVENT",
     "RULE_UNIT_MIX",
     "RULE_UNKEYED_DRAW",
     "RULE_UNKNOWN_FIELD",
     "RULE_UNPUBLISHED",
+    "RULE_UNVALIDATED_SIZE",
+    "RULE_USE_AFTER_CLOSE",
     "analyze_paths",
     "lint_paths",
     "run_lint",
+    "sarif_log",
+    "validate_sarif",
+    "write_sarif",
 ]

@@ -604,6 +604,77 @@ def iter_own_nodes(
             stack.append(child)
 
 
+@dataclass(frozen=True)
+class TryRegion:
+    """One enclosing ``try`` statement plus which region holds the node.
+
+    ``region`` is ``"body"`` / ``"handler"`` / ``"else"`` / ``"final"``
+    — exception-edge reasoning cares: only code in the *body* region is
+    covered by that try's handlers and finalizer.
+    """
+
+    stmt: ast.Try
+    region: str
+
+
+def try_scopes(
+    fn: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+) -> Dict[int, Tuple[TryRegion, ...]]:
+    """Map ``id(node)`` -> enclosing try regions, innermost last.
+
+    Covers every node of the function body except nested defs/classes
+    (which are their own scopes).  The exception-edge extension the
+    lifecycle pass builds on: a statement is *protected* by a try when
+    its region stack contains that try's ``body``.
+    """
+    scopes: Dict[int, Tuple[TryRegion, ...]] = {}
+
+    def walk_stmts(
+        stmts: Sequence[ast.stmt], stack: Tuple[TryRegion, ...]
+    ) -> None:
+        for stmt in stmts:
+            scopes[id(stmt)] = stack
+            walk(stmt, stack)
+
+    def walk(node: ast.AST, stack: Tuple[TryRegion, ...]) -> None:
+        if isinstance(node, ast.Try):
+            walk_stmts(node.body, stack + (TryRegion(node, "body"),))
+            for handler in node.handlers:
+                walk_stmts(
+                    handler.body, stack + (TryRegion(node, "handler"),)
+                )
+            walk_stmts(node.orelse, stack + (TryRegion(node, "else"),))
+            walk_stmts(node.finalbody, stack + (TryRegion(node, "final"),))
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            scopes[id(child)] = stack
+            walk(child, stack)
+
+    walk_stmts(fn.body, ())
+    return scopes
+
+
+def is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    """Whether a class is decorated ``@dataclass(frozen=True)``."""
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call):
+            name = dotted(deco.func).rsplit(".", 1)[-1]
+            if name != "dataclass":
+                continue
+            for kw in deco.keywords:
+                if (
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
 def is_bus_expr(node: ast.expr) -> bool:
     """Whether an expression conventionally names an event bus."""
     if isinstance(node, ast.Name):

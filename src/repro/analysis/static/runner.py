@@ -4,12 +4,13 @@
 false positives, always on.  ``repro lint --strict`` additionally runs
 the dataflow passes (unit-of-measure, cross-stage aliasing) and the
 interprocedural call-graph passes (RNG discipline, observer purity,
-event-protocol conformance) and gates
-against the committed suppression baseline: findings already recorded
-in the baseline are reported as suppressed and do not fail the run,
-anything new does.  ``--json`` writes the machine-readable findings
-report CI uploads as an artifact; ``--update-baseline`` rewrites the
-baseline from the current findings (a reviewed, committed action).
+event-protocol conformance, resource typestate, client-input taint) and
+gates against the committed suppression baseline: findings already
+recorded in the baseline are reported as suppressed and do not fail the
+run, anything new does.  ``--json`` writes the machine-readable findings
+report CI uploads as an artifact; ``--sarif`` writes a SARIF 2.1.0 log
+for GitHub code scanning; ``--update-baseline`` rewrites the baseline
+from the current findings (a reviewed, committed action).
 """
 
 from __future__ import annotations
@@ -25,6 +26,9 @@ from repro.analysis.static import (
     houserules,
     protocol,
     rngcheck,
+    sarif,
+    taint,
+    typestate,
     unitcheck,
 )
 from repro.analysis.static.dataflow import (
@@ -44,6 +48,8 @@ PASSES: Dict[str, Tuple[PassFn, bool]] = {
     rngcheck.PASS_NAME: (rngcheck.run_pass, True),
     effects.PASS_NAME: (effects.run_pass, True),
     protocol.PASS_NAME: (protocol.run_pass, True),
+    typestate.PASS_NAME: (typestate.run_pass, True),
+    taint.PASS_NAME: (taint.run_pass, True),
 }
 
 #: default suppression-baseline location (repo root, committed).
@@ -136,6 +142,7 @@ def run_lint(
     json_path: Optional[str] = None,
     baseline_path: Optional[str] = None,
     update_baseline: bool = False,
+    sarif_path: Optional[str] = None,
 ) -> int:
     """CLI entry: print findings, return the exit code (0/1/2)."""
     resolved = [Path(p) for p in paths]
@@ -172,6 +179,8 @@ def run_lint(
         print(finding)
     if json_path is not None:
         _write_json(Path(json_path), checked, strict, fresh, suppressed)
+    if sarif_path is not None:
+        sarif.write_sarif(Path(sarif_path), fresh, suppressed)
     suffix = (
         f" ({len(suppressed)} baseline-suppressed)" if suppressed else ""
     )

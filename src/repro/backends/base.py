@@ -138,9 +138,13 @@ def require_lockstep_algorithm(
 class ExecutionBackend(abc.ABC):
     """Executes the two kernel inner loops the engine used to inline.
 
-    Lifecycle: ``bind`` (once, before the run) -> ``on_walks_seeded``
-    (once, with the freshly seeded walk arrays) -> many ``advance`` /
-    ``group_order`` calls from the stages -> ``close``.  Implementations
+    Lifecycle (a typestate contract, checked statically by
+    ``repro lint --strict`` rule ``typestate-order``): ``bind`` (once,
+    before the run) -> ``on_walks_seeded`` (once, with the freshly
+    seeded walk arrays) -> many ``advance`` / ``group_order`` calls from
+    the stages -> ``close``.  ``close`` is terminal and idempotent: a
+    closed backend may still report ``timings()``, but re-``bind``-ing
+    it raises (rule ``use-after-close``).  Implementations
     must mutate ``walks`` in place exactly like
     :meth:`~repro.algorithms.base.RandomWalkAlgorithm.advance_in_partition`
     and return an identical :class:`BatchRunResult` — the simulated cost
@@ -156,6 +160,7 @@ class ExecutionBackend(abc.ABC):
         self.pgraph: Optional[PartitionedGraph] = None
         self.algorithm: Optional[RandomWalkAlgorithm] = None
         self.config: Optional[EngineConfig] = None
+        self.closed = False
         self._sampler_key = "uniform"
 
     # ------------------------------------------------------------------
@@ -167,6 +172,10 @@ class ExecutionBackend(abc.ABC):
         config: EngineConfig,
     ) -> None:
         """Attach the run's graph/algorithm/config (before any kernel)."""
+        if self.closed:
+            raise RuntimeError(
+                f"backend {self.name!r} was closed; construct a fresh one"
+            )
         self.graph = graph
         self.pgraph = pgraph
         self.algorithm = algorithm
@@ -200,7 +209,8 @@ class ExecutionBackend(abc.ABC):
         return self.measured
 
     def close(self) -> None:
-        """Release backend resources (workers, shared memory)."""
+        """Release backend resources (workers, shared memory); idempotent."""
+        self.closed = True
 
     # ------------------------------------------------------------------
     def _record_kernel(

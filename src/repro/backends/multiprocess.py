@@ -114,26 +114,35 @@ class MultiprocessBackend(ExecutionBackend):
                 f"multiprocess backend would need {need} shared bytes for "
                 f"{n} walks x {rows} steps; shrink the workload"
             )
-        self._offsets = self._shared_copy(graph.offsets)
-        self._targets = self._shared_copy(graph.targets)
-        self._weights = (
-            None if graph.weights is None else self._shared_copy(graph.weights)
-        )
-        self._starts = self._shared_copy(walks.vertices.astype(np.int64))
-        bounds = [p.start for p in self.pgraph.partitions]
-        bounds.append(graph.num_vertices)
-        self._p_bounds = np.asarray(bounds, dtype=np.int64)
-        # Direct vertex -> partition table: O(1) lookups beat binary
-        # search over the (steps x walks) path table by a wide margin.
-        self._part_lut = np.searchsorted(
-            self._p_bounds[:-1],
-            np.arange(graph.num_vertices, dtype=np.int64),
-            side="right",
-        )
-        self._path = self._shared_array((rows, n), np.int64)
-        self._term = self._shared_array((n,), np.int32)
-        self._run_workers(n)
-        self._build_exit_table()
+        # Exception path: any failure after the first SharedMemory block
+        # exists must release every block already registered, or the
+        # mappings outlive the process (`leaked-resource` lint rule).
+        try:
+            self._offsets = self._shared_copy(graph.offsets)
+            self._targets = self._shared_copy(graph.targets)
+            self._weights = (
+                None
+                if graph.weights is None
+                else self._shared_copy(graph.weights)
+            )
+            self._starts = self._shared_copy(walks.vertices.astype(np.int64))
+            bounds = [p.start for p in self.pgraph.partitions]
+            bounds.append(graph.num_vertices)
+            self._p_bounds = np.asarray(bounds, dtype=np.int64)
+            # Direct vertex -> partition table: O(1) lookups beat binary
+            # search over the (steps x walks) path table by a wide margin.
+            self._part_lut = np.searchsorted(
+                self._p_bounds[:-1],
+                np.arange(graph.num_vertices, dtype=np.int64),
+                side="right",
+            )
+            self._path = self._shared_array((rows, n), np.int64)
+            self._term = self._shared_array((n,), np.int32)
+            self._run_workers(n)
+            self._build_exit_table()
+        except BaseException:
+            self.close()
+            raise
         self.measured.setup_seconds += time.perf_counter() - started
 
     def _shared_array(
@@ -307,6 +316,7 @@ class MultiprocessBackend(ExecutionBackend):
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        super().close()
         # Numpy views must be dropped before the mappings can close.
         self._partition_cache.clear()
         self._offsets = None

@@ -398,6 +398,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable findings report to PATH",
     )
     lint.add_argument(
+        "--sarif", default=None, metavar="PATH", dest="sarif_path",
+        help="write the findings as a SARIF 2.1.0 log to PATH (for "
+             "GitHub code-scanning upload)",
+    )
+    lint.add_argument(
         "--baseline", default=None, metavar="PATH",
         help="suppression baseline for --strict (default: "
              "lint-baseline.json when present)",
@@ -812,10 +817,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workload = default_workload(
             graph, kinds=kinds, queries=args.queries, seed=args.seed
         )
+        # Admission rejections (e.g. a query whose walks exceed
+        # --max-batch-walks) are client errors: exit 2 with a hint,
+        # consistent with _unsupported_engine.
+        report = session.run(workload)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    report = session.run(workload)
     summary = report.summary_dict()
     latency = summary["latency"]
     print(
@@ -961,6 +969,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         json_path=args.json_path,
         baseline_path=baseline,
         update_baseline=args.update_baseline,
+        sarif_path=args.sarif_path,
     )
 
 

@@ -322,6 +322,12 @@ class EventBus:
     object whose ``on_<event_name>`` methods are bound automatically
     (:meth:`attach`) — e.g. ``on_graph_served`` receives every
     :class:`GraphServed`.
+
+    Lifecycle contract: register all subscribers *before* the first
+    :meth:`emit` of the event type they care about — the bus keeps no
+    history, so a late subscriber silently misses everything already
+    published.  ``repro lint --strict`` enforces this ordering
+    statically (rule ``typestate-order``).
     """
 
     __slots__ = ("_handlers",)

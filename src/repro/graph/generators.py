@@ -41,8 +41,10 @@ def rmat(
     Graph500 values, which yield a heavy-tailed degree distribution similar
     to the paper's social/web graphs.
     """
-    if scale < 1:
-        raise ValueError("scale must be >= 1")
+    if scale < 1 or scale > 30:
+        raise ValueError("scale must be in [1, 30]")
+    if not 0 < edge_factor <= 1024:
+        raise ValueError("edge_factor must be in (0, 1024]")
     if not 0 < a + b + c < 1:
         raise ValueError("quadrant probabilities must leave d = 1-a-b-c > 0")
     rng = _rng(seed)

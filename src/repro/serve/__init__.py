@@ -23,12 +23,14 @@ from repro.serve.queries import (
     KIND_NODE2VEC,
     KIND_PPR,
     KIND_UNIFORM,
+    MAX_QUERY_STEPS,
     QUERY_KINDS,
     EmbeddingQuery,
     MetapathQuery,
     PPRQuery,
     UniformQuery,
     WalkQuery,
+    validated,
 )
 from repro.serve.session import (
     ARRIVAL_CLOSED,
@@ -54,6 +56,7 @@ __all__ = [
     "KIND_PPR",
     "KIND_UNIFORM",
     "LATENCY_PERCENTILES",
+    "MAX_QUERY_STEPS",
     "MetapathQuery",
     "PPRQuery",
     "QUERY_KINDS",
@@ -69,4 +72,5 @@ __all__ = [
     "nearest_rank",
     "run_standalone",
     "standalone_config",
+    "validated",
 ]

@@ -47,6 +47,28 @@ KIND_NODE2VEC = "node2vec"
 #: Every query kind the front-end admits, in CLI/menu order.
 QUERY_KINDS = (KIND_PPR, KIND_UNIFORM, KIND_METAPATH, KIND_NODE2VEC)
 
+#: Hard ceiling on per-query walk length / step budget.  A query is
+#: client input: an unbounded ``length`` would size the per-lane step
+#: loops (and the multiprocess backend's trajectory tables) directly
+#: from the wire, so every step-shaped field is validated against this
+#: cap in ``__post_init__`` before it can reach an allocation.
+MAX_QUERY_STEPS = 1024
+
+
+def validated(
+    value: float, lo: float, hi: float, what: str = "value"
+) -> float:
+    """Bounds-check a client-supplied number; the taint sanitizer.
+
+    Returns ``value`` unchanged when ``lo <= value <= hi`` and raises
+    :class:`ValueError` otherwise.  The strict lint taint pass
+    (``unvalidated-size`` et al.) treats a flow through this helper — or
+    through a raising ``__post_init__`` bounds check — as sanitized.
+    """
+    if not (lo <= value <= hi):
+        raise ValueError(f"{what}={value!r} outside [{lo}, {hi}]")
+    return value
+
 
 @dataclass(frozen=True)
 class WalkQuery:
@@ -94,6 +116,13 @@ class PPRQuery(WalkQuery):
         super().__post_init__()
         if not self.sources:
             raise ValueError("a PPR query needs a non-empty seed set")
+        if any(v < 0 for v in self.sources):
+            raise ValueError("PPR seed vertices must be non-negative")
+        if not (0.0 < self.stop_prob <= 1.0):
+            raise ValueError(
+                f"stop_prob={self.stop_prob!r} outside (0, 1]"
+            )
+        validated(self.max_length, 1, MAX_QUERY_STEPS, "max_length")
 
     def batch_key(self) -> Tuple[object, ...]:
         # The seed set shapes start vertices only, never step semantics,
@@ -121,6 +150,10 @@ class UniformQuery(WalkQuery):
     sampler: Optional[str] = None
 
     kind: str = KIND_UNIFORM
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validated(self.length, 1, MAX_QUERY_STEPS, "length")
 
     @property
     def coalescible(self) -> bool:
@@ -161,6 +194,9 @@ class MetapathQuery(WalkQuery):
         super().__post_init__()
         if len(self.metapath) < 2:
             raise ValueError("a metapath query needs at least two types")
+        if any(t < 0 for t in self.metapath):
+            raise ValueError("metapath vertex types must be non-negative")
+        validated(self.length, 1, MAX_QUERY_STEPS, "length")
 
     def batch_key(self) -> Tuple[object, ...]:
         return (self.kind, self.metapath, self.length)
@@ -190,6 +226,12 @@ class EmbeddingQuery(WalkQuery):
     inout_param: float = 1.0
 
     kind: str = KIND_NODE2VEC
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        validated(self.length, 1, MAX_QUERY_STEPS, "length")
+        if self.return_param <= 0 or self.inout_param <= 0:
+            raise ValueError("node2vec p/q parameters must be positive")
 
     @property
     def coalescible(self) -> bool:

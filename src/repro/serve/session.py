@@ -332,6 +332,15 @@ class ServeSession:
         """Serve every query; returns the demultiplexed session report."""
         if not queries:
             raise ValueError("a serve session needs at least one query")
+        for query in queries:
+            # Admission gate: an oversized query would drive the
+            # coalescing budget negative and could never be scheduled.
+            if query.walks > self.max_batch_walks:
+                raise ValueError(
+                    f"query requests {query.walks} walks but "
+                    f"max_batch_walks={self.max_batch_walks}; split the "
+                    "query or raise --max-batch-walks"
+                )
         bus = EventBus()
         stats = RunStats(
             system="serve",

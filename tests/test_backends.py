@@ -305,3 +305,83 @@ class TestCliSurface:
         # the hint must list every registered name so users can pick one
         for name in available_backends():
             assert name in captured.err
+
+
+class TestLifecycleAndLeaks:
+    """The backend typestate contract and the shared-memory leak fix.
+
+    Fault injection: a failure in any setup step after the first
+    SharedMemory block exists (worker spawn, exit-table build) must
+    release and unlink every block already registered — the scenario
+    the `leaked-resource` static rule guards against.
+    """
+
+    def _bound_backend(self, graph):
+        from repro.backends.multiprocess import MultiprocessBackend
+
+        backend = MultiprocessBackend()
+        algorithm = UniformSampling(length=4)
+        config = backend_config(BACKEND_MULTIPROCESS)
+        pgraph = partition_by_range(graph, config.partition_bytes)
+        backend.bind(graph, pgraph, algorithm, config)
+        return backend
+
+    @pytest.mark.parametrize("failing", ["_run_workers", "_build_exit_table"])
+    def test_seed_failure_releases_every_block(
+        self, plain_graph, monkeypatch, failing
+    ):
+        from multiprocessing import shared_memory
+
+        backend = self._bound_backend(plain_graph)
+        block_names = []
+
+        def boom(*args, **kwargs):
+            block_names.extend(shm.name for shm in backend._shms)
+            raise RuntimeError("injected setup failure")
+
+        monkeypatch.setattr(backend, failing, boom)
+        walks = WalkArrays.fresh(np.zeros(64, dtype=np.int64))
+        with pytest.raises(RuntimeError, match="injected setup failure"):
+            backend.on_walks_seeded(walks)
+        assert backend._shms == []
+        # The failure happened after real allocations, and every one of
+        # them was unlinked: reattaching by name must fail.
+        assert len(block_names) >= 4
+        for name in block_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_failed_backend_is_closed_for_good(self, plain_graph, monkeypatch):
+        backend = self._bound_backend(plain_graph)
+        monkeypatch.setattr(
+            backend,
+            "_run_workers",
+            lambda n: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with pytest.raises(RuntimeError):
+            backend.on_walks_seeded(WalkArrays.fresh(np.zeros(8, dtype=np.int64)))
+        assert backend.closed
+        config = backend_config(BACKEND_MULTIPROCESS)
+        pgraph = partition_by_range(plain_graph, config.partition_bytes)
+        with pytest.raises(RuntimeError, match="was closed"):
+            backend.bind(plain_graph, pgraph, UniformSampling(length=4), config)
+
+    def test_close_is_idempotent(self, plain_graph):
+        backend = self._bound_backend(plain_graph)
+        backend.close()
+        backend.close()
+        assert backend.closed and backend._shms == []
+
+    def test_successful_run_leaves_no_blocks_behind(self, plain_graph):
+        from multiprocessing import shared_memory
+
+        backend = self._bound_backend(plain_graph)
+        walks = WalkArrays.fresh(np.zeros(32, dtype=np.int64))
+        backend.on_walks_seeded(walks)
+        block_names = [shm.name for shm in backend._shms]
+        assert block_names
+        backend.close()
+        assert backend._shms == []
+        for name in block_names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -319,6 +321,17 @@ class TestLintCommand:
         assert main(["lint"]) == 0
         assert "clean" in capsys.readouterr().out
 
+    def test_lint_sarif_output(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import random\n")
+        sarif = tmp_path / "lint.sarif"
+        assert main(["lint", "--sarif", str(sarif), str(target)]) == 1
+        capsys.readouterr()
+        payload = json.loads(sarif.read_text())
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["rng-factory"]
+
 
 class TestElasticRunFlags:
     @pytest.fixture()
@@ -465,3 +478,17 @@ class TestServeCLI:
         code = main(["serve", "--scale", "8", "--workers", "0"])
         assert code == 2
         assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_serve_rejects_oversized_query(self, capsys):
+        # The default workload requests 4..16 walks per query, so a
+        # 3-walk batch budget can never admit it: client error, exit 2
+        # with a hint, nothing on stdout.
+        code = main(
+            ["serve", "--scale", "8", "--queries", "4",
+             "--max-batch-walks", "3"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "max_batch_walks=3" in captured.err
+        assert "split the query" in captured.err
+        assert captured.out == ""

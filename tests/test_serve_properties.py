@@ -17,11 +17,16 @@ import pytest
 from repro.core.config import EngineConfig, FailureSchedule
 from repro.serve import (
     ARRIVAL_OPEN,
+    MAX_QUERY_STEPS,
+    EmbeddingQuery,
+    MetapathQuery,
     PPRQuery,
     ServeSession,
+    UniformQuery,
     default_workload,
     make_vertex_types,
     nearest_rank,
+    validated,
 )
 
 
@@ -221,6 +226,52 @@ class TestValidation:
             ServeSession(serve_graph, arrival=ARRIVAL_OPEN)
         with pytest.raises(ValueError, match="max_batch_walks"):
             ServeSession(serve_graph, max_batch_walks=0)
+
+    def test_oversized_query_rejected_at_admission(
+        self, serve_graph, serve_config
+    ):
+        # A query requesting more walks than one coalesced batch can
+        # hold could never be scheduled; it must be rejected up front,
+        # not spin the coalescer forever.
+        session = ServeSession(
+            serve_graph, serve_config, workers=2, max_batch_walks=64
+        )
+        oversized = PPRQuery(walks=65, sources=(1,), max_length=8)
+        with pytest.raises(ValueError, match="max_batch_walks"):
+            session.run([oversized])
+
+    def test_exactly_full_query_is_admitted(self, serve_graph, serve_config):
+        session = ServeSession(
+            serve_graph, serve_config, workers=2, max_batch_walks=64
+        )
+        report = session.run(
+            [PPRQuery(walks=64, sources=(1,), max_length=8)]
+        )
+        assert report.stats.queries_completed == 1
+        assert report.walks_served == 64
+
+    def test_step_fields_capped_at_max_query_steps(self):
+        beyond = MAX_QUERY_STEPS + 1
+        with pytest.raises(ValueError, match="max_length"):
+            PPRQuery(walks=4, sources=(1,), max_length=beyond)
+        with pytest.raises(ValueError, match="length"):
+            UniformQuery(walks=4, length=beyond)
+        with pytest.raises(ValueError, match="length"):
+            MetapathQuery(walks=4, metapath=(0, 1), length=beyond)
+        with pytest.raises(ValueError, match="length"):
+            EmbeddingQuery(walks=4, length=beyond)
+        # The cap is inclusive: the boundary value itself is accepted.
+        assert (
+            UniformQuery(walks=4, length=MAX_QUERY_STEPS).length
+            == MAX_QUERY_STEPS
+        )
+
+    def test_validated_helper_bounds(self):
+        assert validated(5, 1, 10) == 5
+        with pytest.raises(ValueError, match="steps"):
+            validated(11, 1, 10, "steps")
+        with pytest.raises(ValueError):
+            validated(-1, 0, 10)
 
     def test_rejects_empty_and_unknown_workloads(self, serve_graph):
         with pytest.raises(ValueError, match="at least one query"):

@@ -1,7 +1,9 @@
 """The strict static-analysis passes: seeded unit-mixing,
-stage-aliasing, RNG-discipline, observer-purity and event-protocol
-defects are each caught exactly once, waivers and the suppression
-baseline behave, and the real source tree is strict-clean.
+stage-aliasing, RNG-discipline, observer-purity, event-protocol,
+resource-typestate and client-input-taint defects are each caught
+exactly once, waivers and the suppression baseline behave, SARIF
+output round-trips through structural validation, and the real source
+tree is strict-clean.
 
 Also the unit-consistency regression tests for the two cost paths the
 unit audit singled out (satellite of the static-analysis PR):
@@ -21,18 +23,25 @@ from repro.analysis.static import (
     RULE_DEVICE_COVERAGE,
     RULE_HANDLER_EMIT,
     RULE_IMPURE_SUBSCRIBER,
+    RULE_LEAKED_RESOURCE,
     RULE_NONDET_SEED,
     RULE_RAW_RNG,
     RULE_RETURN_MISMATCH,
     RULE_RETURN_UNTYPED,
+    RULE_TAINTED_INDEX,
+    RULE_TAINTED_SEED,
+    RULE_TYPESTATE_ORDER,
     RULE_UNDECLARED,
     RULE_UNHANDLED_EVENT,
     RULE_UNIT_MIX,
     RULE_UNKEYED_DRAW,
     RULE_UNKNOWN_FIELD,
     RULE_UNPUBLISHED,
+    RULE_UNVALIDATED_SIZE,
+    RULE_USE_AFTER_CLOSE,
     analyze_paths,
     run_lint,
+    validate_sarif,
 )
 from repro.core.units import seconds_from_cycles
 from repro.gpu.calibration import Calibration
@@ -511,6 +520,381 @@ class TestProtocolPass:
 
 
 # ---------------------------------------------------------------------------
+# Typestate pass: lifecycle order, use-after-close, resource leaks
+# ---------------------------------------------------------------------------
+
+_BACKEND_PREAMBLE = (
+    "class ToyBackend:\n"
+    "    def __init__(self, name): ...\n"
+    "    def bind(self, graph, spec): ...\n"
+    "    def on_walks_seeded(self, frontier): ...\n"
+    "    def advance(self, state): ...\n"
+    "    def close(self): ...\n"
+)
+
+
+class TestTypestatePass:
+    def test_advance_before_seed_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _BACKEND_PREAMBLE
+            + "def run():\n"
+            "    backend = ToyBackend('toy')\n"
+            "    backend.advance(None)\n",
+        )
+        assert rules_of(findings) == [RULE_TYPESTATE_ORDER]
+        assert "ExecutionBackend" in findings[0].message
+        assert "state {new}" in findings[0].message
+
+    def test_bind_after_close_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _BACKEND_PREAMBLE
+            + "def run(graph, spec):\n"
+            "    backend = ToyBackend('toy')\n"
+            "    backend.bind(graph, spec)\n"
+            "    backend.close()\n"
+            "    backend.bind(graph, spec)\n",
+        )
+        assert rules_of(findings) == [RULE_USE_AFTER_CLOSE]
+        assert "terminal state 'closed'" in findings[0].message
+
+    def test_conforming_lifecycle_is_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _BACKEND_PREAMBLE
+            + "def run(graph, spec, frontier):\n"
+            "    backend = ToyBackend('toy')\n"
+            "    backend.bind(graph, spec)\n"
+            "    backend.on_walks_seeded(frontier)\n"
+            "    backend.advance(None)\n"
+            "    backend.advance(None)\n"
+            "    backend.close()\n"
+            "    backend.close()\n",  # close is idempotent
+        )
+        assert findings == []
+
+    def test_branch_merge_does_not_false_positive(self, tmp_path):
+        # advance is allowed on either path, so the merged state set
+        # {seeded, advancing} intersects the allowed set: no finding.
+        findings = strict_findings(
+            tmp_path,
+            _BACKEND_PREAMBLE
+            + "def run(graph, spec, frontier, warm):\n"
+            "    backend = ToyBackend('toy')\n"
+            "    backend.bind(graph, spec)\n"
+            "    backend.on_walks_seeded(frontier)\n"
+            "    if warm:\n"
+            "        backend.advance(None)\n"
+            "    backend.advance(None)\n"
+            "    backend.close()\n",
+        )
+        assert findings == []
+
+    def test_typestate_waiver_suppresses(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _BACKEND_PREAMBLE
+            + "def run():\n"
+            "    backend = ToyBackend('toy')\n"
+            "    backend.advance(None)  # lint: allow-typestate-order\n",
+        )
+        assert findings == []
+
+    def test_subscribe_after_emit_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "from repro.core.events import EventBus, WalkStarted\n"
+            "def wire(handler):\n"
+            "    bus = EventBus()\n"
+            "    bus.emit(WalkStarted(walk=1))\n"
+            "    bus.subscribe(WalkStarted, handler)\n",
+        )
+        assert rules_of(findings) == [RULE_TYPESTATE_ORDER]
+        assert "missed events" in findings[0].message
+
+    def test_subscribe_before_emit_is_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "from repro.core.events import EventBus, WalkStarted\n"
+            "def wire(handler):\n"
+            "    bus = EventBus()\n"
+            "    bus.subscribe(WalkStarted, handler)\n"
+            "    bus.emit(WalkStarted(walk=1))\n",
+        )
+        assert findings == []
+
+
+_SHM_PREAMBLE = "from multiprocessing import shared_memory\n"
+
+
+class TestLeakedResource:
+    def test_unguarded_local_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _SHM_PREAMBLE
+            + "def leaky(n):\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=n)\n"
+            "    shm.close()\n"
+            "    shm.unlink()\n",
+        )
+        assert rules_of(findings) == [RULE_LEAKED_RESOURCE]
+        assert "try/finally" in findings[0].message
+
+    def test_acquire_then_try_finally_is_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _SHM_PREAMBLE
+            + "def guarded(n, work):\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=n)\n"
+            "    try:\n"
+            "        work(shm)\n"
+            "    finally:\n"
+            "        shm.close()\n"
+            "        shm.unlink()\n",
+        )
+        assert findings == []
+
+    def test_returned_block_transfers_ownership(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _SHM_PREAMBLE
+            + "def make(n):\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=n)\n"
+            "    return shm\n",
+        )
+        assert findings == []
+
+    def test_attach_is_not_an_acquisition(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _SHM_PREAMBLE
+            + "def attach(name):\n"
+            "    shm = shared_memory.SharedMemory(name=name)\n"
+            "    return shm.buf\n",
+        )
+        assert findings == []
+
+    def test_fallible_setup_after_acquisition_caught_once(self, tmp_path):
+        # The pre-fix MultiprocessBackend.on_walks_seeded shape: blocks
+        # registered in a released container, but a later fallible setup
+        # step runs outside any try — a partial failure strands them.
+        findings = strict_findings(
+            tmp_path,
+            _SHM_PREAMBLE
+            + "class Pool:\n"
+            "    def __init__(self):\n"
+            "        self._shms = []\n"
+            "    def setup(self, n):\n"
+            "        shm = shared_memory.SharedMemory(create=True, size=n)\n"
+            "        self._shms.append(shm)\n"
+            "        self._spawn_workers()\n"
+            "    def _spawn_workers(self):\n"
+            "        raise RuntimeError('boom')\n"
+            "    def close(self):\n"
+            "        for shm in self._shms:\n"
+            "            shm.close()\n"
+            "            shm.unlink()\n",
+        )
+        assert rules_of(findings) == [RULE_LEAKED_RESOURCE]
+        assert "partial failure strands" in findings[0].message
+
+    def test_guarded_fallible_setup_is_clean(self, tmp_path):
+        # The post-fix shape: setup wrapped in try/except that releases
+        # via self.close().
+        findings = strict_findings(
+            tmp_path,
+            _SHM_PREAMBLE
+            + "class Pool:\n"
+            "    def __init__(self):\n"
+            "        self._shms = []\n"
+            "    def setup(self, n):\n"
+            "        try:\n"
+            "            shm = shared_memory.SharedMemory(\n"
+            "                create=True, size=n)\n"
+            "            self._shms.append(shm)\n"
+            "            self._spawn_workers()\n"
+            "        except BaseException:\n"
+            "            self.close()\n"
+            "            raise\n"
+            "    def _spawn_workers(self):\n"
+            "        raise RuntimeError('boom')\n"
+            "    def close(self):\n"
+            "        for shm in self._shms:\n"
+            "            shm.close()\n"
+            "            shm.unlink()\n",
+        )
+        assert findings == []
+
+    def test_container_without_cleanup_method_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _SHM_PREAMBLE
+            + "class Pool:\n"
+            "    def __init__(self):\n"
+            "        self._shms = []\n"
+            "    def setup(self, n):\n"
+            "        shm = shared_memory.SharedMemory(create=True, size=n)\n"
+            "        self._shms.append(shm)\n",
+        )
+        assert rules_of(findings) == [RULE_LEAKED_RESOURCE]
+        assert "no cleanup method" in findings[0].message
+
+    def test_leak_waiver_suppresses(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _SHM_PREAMBLE
+            + "def leaky(n):\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=n)"
+            "  # lint: allow-leaked-resource\n"
+            "    return shm.buf\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Taint pass: client-controlled values reaching sized/seeded/index sinks
+# ---------------------------------------------------------------------------
+
+_QUERY_PREAMBLE = (
+    "from dataclasses import dataclass\n"
+    "import numpy as np\n"
+    "from repro.core.prng import derive_seed\n"
+    "@dataclass(frozen=True)\n"
+    "class ToyQuery:\n"
+    "    walks: int\n"
+    "    length: int\n"
+    "    seed: int\n"
+    "    def __post_init__(self):\n"
+    "        if self.walks < 1:\n"
+    "            raise ValueError('walks must be >= 1')\n"
+)
+
+
+class TestTaintPass:
+    def test_unvalidated_field_to_alloc_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "def alloc(query: ToyQuery):\n"
+            "    return np.zeros(query.length)\n",
+        )
+        assert rules_of(findings) == [RULE_UNVALIDATED_SIZE]
+        assert "ToyQuery.length" in findings[0].message
+
+    def test_validated_field_is_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "def alloc(query: ToyQuery):\n"
+            "    return np.zeros(query.walks)\n",
+        )
+        assert findings == []
+
+    def test_tainted_seed_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "def reseed(query: ToyQuery):\n"
+            "    return derive_seed(query.length, 0, 0)\n",
+        )
+        assert rules_of(findings) == [RULE_TAINTED_SEED]
+
+    def test_seed_field_is_the_sanctioned_stream_selector(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "def reseed(query: ToyQuery):\n"
+            "    return derive_seed(query.seed, 0, 0)\n",
+        )
+        assert findings == []
+
+    def test_tainted_csr_index_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "def degree(query: ToyQuery, offsets):\n"
+            "    return offsets[query.length]\n",
+        )
+        assert rules_of(findings) == [RULE_TAINTED_INDEX]
+        assert "offsets" in findings[0].message
+
+    def test_interprocedural_flow_reports_chain(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "def helper(n):\n"
+            "    return np.empty(n)\n"
+            "def outer(query: ToyQuery):\n"
+            "    return helper(query.length)\n",
+        )
+        assert rules_of(findings) == [RULE_UNVALIDATED_SIZE]
+        assert "outer -> helper" in findings[0].message
+
+    def test_raising_guard_sanitizes(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "def alloc(query: ToyQuery):\n"
+            "    length = query.length\n"
+            "    if length > 1024:\n"
+            "        raise ValueError('too long')\n"
+            "    return np.zeros(length)\n",
+        )
+        assert findings == []
+
+    def test_validated_helper_sanitizes(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "from repro.serve.queries import validated\n"
+            "def alloc(query: ToyQuery):\n"
+            "    return np.zeros(validated(query.length, 1, 1024))\n",
+        )
+        assert findings == []
+
+    def test_cli_args_are_a_source(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "import numpy as np\n"
+            "def cmd_run(args):\n"
+            "    return np.zeros(args.count)\n",
+        )
+        assert rules_of(findings) == [RULE_UNVALIDATED_SIZE]
+        assert "args.count" in findings[0].message
+
+    def test_guarded_args_are_clean(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            "import numpy as np\n"
+            "def cmd_run(args):\n"
+            "    if args.count > 100:\n"
+            "        raise SystemExit(2)\n"
+            "    return np.zeros(args.count)\n",
+        )
+        assert findings == []
+
+    def test_tainted_range_bound_caught_once(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "def steps(query: ToyQuery):\n"
+            "    return list(range(query.length))\n",
+        )
+        assert rules_of(findings) == [RULE_UNVALIDATED_SIZE]
+
+    def test_taint_waiver_suppresses(self, tmp_path):
+        findings = strict_findings(
+            tmp_path,
+            _QUERY_PREAMBLE
+            + "def alloc(query: ToyQuery):\n"
+            "    return np.zeros(query.length)"
+            "  # lint: allow-unvalidated-size\n",
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # Baseline + CLI behaviour
 # ---------------------------------------------------------------------------
 
@@ -587,6 +971,8 @@ class TestBaseline:
             "rng",
             "effects",
             "protocol",
+            "typestate",
+            "taint",
         ]
         assert [f["rule"] for f in payload["findings"]] == [RULE_UNIT_MIX]
         assert payload["suppressed"] == []
@@ -658,6 +1044,77 @@ class TestBaselineRoundTrip:
             == 1
         )
         capsys.readouterr()
+
+
+class TestSarifOutput:
+    def test_sarif_round_trip_validates(self, tmp_path):
+        path = tmp_path / "defect.py"
+        path.write_text(_DEFECT)
+        sarif = tmp_path / "lint.sarif"
+        run_lint([str(path)], strict=True, sarif_path=str(sarif))
+        log = json.loads(sarif.read_text())
+        assert validate_sarif(log) == []
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        results = run["results"]
+        assert [r["ruleId"] for r in results] == [RULE_UNIT_MIX]
+        declared = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert declared == [RULE_UNIT_MIX]
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("defect.py")
+        assert location["region"]["startLine"] == 2
+        assert "suppressions" not in results[0]
+
+    def test_baseline_suppressed_findings_marked(self, tmp_path, capsys):
+        path = tmp_path / "defect.py"
+        path.write_text(_DEFECT)
+        baseline = tmp_path / "baseline.json"
+        run_lint(
+            [str(path)],
+            strict=True,
+            baseline_path=str(baseline),
+            update_baseline=True,
+        )
+        sarif = tmp_path / "lint.sarif"
+        assert (
+            run_lint(
+                [str(path)],
+                strict=True,
+                baseline_path=str(baseline),
+                sarif_path=str(sarif),
+            )
+            == 0
+        )
+        capsys.readouterr()
+        log = json.loads(sarif.read_text())
+        assert validate_sarif(log) == []
+        results = log["runs"][0]["results"]
+        assert len(results) == 1
+        assert results[0]["suppressions"][0]["kind"] == "external"
+
+    def test_validator_rejects_structural_damage(self, tmp_path):
+        path = tmp_path / "defect.py"
+        path.write_text(_DEFECT)
+        sarif = tmp_path / "lint.sarif"
+        run_lint([str(path)], strict=True, sarif_path=str(sarif))
+        log = json.loads(sarif.read_text())
+
+        wrong_version = json.loads(sarif.read_text())
+        wrong_version["version"] = "1.0.0"
+        assert validate_sarif(wrong_version)
+
+        undeclared = json.loads(sarif.read_text())
+        undeclared["runs"][0]["results"][0]["ruleId"] = "not-a-rule"
+        assert validate_sarif(undeclared)
+
+        no_line = json.loads(sarif.read_text())
+        location = no_line["runs"][0]["results"][0]["locations"][0]
+        location["physicalLocation"]["region"]["startLine"] = 0
+        assert validate_sarif(no_line)
+
+        assert validate_sarif(log) == []  # the untouched log still passes
+        assert validate_sarif([]) and validate_sarif({"runs": []})
 
 
 class TestRealTreeStrictClean:
